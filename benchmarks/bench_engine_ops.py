@@ -1,0 +1,56 @@
+"""Engine operator throughput microbenchmarks (the substrate itself).
+
+Not a paper artifact: these track the numpy engine's own performance so
+regressions in the reproduction infrastructure are visible.
+"""
+
+import pytest
+
+from repro.engine import Q, agg, col, execute
+from repro.tpch import generate
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(0.05)
+
+
+def test_scan_filter_throughput(benchmark, db):
+    plan = (
+        Q(db).scan("lineitem")
+        .filter((col("l_shipdate") >= "1994-01-01") & (col("l_quantity") < 24))
+        .aggregate(n=agg.count_star())
+    )
+    result = benchmark(execute, db, plan)
+    assert result.scalar() > 0
+
+
+def test_hash_join_throughput(benchmark, db):
+    plan = (
+        Q(db).scan("lineitem")
+        .join("orders", on=[("l_orderkey", "o_orderkey")])
+        .aggregate(n=agg.count_star())
+    )
+    result = benchmark(execute, db, plan)
+    assert result.scalar() == db.table("lineitem").nrows
+
+
+def test_group_by_throughput(benchmark, db):
+    plan = (
+        Q(db).scan("lineitem")
+        .aggregate(by=["l_returnflag", "l_linestatus"],
+                   s=agg.sum(col("l_extendedprice")))
+    )
+    result = benchmark(execute, db, plan)
+    assert len(result) == 4
+
+
+def test_sort_throughput(benchmark, db):
+    plan = Q(db).scan("orders").sort(("o_totalprice", "desc")).limit(10)
+    result = benchmark(execute, db, plan)
+    assert len(result) == 10
+
+
+def test_dbgen_throughput(benchmark):
+    db = benchmark.pedantic(generate, args=(0.01,), rounds=2, iterations=1)
+    assert db.table("lineitem").nrows > 50_000

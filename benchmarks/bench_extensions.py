@@ -1,0 +1,90 @@
+"""Benches for the remaining extension studies: power-gated scheduling
+(§III-B2) and the TCO sensitivity sweep (§III-A3)."""
+
+from repro.analysis import TcoAssumptions, estimate_tco, render_matrix, tco_advantage
+from repro.cluster import PowerPolicy, WorkloadSimulator, poisson_workload
+
+from conftest import write_artifact
+
+
+def _run_scheduling():
+    trace = poisson_workload(duration_s=24 * 3600, queries_per_hour=8,
+                             runtime_s=2.0, seed=11)
+    gated = WorkloadSimulator.for_wimpi(24).run(trace)
+    always = WorkloadSimulator.for_wimpi(24, PowerPolicy(gate_after_idle_s=None)).run(trace)
+    server = WorkloadSimulator.for_server("op-e5").run(
+        [type(q)(q.arrival_s, q.runtime_s / 3.0) for q in trace]
+    )
+    return gated, always, server
+
+
+def test_extension_power_gating(benchmark, output_dir):
+    gated, always, server = benchmark.pedantic(_run_scheduling, rounds=1, iterations=1)
+    rows = [
+        ("WIMPI gated", round(gated.energy_wh, 1), round(gated.mean_latency_s, 1),
+         f"{gated.utilization:.1%}"),
+        ("WIMPI always-on", round(always.energy_wh, 1), round(always.mean_latency_s, 1),
+         f"{always.utilization:.1%}"),
+        ("op-e5 always-on", round(server.energy_wh, 1), round(server.mean_latency_s, 1),
+         f"{server.utilization:.1%}"),
+    ]
+    text = render_matrix(
+        rows, ["configuration", "energy (Wh/day)", "mean latency (s)", "utilization"],
+        title="Extension: power-gated scheduling over a 24 h Poisson trace (SIII-B2)",
+    )
+    write_artifact(output_dir, "extension_scheduling", text)
+    assert gated.energy_wh < always.energy_wh
+    assert gated.energy_wh < server.energy_wh
+
+
+def _run_tco():
+    rows = []
+    for years in (1.0, 3.0, 5.0):
+        assumptions = TcoAssumptions(years=years)
+        server = estimate_tco("op-e5", assumptions)
+        cluster = estimate_tco("pi3b+", assumptions, n_nodes=24)
+        advantage = tco_advantage("op-e5", 24, performance_ratio=1.3,
+                                  assumptions=assumptions)
+        rows.append((
+            f"{years:.0f}y", round(server.total_usd), round(cluster.total_usd),
+            round(advantage, 1),
+        ))
+    return rows
+
+
+def test_extension_tco(benchmark, output_dir):
+    rows = benchmark.pedantic(_run_tco, rounds=1, iterations=1)
+    text = render_matrix(
+        rows,
+        ["horizon", "op-e5 TCO ($)", "24-Pi TCO ($)", "perf-normalized advantage"],
+        title="Extension: TCO sensitivity (SIII-A3; paper declined, we quantify)",
+    )
+    write_artifact(output_dir, "extension_tco", text)
+    assert all(row[3] > 1.0 for row in rows)
+
+
+def _run_ml():
+    from repro.mlbench import ml_study
+
+    return ml_study(base_sf=0.01, cluster_sizes=(4, 8, 16, 24))
+
+
+def test_extension_ml_workloads(benchmark, output_dir):
+    """SV future work: ML training priced across platforms + WIMPI
+    data-parallel scaling."""
+    study = benchmark.pedantic(_run_ml, rounds=1, iterations=1)
+    rows = [
+        (r.kernel, r.platform, round(r.seconds, 2), round(r.msrp_seconds_usd))
+        for r in study["platforms"]
+    ]
+    text = render_matrix(
+        rows, ["kernel", "platform", "train (s)", "s x MSRP ($)"],
+        title="Extension: ML training (paper SV future work; lower is better)",
+    )
+    cluster = study["cluster"]
+    text += "\n\ndata-parallel logreg on WIMPI: single Pi "
+    text += f"{cluster['single_pi_seconds']:.1f} s; "
+    text += ", ".join(f"{n} nodes {t:.1f} s" for n, t in cluster["by_nodes"].items())
+    write_artifact(output_dir, "extension_ml", text)
+    per_dollar = {(r.kernel, r.platform): r.msrp_seconds_usd for r in study["platforms"]}
+    assert per_dollar[("logreg", "pi3b+")] < per_dollar[("logreg", "op-e5")]

@@ -1,0 +1,33 @@
+"""Fig. 2 — CPU / memory microbenchmarks + §II-C3 network bandwidth."""
+
+from repro.analysis import render_matrix
+from repro.microbench import network_bandwidth_mbps, run_all
+
+from conftest import write_artifact
+
+
+def _run_fig2():
+    results = run_all()
+    rows = [
+        (
+            r.platform,
+            round(r.whetstone_mwips_1core), round(r.whetstone_mwips_all),
+            round(r.dhrystone_dmips_1core), round(r.dhrystone_dmips_all),
+            round(r.sysbench_s_1core, 2), round(r.sysbench_s_all, 2),
+            round(r.membw_gbs_1core, 1), round(r.membw_gbs_all, 1),
+        )
+        for r in results.values()
+    ]
+    table = render_matrix(
+        rows,
+        ["platform", "whet-1c", "whet-all", "dhry-1c", "dhry-all",
+         "sysb-1c(s)", "sysb-all(s)", "bw-1c", "bw-all"],
+        title="Fig. 2: Microbenchmarks (MWIPS / DMIPS / seconds / GB/s)",
+    )
+    return table + f"\n\nWIMPI node-to-node bandwidth: {network_bandwidth_mbps():.0f} Mbps"
+
+
+def test_fig2_microbenchmarks(benchmark, output_dir):
+    text = benchmark(_run_fig2)
+    write_artifact(output_dir, "fig2", text)
+    assert "220 Mbps" in text

@@ -1,0 +1,29 @@
+"""Fig. 3 — speedups relative to the Pi configuration (SF 1 and SF 10)."""
+
+from repro.analysis import median_relative, render_runtime_table, render_series
+
+from conftest import write_artifact
+
+
+def _run_fig3(study):
+    return study.fig3_sf1(), study.fig3_sf10()
+
+
+def test_fig3_speedups(benchmark, study, output_dir):
+    sf1, sf10 = benchmark.pedantic(_run_fig3, args=(study,), rounds=1, iterations=1)
+    text = render_runtime_table(
+        sf1, title="Fig. 3 (left): SF 1 relative performance (t_server / t_pi)"
+    )
+    medians = median_relative(sf1)
+    text += "\n\nmedian relative performance of the Pi per server:\n"
+    text += "\n".join(f"  {k}: {1 / v:.2f}x slower (relative {v:.3f})" for k, v in medians.items())
+    series = {
+        f"Q{q}": {n: sf10[n]["op-e5"][q] for n in sorted(sf10)}
+        for q in sorted(next(iter(sf10.values()))["op-e5"])
+    }
+    text += "\n\n" + render_series(
+        series, "Fig. 3 (right): SF 10 WIMPI relative performance vs op-e5",
+        x_label="n=", break_even=1.0,
+    )
+    write_artifact(output_dir, "fig3", text)
+    assert medians  # non-empty

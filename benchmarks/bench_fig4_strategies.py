@@ -1,0 +1,38 @@
+"""Fig. 4 — execution strategies (data-centric / hybrid / access-aware),
+single-threaded, on op-e5, op-gold, and the Pi."""
+
+from repro.analysis import render_matrix
+from repro.strategies import STRATEGY_QUERIES
+
+from conftest import write_artifact
+
+
+def _run_fig4(study):
+    study._cache.pop("fig4", None)
+    return study.fig4()
+
+
+def test_fig4_strategies(benchmark, study, output_dir):
+    runs = benchmark.pedantic(_run_fig4, args=(study,), rounds=1, iterations=1)
+    cells = {(r.platform, r.strategy, r.query): r.seconds for r in runs}
+    rows = []
+    for platform in ("op-e5", "op-gold", "pi3b+"):
+        for strategy in ("data-centric", "hybrid", "access-aware"):
+            rows.append(
+                (platform, strategy)
+                + tuple(round(cells[(platform, strategy, q)], 4) for q in STRATEGY_QUERIES)
+            )
+    text = render_matrix(
+        rows,
+        ["platform", "strategy"] + [f"Q{q}" for q in STRATEGY_QUERIES],
+        title="Fig. 4: Execution strategy runtimes (s), single-threaded SF 1",
+    )
+    write_artifact(output_dir, "fig4", text)
+    # access-aware < hybrid < data-centric everywhere
+    for platform in ("op-e5", "op-gold", "pi3b+"):
+        for q in STRATEGY_QUERIES:
+            assert (
+                cells[(platform, "access-aware", q)]
+                < cells[(platform, "hybrid", q)]
+                < cells[(platform, "data-centric", q)]
+            )

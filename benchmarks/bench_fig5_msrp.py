@@ -1,0 +1,33 @@
+"""Fig. 5 — MSRP-normalized comparison (SF 1 and SF 10, on-premises)."""
+
+from repro.analysis import render_runtime_table, render_series
+
+from conftest import write_artifact
+
+
+def _run_fig5(study):
+    return study.fig5()
+
+
+def test_fig5_msrp(benchmark, study, output_dir):
+    fig5 = benchmark.pedantic(_run_fig5, args=(study,), rounds=1, iterations=1)
+    text = render_runtime_table(
+        fig5["sf1"],
+        title="Fig. 5 (left): SF 1 MSRP-normalized improvement (>1 favors the Pi)",
+    )
+    for server, per_nodes in fig5["sf10"].items():
+        series = {
+            f"Q{q}": {n: per_nodes[n][q] for n in sorted(per_nodes)}
+            for q in sorted(per_nodes[min(per_nodes)])
+        }
+        text += "\n\n" + render_series(
+            series, f"Fig. 5 (right): SF 10 MSRP-normalized vs {server}",
+            x_label="n=", break_even=1.0,
+        )
+    write_artifact(output_dir, "fig5", text)
+    # SF 1: the single Pi always wins the MSRP comparison.
+    assert all(v > 1.0 for per in fig5["sf1"].values() for v in per.values())
+    # Q13 never breaks even at SF 10.
+    assert all(
+        per[n][13] < 1.0 for per in fig5["sf10"].values() for n in per
+    )

@@ -1,0 +1,30 @@
+"""Fig. 6 — hourly-cost-normalized comparison (SF 1 and SF 10, cloud)."""
+
+from repro.analysis import render_runtime_table, render_series
+
+from conftest import write_artifact
+
+
+def _run_fig6(study):
+    return study.fig6()
+
+
+def test_fig6_hourly(benchmark, study, output_dir):
+    fig6 = benchmark.pedantic(_run_fig6, args=(study,), rounds=1, iterations=1)
+    text = render_runtime_table(
+        fig6["sf1"],
+        title="Fig. 6 (left): SF 1 hourly-cost-normalized improvement (>1 favors the Pi)",
+    )
+    series = {
+        f"Q{q}": {n: fig6["sf10"]["m5.metal"][n][q] for n in sorted(fig6["sf10"]["m5.metal"])}
+        for q in sorted(fig6["sf10"]["m5.metal"][4])
+    }
+    text += "\n\n" + render_series(
+        series, "Fig. 6 (right): SF 10 hourly-normalized vs m5.metal",
+        x_label="n=", break_even=1.0,
+    )
+    write_artifact(output_dir, "fig6", text)
+    # The Pi wins every SF 1 cell, reaching thousands-fold improvements.
+    sf1_values = [v for per in fig6["sf1"].values() for v in per.values()]
+    assert min(sf1_values) > 1.0
+    assert max(sf1_values) > 1000.0

@@ -1,0 +1,36 @@
+"""Fig. 7 — energy-normalized comparison (SF 1 and SF 10, on-premises)."""
+
+import statistics
+
+from repro.analysis import render_runtime_table, render_series
+
+from conftest import write_artifact
+
+
+def _run_fig7(study):
+    return study.fig7()
+
+
+def test_fig7_energy(benchmark, study, output_dir):
+    fig7 = benchmark.pedantic(_run_fig7, args=(study,), rounds=1, iterations=1)
+    text = render_runtime_table(
+        fig7["sf1"],
+        title="Fig. 7 (left): SF 1 energy-normalized improvement (>1 favors the Pi)",
+    )
+    for server, per_nodes in fig7["sf10"].items():
+        series = {
+            f"Q{q}": {n: per_nodes[n][q] for n in sorted(per_nodes)}
+            for q in sorted(per_nodes[min(per_nodes)])
+        }
+        text += "\n\n" + render_series(
+            series, f"Fig. 7 (right): SF 10 energy-normalized vs {server}",
+            x_label="n=", break_even=1.0,
+        )
+    medians = {
+        server: statistics.median(per.values()) for server, per in fig7["sf1"].items()
+    }
+    text += "\n\nSF 1 median energy improvements: " + ", ".join(
+        f"{k}={v:.1f}x" for k, v in medians.items()
+    )
+    write_artifact(output_dir, "fig7", text)
+    assert all(3 < m < 25 for m in medians.values())

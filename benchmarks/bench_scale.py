@@ -1,0 +1,49 @@
+"""Scale sweep: the numpy engine's own throughput as SF grows.
+
+Not a paper artifact — tracks the reproduction substrate itself so that
+profile-extrapolation assumptions (linear work in SF) stay observable.
+"""
+
+import pytest
+
+from repro.engine import execute
+from repro.tpch import generate, get_query
+
+
+@pytest.fixture(scope="module")
+def dbs():
+    return {sf: generate(sf, seed=4) for sf in (0.01, 0.05)}
+
+
+@pytest.mark.parametrize("number", [1, 6])
+def test_scale_linearity(benchmark, dbs, number, output_dir):
+    """Measured engine work must scale ~linearly with SF (the DESIGN.md
+    §5 extrapolation assumption), checked on live executions."""
+
+    def run():
+        out = {}
+        for sf, db in dbs.items():
+            result = execute(db, get_query(number).build(db, {"sf": sf}))
+            out[sf] = result.profile.seq_bytes
+        return out
+
+    bytes_by_sf = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = bytes_by_sf[0.05] / bytes_by_sf[0.01]
+    assert 4.0 < ratio < 6.0  # 5x SF -> ~5x bytes
+
+
+def test_sf01_all_chokepoints_under_a_second_each(benchmark, dbs):
+    """The engine substrate stays fast enough for iterative use."""
+    from repro.tpch import CHOKEPOINTS
+
+    db = dbs[0.05]
+
+    def run():
+        total = 0.0
+        for number in CHOKEPOINTS:
+            result = execute(db, get_query(number).build(db, {"sf": 0.05}))
+            total += result.wall_seconds
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total < 8.0  # all 8 chokepoints at SF 0.05

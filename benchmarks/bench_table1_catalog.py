@@ -1,0 +1,29 @@
+"""Table I — hardware specifications catalog."""
+
+from repro.analysis import render_matrix
+
+from conftest import write_artifact
+
+
+def _render_table1(study):
+    rows = [
+        (
+            r["name"], r["category"], r["cpu"], r["frequency_ghz"], r["cores"],
+            r["llc_mb"],
+            r["msrp_usd"] if r["msrp_usd"] is not None else "-",
+            f"{r['hourly_usd']:.4f}" if r["hourly_usd"] is not None else "-",
+            r["tdp_w"] if r["tdp_w"] is not None else "-",
+        )
+        for r in study.table1()
+    ]
+    return render_matrix(
+        rows,
+        ["name", "category", "cpu", "GHz", "cores", "LLC(MB)", "MSRP($)", "hourly($)", "TDP(W)"],
+        title="Table I: Hardware Specifications",
+    )
+
+
+def test_table1_catalog(benchmark, study, output_dir):
+    text = benchmark(_render_table1, study)
+    write_artifact(output_dir, "table1", text)
+    assert "pi3b+" in text

@@ -1,0 +1,29 @@
+"""Table II — TPC-H SF 1 runtimes, 22 queries x 10 platforms.
+
+The engine executes all 22 queries on generated data; the calibrated
+hardware model prices the measured work per platform.
+"""
+
+from repro.analysis import render_runtime_table
+from repro.core import TABLE2_SF1_RUNTIMES, compare_grids
+
+from conftest import write_artifact
+
+
+def _run_table2(study):
+    study._cache.pop("table2", None)  # measure the real computation
+    return study.table2()
+
+
+def test_table2_sf1(benchmark, study, output_dir):
+    table2 = benchmark.pedantic(_run_table2, args=(study,), rounds=2, iterations=1)
+    text = render_runtime_table(table2, title="Table II: Runtimes (s) for SF 1")
+    comparison = compare_grids(table2, TABLE2_SF1_RUNTIMES)
+    text += (
+        f"\n\npaper-vs-measured: {comparison.cells} cells, "
+        f"median factor {comparison.median_factor:.2f}x, "
+        f"p90 {comparison.p90_factor:.2f}x, "
+        f"rank corr {comparison.spearman_like:.2f}"
+    )
+    write_artifact(output_dir, "table2", text)
+    assert comparison.median_factor < 3.0

@@ -1,0 +1,28 @@
+"""Table III — TPC-H SF 10: server models + real distributed WIMPI runs
+at six cluster sizes."""
+
+from repro.analysis import render_runtime_table
+from repro.core import TABLE3_WIMPI_RUNTIMES
+
+from conftest import write_artifact
+
+
+def _run_table3(study):
+    study._cache.pop("table3", None)
+    return study.table3()
+
+
+def test_table3_sf10(benchmark, study, output_dir):
+    data = benchmark.pedantic(_run_table3, args=(study,), rounds=1, iterations=1)
+    grid = dict(data["servers"])
+    for nodes, runtimes in data["wimpi"].items():
+        grid[f"pi3b+ x{nodes}"] = runtimes
+    text = render_runtime_table(grid, title="Table III: Runtimes (s) for SF 10")
+    text += "\n\npaper WIMPI rows for comparison:\n"
+    text += render_runtime_table(
+        {f"paper x{n}": per for n, per in TABLE3_WIMPI_RUNTIMES.items()},
+        title="",
+    )
+    write_artifact(output_dir, "table3", text)
+    # The thrash cliff must be visible at 4 nodes on Q1.
+    assert data["wimpi"][4][1] > 5 * data["wimpi"][24][1]

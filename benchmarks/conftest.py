@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures: one study instance, one output directory.
+
+Every ``bench_*`` module regenerates one of the paper's tables/figures;
+alongside the timing, the rendered artifact is written to
+``benchmarks/output/<name>.txt`` so the regenerated rows can be diffed
+against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import ExperimentStudy, StudyConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study() -> ExperimentStudy:
+    """Study harness at a bench-friendly base scale factor."""
+    return ExperimentStudy(StudyConfig(base_sf=0.02))
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(output_dir: Path, name: str, text: str) -> None:
+    (output_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,55 @@
+"""Reproduce the Section III analysis: Figures 5, 6, and 7.
+
+Prints MSRP-, hourly-cost-, and energy-normalized comparisons with the
+paper's break-even interpretation, plus break-even cluster sizes.
+
+Run:  python examples/cost_energy_report.py
+"""
+
+import statistics
+
+from repro import ExperimentStudy, StudyConfig
+from repro.analysis import break_even_nodes, render_runtime_table
+from repro.hardware import CLOUD, ON_PREMISES
+
+
+def main() -> None:
+    study = ExperimentStudy(StudyConfig(base_sf=0.02))
+
+    fig5 = study.fig5()
+    print(render_runtime_table(
+        fig5["sf1"],
+        title="Fig. 5: SF 1 MSRP-normalized improvement (>1 favors the single Pi)",
+    ))
+    for server in ON_PREMISES:
+        median = statistics.median(fig5["sf1"][server].values())
+        print(f"  median vs {server}: {median:.0f}x (paper: 22x / 29x)")
+
+    # Break-even cluster sizes at SF 10 (the dotted line in Fig. 5 right).
+    data = study.table3()
+    print("\nSF 10 break-even cluster size per query (MSRP vs op-e5):")
+    for q in sorted(data["wimpi"][4]):
+        cluster_times = {n: data["wimpi"][n][q] for n in data["wimpi"]}
+        nodes = break_even_nodes("op-e5", data["servers"]["op-e5"][q], cluster_times)
+        print(f"  Q{q:<3} {'never' if nodes is None else f'{nodes} nodes'}")
+
+    fig6 = study.fig6()
+    print("\nFig. 6: SF 1 hourly-cost improvement ranges per cloud instance:")
+    for server in CLOUD:
+        values = list(fig6["sf1"][server].values())
+        print(f"  {server:<12} {min(values):8.0f}x .. {max(values):8.0f}x")
+
+    fig7 = study.fig7()
+    print("\nFig. 7: SF 1 energy-normalized improvement (TDP methodology):")
+    for server in ON_PREMISES:
+        values = fig7["sf1"][server]
+        print(f"  vs {server}: min {min(values.values()):.1f}x, "
+              f"median {statistics.median(values.values()):.1f}x, "
+              f"max {max(values.values()):.1f}x  (paper: 2-22x, median ~10x)")
+        best = max(values, key=values.get)
+        worst = min(values, key=values.get)
+        print(f"    best Q{best} (selective), worst Q{worst} (memory-bound)")
+
+
+if __name__ == "__main__":
+    main()

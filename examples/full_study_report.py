@@ -1,0 +1,24 @@
+"""Regenerate the entire study as one text report.
+
+Run:  python examples/full_study_report.py [output_path]
+"""
+
+import sys
+
+from repro import ExperimentStudy, StudyConfig
+from repro.core.report import full_report
+
+
+def main() -> None:
+    study = ExperimentStudy(StudyConfig(base_sf=0.02))
+    report = full_report(study, include_extensions=True)
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as handle:
+            handle.write(report)
+        print(f"wrote {sys.argv[1]} ({len(report.splitlines())} lines)")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

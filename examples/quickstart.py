@@ -1,0 +1,52 @@
+"""Quickstart: generate TPC-H, run a query, predict hardware runtimes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PLATFORMS, ExperimentStudy, PerformanceModel, Q, agg, col, execute, generate
+
+# ----------------------------------------------------------------------
+# 1. Generate a TPC-H database (SF 0.02 ≈ 120k lineitems, < 1 s).
+# ----------------------------------------------------------------------
+db = generate(scale_factor=0.02, seed=42)
+print(f"generated {db.name}: "
+      + ", ".join(f"{t}={db.table(t).nrows}" for t in db.table_names))
+
+# ----------------------------------------------------------------------
+# 2. Run a query with the fluent plan builder (this is TPC-H Q6).
+# ----------------------------------------------------------------------
+plan = (
+    Q(db).scan("lineitem")
+    .filter(
+        (col("l_shipdate") >= "1994-01-01")
+        & (col("l_shipdate") < "1995-01-01")
+        & col("l_discount").between(0.05, 0.07)
+        & (col("l_quantity") < 24)
+    )
+    .aggregate(revenue=agg.sum(col("l_extendedprice") * col("l_discount")))
+)
+result = execute(db, plan)
+print(f"\nQ6 revenue: {result.scalar():,.2f}")
+print(f"work profile: {result.profile.summary()}")
+
+# ----------------------------------------------------------------------
+# 3. Predict what this query would cost on real hardware.
+# ----------------------------------------------------------------------
+model = PerformanceModel()
+sf1_profile = result.profile.scaled(1.0 / 0.02)  # extrapolate to SF 1
+print("\npredicted SF 1 runtimes:")
+for key in ("op-e5", "op-gold", "m5.metal", "pi3b+"):
+    seconds = model.predict(sf1_profile, PLATFORMS[key])
+    print(f"  {key:<10} {seconds * 1000:8.1f} ms")
+
+# ----------------------------------------------------------------------
+# 4. Or run a whole paper experiment through the study harness.
+# ----------------------------------------------------------------------
+study = ExperimentStudy()
+fig2 = study.fig2()
+pi = fig2["micro"]["pi3b+"]
+e5 = fig2["micro"]["op-e5"]
+print(f"\nFig 2 check — Pi vs op-e5 single-core Whetstone: "
+      f"{e5.whetstone_mwips_1core / pi.whetstone_mwips_1core:.1f}x "
+      f"(the paper reports 2-3x)")
+print(f"WIMPI node-to-node bandwidth: {fig2['network_mbps']:.0f} Mbps (paper: ~220)")

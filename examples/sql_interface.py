@@ -1,0 +1,48 @@
+"""The SQL front-end: ad-hoc analytics over TPC-H data.
+
+Run:  python examples/sql_interface.py
+"""
+
+from repro import execute, generate, sql
+from repro.engine.explain import explain, explain_profile
+
+db = generate(0.02)
+
+# ----------------------------------------------------------------------
+# TPC-H Q6, straight from the spec text.
+# ----------------------------------------------------------------------
+q6 = sql(db, """
+    SELECT SUM(l_extendedprice * l_discount) AS revenue
+    FROM lineitem
+    WHERE l_shipdate >= DATE '1994-01-01'
+      AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+      AND l_discount BETWEEN 0.05 AND 0.07
+      AND l_quantity < 24
+""")
+print("Q6 plan:")
+print(explain(q6, db))
+result = execute(db, q6)
+print(f"\nrevenue = {result.scalar():,.2f}\n")
+
+# ----------------------------------------------------------------------
+# Ad-hoc: top nations by open-order value, with a NOT IN subquery.
+# ----------------------------------------------------------------------
+adhoc = sql(db, """
+    SELECT n_name, COUNT(*) AS orders, SUM(o_totalprice) AS value
+    FROM orders
+    JOIN customer ON o_custkey = c_custkey
+    JOIN nation ON c_nationkey = n_nationkey
+    WHERE o_orderstatus = 'O'
+      AND c_custkey NOT IN (
+          SELECT c_custkey FROM customer WHERE c_acctbal < 0)
+    GROUP BY n_name
+    ORDER BY value DESC
+    LIMIT 5
+""")
+result = execute(db, adhoc)
+print("top nations by open-order value (positive-balance customers):")
+for name, orders, value in result.rows:
+    print(f"  {name:<15} {orders:>6} orders  {value:>16,.2f}")
+
+print("\nwhere the work went:")
+print(explain_profile(result))

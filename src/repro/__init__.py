@@ -1,0 +1,38 @@
+"""repro — a full reproduction of "The Case for In-Memory OLAP on
+'Wimpy' Nodes" (Crotty et al., ICDE 2021).
+
+The package contains everything the study needs, built from scratch:
+
+* :mod:`repro.engine` — an in-memory columnar OLAP engine (numpy),
+* :mod:`repro.tpch` — a deterministic TPC-H data generator + 22 queries,
+* :mod:`repro.hardware` — the paper's platform catalog and a calibrated
+  performance/energy model (the substitute for physical hardware),
+* :mod:`repro.microbench` — Whetstone/Dhrystone/sysbench/iperf models,
+* :mod:`repro.cluster` — the WIMPI Raspberry-Pi cluster simulator,
+* :mod:`repro.strategies` — the three query-execution paradigms,
+* :mod:`repro.analysis` — cost/energy/speedup normalization,
+* :mod:`repro.core` — the study harness that regenerates every table
+  and figure.
+
+Quickstart::
+
+    from repro import ExperimentStudy
+    study = ExperimentStudy()
+    table2 = study.table2()          # SF 1 runtimes, 22 queries x 10 platforms
+"""
+
+from .core import EXPERIMENT_IDS, ExperimentStudy, StudyConfig, TPCHProfiler
+from .engine import Database, Q, Result, agg, case, col, execute, lit, scalar, sql
+from .hardware import PLATFORMS, PI_KEY, EnergyModel, PerformanceModel, get_platform
+from .cluster import WimPiCluster
+from .tpch import ALL_QUERY_NUMBERS, CHOKEPOINTS, generate, get_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_QUERY_NUMBERS", "CHOKEPOINTS", "Database", "EXPERIMENT_IDS",
+    "EnergyModel", "ExperimentStudy", "PI_KEY", "PLATFORMS",
+    "PerformanceModel", "Q", "Result", "StudyConfig", "TPCHProfiler",
+    "WimPiCluster", "agg", "case", "col", "execute", "generate",
+    "get_platform", "get_query", "lit", "scalar", "sql", "__version__",
+]

@@ -1,0 +1,37 @@
+"""Energy-normalized analysis (Fig. 7).
+
+Improvement = (t_server x TDP_server) / (t_pi_config x 5.1 W x nodes),
+using only CPU TDP for the servers (the paper's deliberately pessimistic
+accounting for the Pi) — cloud SKUs have no public TDP and are excluded,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.hardware import PLATFORMS, PI_KEY, PlatformSpec, get_platform
+
+__all__ = ["energy_improvement", "energy_joules"]
+
+
+def energy_joules(spec: "str | PlatformSpec", seconds: float, nodes: int = 1) -> float:
+    """Active energy of a run under the paper's TDP methodology."""
+    platform = get_platform(spec) if isinstance(spec, str) else spec
+    if platform.total_tdp_w is None:
+        raise ValueError(f"{platform.key!r} has no public TDP (custom cloud SKU)")
+    return seconds * platform.total_tdp_w * nodes
+
+
+def energy_improvement(
+    server: "str | PlatformSpec",
+    server_seconds: float,
+    pi_seconds: float,
+    n_nodes: int = 1,
+) -> float:
+    """Fig. 7 cell: energy-normalized improvement of an n-node Pi
+    configuration over an on-premises server."""
+    pi = PLATFORMS[PI_KEY]
+    server_j = energy_joules(server, server_seconds)
+    pi_j = pi_seconds * pi.tdp_w * n_nodes
+    if pi_j <= 0:
+        raise ValueError("pi energy must be positive")
+    return server_j / pi_j

@@ -1,0 +1,76 @@
+"""ASCII renderers that print tables/figures in the paper's layout."""
+
+from __future__ import annotations
+
+__all__ = ["render_runtime_table", "render_series", "render_matrix"]
+
+
+def _fmt(value, width: int = 8, digits: int = 3) -> str:
+    if value is None:
+        return " " * (width - 1) + "-"
+    if isinstance(value, float):
+        return f"{value:{width}.{digits}f}"
+    return f"{value!s:>{width}}"
+
+
+def render_runtime_table(
+    runtimes: dict[str, dict[int, float]],
+    queries: list[int] | None = None,
+    title: str = "Runtimes (s)",
+) -> str:
+    """Render a Table II/III-style grid: one row per platform, one column
+    per query."""
+    if not runtimes:
+        return f"{title}\n(empty)"
+    if queries is None:
+        queries = sorted({q for per in runtimes.values() for q in per})
+    name_width = max(len(name) for name in runtimes) + 2
+    lines = [title]
+    header = " " * name_width + "".join(f"{'Q' + str(q):>9}" for q in queries)
+    lines.append(header)
+    for name, per_query in runtimes.items():
+        cells = "".join(" " + _fmt(per_query.get(q)) for q in queries)
+        lines.append(f"{name:<{name_width}}" + cells)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: dict[str, dict[int, float]],
+    title: str,
+    x_label: str = "x",
+    break_even: float | None = None,
+) -> str:
+    """Render figure-style series (one line per series, one column per x
+    value), optionally noting the break-even threshold."""
+    xs = sorted({x for per in series.values() for x in per})
+    name_width = max((len(n) for n in series), default=4) + 2
+    lines = [title]
+    if break_even is not None:
+        lines.append(f"(values above {break_even:g} favor the Pi configuration)")
+    lines.append(" " * name_width + "".join(f"{x_label + str(x):>9}" for x in xs))
+    for name, per in series.items():
+        cells = "".join(" " + _fmt(per.get(x)) for x in xs)
+        lines.append(f"{name:<{name_width}}" + cells)
+    return "\n".join(lines)
+
+
+def render_matrix(
+    rows: list[tuple],
+    headers: list[str],
+    title: str = "",
+) -> str:
+    """Render a generic aligned table from tuples."""
+    widths = [
+        max(len(headers[i]), max((len(_fmt(r[i]).strip()) for r in rows), default=0)) + 2
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("".join(f"{h:>{w}}" for h, w in zip(headers, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            cells.append(_fmt(value, width=width) if isinstance(value, float) else f"{value!s:>{width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

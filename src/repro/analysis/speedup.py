@@ -1,0 +1,49 @@
+"""Speedup analysis (Fig. 3).
+
+The paper plots the Pi configuration's performance relative to each
+comparison point: ``relative = t_comparison / t_pi`` — values above 1
+mean the Pi (or WIMPI) configuration is faster.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+__all__ = ["relative_performance", "speedup_table", "median_relative"]
+
+
+def relative_performance(comparison_seconds: float, pi_seconds: float) -> float:
+    """t_comparison / t_pi (> 1: the Pi configuration wins)."""
+    if pi_seconds <= 0 or comparison_seconds <= 0:
+        raise ValueError("runtimes must be positive")
+    return comparison_seconds / pi_seconds
+
+
+def speedup_table(
+    server_runtimes: dict[str, dict[int, float]],
+    pi_runtimes: dict[int, float],
+) -> dict[str, dict[int, float]]:
+    """Per-server, per-query relative performance of the Pi configuration.
+
+    Args:
+        server_runtimes: ``{platform: {query: seconds}}``.
+        pi_runtimes: ``{query: seconds}`` for the Pi configuration.
+    """
+    table: dict[str, dict[int, float]] = {}
+    for platform, per_query in server_runtimes.items():
+        table[platform] = {
+            q: relative_performance(seconds, pi_runtimes[q])
+            for q, seconds in per_query.items()
+            if q in pi_runtimes
+        }
+    return table
+
+
+def median_relative(speedups: dict[str, dict[int, float]]) -> dict[str, float]:
+    """Median relative performance per comparison point (the paper's
+    headline "0.1-0.3x" SF 1 statistic)."""
+    return {
+        platform: statistics.median(per_query.values())
+        for platform, per_query in speedups.items()
+        if per_query
+    }

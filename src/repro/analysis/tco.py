@@ -1,0 +1,106 @@
+"""Total-cost-of-ownership sensitivity analysis (paper §III-A3).
+
+The paper *declines* a formal TCO comparison because component prices
+vary too widely — but asserts that any reasonable TCO "would have
+heavily favored the Raspberry Pi 3B+ due to much cheaper peripherals and
+significantly reduced energy costs." This module makes that claim
+checkable: a parameterized TCO model whose inputs span the plausible
+ranges the paper names, so the conclusion can be tested across the whole
+parameter space instead of at one cherry-picked point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import KWH_PRICE_USD, PLATFORMS, PI_KEY, PlatformSpec, get_platform
+
+__all__ = ["TcoAssumptions", "TcoEstimate", "estimate_tco", "tco_advantage"]
+
+
+@dataclass(frozen=True)
+class TcoAssumptions:
+    """The knobs the paper says vary too much to fix (with their
+    plausible ranges as documented defaults).
+
+    Attributes:
+        years: amortization horizon.
+        kwh_price_usd: electricity price.
+        server_components_factor: non-CPU server hardware (memory, SSDs,
+            motherboard, PSUs, chassis, fans) as a multiple of the CPU
+            MSRP — 1.0-3.0 is typical for analytics boxes.
+        pi_peripherals_usd: per-node extras (microSD, cables, PSU share)
+            — the paper says $10-15.
+        cooling_overhead: extra energy per unit of IT energy for
+            server-room cooling (PUE-1); 0.2-0.8 in practice. The Pi
+            cluster is air-cooled at ambient (0.0), per the paper.
+        utilization: average duty cycle applied to peak power.
+    """
+
+    years: float = 3.0
+    kwh_price_usd: float = KWH_PRICE_USD
+    server_components_factor: float = 1.5
+    pi_peripherals_usd: float = 12.5
+    cooling_overhead: float = 0.4
+    utilization: float = 0.5
+
+
+@dataclass(frozen=True)
+class TcoEstimate:
+    """A configuration's cost breakdown over the horizon (USD)."""
+
+    hardware_usd: float
+    energy_usd: float
+    cooling_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.hardware_usd + self.energy_usd + self.cooling_usd
+
+
+def estimate_tco(
+    platform: "str | PlatformSpec",
+    assumptions: TcoAssumptions | None = None,
+    n_nodes: int = 1,
+) -> TcoEstimate:
+    """TCO of ``n_nodes`` of a platform under ``assumptions``.
+
+    Servers: CPU MSRP x (1 + components factor), CPU TDP for energy,
+    cooling overhead on top. Pi nodes: $35 + peripherals, whole-board
+    5.1 W, no cooling infrastructure (the paper's air-cooled cluster).
+    """
+    a = assumptions or TcoAssumptions()
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    if spec.total_msrp_usd is None or spec.total_tdp_w is None:
+        raise ValueError(f"{spec.key!r} lacks public MSRP/TDP (cloud SKU)")
+    hours = a.years * 365.0 * 24.0
+    energy_kwh = spec.total_tdp_w * a.utilization * hours / 1000.0 * n_nodes
+    energy_usd = energy_kwh * a.kwh_price_usd
+    if spec.key == PI_KEY:
+        hardware = (spec.msrp_usd + a.pi_peripherals_usd) * n_nodes
+        cooling = 0.0
+    else:
+        hardware = spec.total_msrp_usd * (1.0 + a.server_components_factor) * n_nodes
+        cooling = energy_usd * a.cooling_overhead
+    return TcoEstimate(hardware_usd=hardware, energy_usd=energy_usd, cooling_usd=cooling)
+
+
+def tco_advantage(
+    server: "str | PlatformSpec",
+    n_pi_nodes: int,
+    performance_ratio: float,
+    assumptions: TcoAssumptions | None = None,
+) -> float:
+    """Performance-normalized TCO advantage of an ``n_pi_nodes`` cluster
+    over a server.
+
+    ``performance_ratio`` is t_cluster / t_server for the workload
+    (e.g. ~1.3 for the 24-node WIMPI vs op-e5 at SF 10). The advantage is
+    (TCO_server x t_cluster^-1-normalization): > 1 means the cluster
+    delivers more work per dollar of ownership.
+    """
+    if performance_ratio <= 0:
+        raise ValueError("performance_ratio must be positive")
+    server_tco = estimate_tco(server, assumptions).total_usd
+    cluster_tco = estimate_tco(PI_KEY, assumptions, n_nodes=n_pi_nodes).total_usd
+    return server_tco / (cluster_tco * performance_ratio)

@@ -1,0 +1,229 @@
+"""Command-line interface: rerun any of the paper's experiments.
+
+Examples::
+
+    python -m repro list
+    python -m repro table2 --base-sf 0.05
+    python -m repro fig7 --json fig7.json
+    python -m repro dbgen --sf 0.1 --out /tmp/tpch
+    python -m repro query 6 --sf 0.02 --explain
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import EXPERIMENT_IDS, ExperimentStudy, StudyConfig, save_json
+from repro.core.extensions import compression_study, nam_study, proportionality_study
+from repro.mlbench import ml_study
+
+__all__ = ["main", "build_parser"]
+
+_EXTENSIONS = {
+    "ext-compression": compression_study,
+    "ext-nam": nam_study,
+    "ext-proportionality": proportionality_study,
+    "ext-ml": ml_study,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'The Case for In-Memory OLAP on Wimpy Nodes' (ICDE 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiment ids")
+
+    for experiment_id in EXPERIMENT_IDS:
+        p = sub.add_parser(experiment_id, help=f"run experiment {experiment_id}")
+        p.add_argument("--base-sf", type=float, default=0.02,
+                       help="scale factor actually executed (default 0.02)")
+        p.add_argument("--json", metavar="PATH", help="write the result as JSON")
+
+    for name in _EXTENSIONS:
+        p = sub.add_parser(name, help=f"run extension study {name}")
+        p.add_argument("--json", metavar="PATH", help="write the result as JSON")
+
+    dbgen = sub.add_parser("dbgen", help="generate TPC-H data as CSV files")
+    dbgen.add_argument("--sf", type=float, default=0.01)
+    dbgen.add_argument("--seed", type=int, default=42)
+    dbgen.add_argument("--out", required=True, help="output directory")
+
+    query = sub.add_parser("query", help="run one TPC-H query and print rows")
+    query.add_argument("number", type=int, help="query number 1-22")
+    query.add_argument("--sf", type=float, default=0.01)
+    query.add_argument("--limit", type=int, default=10, help="rows to print")
+    query.add_argument("--explain", action="store_true", help="print the plan")
+    query.add_argument("--profile", action="store_true",
+                       help="print the per-operator work profile")
+
+    validate = sub.add_parser(
+        "validate", help="evaluate the paper's prose claims against the reproduction"
+    )
+    validate.add_argument("--base-sf", type=float, default=0.02)
+
+    report = sub.add_parser("report", help="render the full study as one text report")
+    report.add_argument("--base-sf", type=float, default=0.02)
+    report.add_argument("--out", metavar="PATH", help="write to a file instead of stdout")
+    report.add_argument("--extensions", action="store_true",
+                        help="include the extension studies")
+
+    cluster = sub.add_parser("cluster", help="run a query on the WIMPI cluster simulator")
+    cluster.add_argument("number", type=int, help="TPC-H query number")
+    cluster.add_argument("--nodes", type=int, default=24)
+    cluster.add_argument("--base-sf", type=float, default=0.02)
+    cluster.add_argument("--target-sf", type=float, default=10.0)
+    cluster.add_argument("--compress", action="store_true",
+                         help="compress base data (SIII-C2 extension)")
+    cluster.add_argument("--nam", action="store_true",
+                         help="attach a memory server (SIII-C1 extension)")
+    cluster.add_argument("--no-swap", action="store_true",
+                         help="fail with OOM instead of thrashing (SIII-C4)")
+
+    sql_cmd = sub.add_parser("sql", help="run ad-hoc SQL against TPC-H data")
+    sql_cmd.add_argument("statement", help="a SELECT statement")
+    sql_cmd.add_argument("--sf", type=float, default=0.01)
+    sql_cmd.add_argument("--limit", type=int, default=20, help="rows to print")
+    sql_cmd.add_argument("--explain", action="store_true", help="print the plan")
+    return parser
+
+
+def _render(value, indent: int = 0) -> str:
+    import json
+
+    from repro.core.results import to_jsonable
+
+    return json.dumps(to_jsonable(value), indent=2, sort_keys=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in EXPERIMENT_IDS:
+            print(experiment_id)
+        for name in _EXTENSIONS:
+            print(name)
+        return 0
+
+    if args.command == "dbgen":
+        from repro.engine.io import save_database
+        from repro.tpch import generate
+
+        db = generate(args.sf, seed=args.seed)
+        directory = save_database(db, args.out)
+        for name in db.table_names:
+            print(f"wrote {directory / (name + '.csv')} ({db.table(name).nrows} rows)")
+        return 0
+
+    if args.command == "query":
+        from repro.engine import execute
+        from repro.engine.explain import explain, explain_profile
+        from repro.tpch import generate, get_query
+
+        db = generate(args.sf)
+        plan = get_query(args.number).build(db, {"sf": args.sf})
+        if args.explain:
+            print(explain(plan, db))
+            print()
+        result = execute(db, plan)
+        print(f"Q{args.number}: {len(result)} rows; columns {result.column_names}")
+        for row in result.rows[: args.limit]:
+            print("  ", row)
+        if args.profile:
+            print()
+            print(explain_profile(result))
+        return 0
+
+    if args.command == "report":
+        from repro.core.report import full_report
+
+        study = ExperimentStudy(StudyConfig(base_sf=args.base_sf))
+        text = full_report(study, include_extensions=args.extensions)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+
+    if args.command == "cluster":
+        from repro.cluster import SwapPolicy, WimPiCluster
+        from repro.cluster.nam import NamCluster
+
+        cluster_cls = NamCluster if args.nam else WimPiCluster
+        cluster = cluster_cls(
+            args.nodes,
+            base_sf=args.base_sf,
+            target_sf=args.target_sf,
+            compress=args.compress,
+            swap_policy=SwapPolicy.NO_SWAP if args.no_swap else SwapPolicy.SWAP,
+        )
+        run = cluster.run_query(args.number)
+        print(f"Q{args.number} on {args.nodes} nodes (SF {args.target_sf:g} modeled):")
+        print(f"  wall-clock: {run.total_seconds:.3f} s")
+        if hasattr(run, "offloaded_nodes") and run.offloaded_nodes:
+            print(f"  offloaded fragments: {len(run.offloaded_nodes)} -> memory server")
+        base = run.base if hasattr(run, "base") else run
+        print(f"  max node pressure: {max(base.node_pressure):.2f}")
+        print(f"  gather: {base.gather_seconds:.3f} s, merge: {base.merge_seconds:.3f} s")
+        print(f"  result rows: {len(run.result)}")
+        for row in run.result.rows[:5]:
+            print("   ", row)
+        return 0
+
+    if args.command == "validate":
+        from repro.core.claims import evaluate_claims
+
+        study = ExperimentStudy(StudyConfig(base_sf=args.base_sf))
+        results = evaluate_claims(study)
+        passed = sum(r.passed for r in results)
+        for r in results:
+            mark = "PASS" if r.passed else "FAIL"
+            print(f"[{mark}] {r.claim_id:<8} {r.quote}")
+            print(f"        -> {r.detail}")
+        print(f"\n{passed}/{len(results)} claims reproduced")
+        return 0 if passed == len(results) else 1
+
+    if args.command == "sql":
+        from repro.engine import execute
+        from repro.engine.explain import explain
+        from repro.engine.sql import sql as parse_sql
+        from repro.tpch import generate
+
+        db = generate(args.sf)
+        plan = parse_sql(db, args.statement)
+        if args.explain:
+            print(explain(plan, db))
+            print()
+        result = execute(db, plan)
+        print(f"{len(result)} rows; columns {result.column_names}")
+        for row in result.rows[: args.limit]:
+            print("  ", row)
+        return 0
+
+    if args.command in _EXTENSIONS:
+        result = _EXTENSIONS[args.command]()
+        if args.json:
+            save_json(result, args.json)
+            print(f"wrote {args.json}")
+        else:
+            print(_render(result))
+        return 0
+
+    study = ExperimentStudy(StudyConfig(base_sf=args.base_sf))
+    result = study.run(args.command)
+    if args.json:
+        save_json(result, args.json)
+        print(f"wrote {args.json}")
+    else:
+        print(_render(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

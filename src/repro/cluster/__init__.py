@@ -1,0 +1,36 @@
+"""WIMPI cluster substrate: partitioning, network, distributed driver,
+memory model, and the cluster facade."""
+
+from .cluster import ClusterQueryRun, WimPiCluster, thrash_multiplier
+from .nam import NamCluster, NamQueryRun
+from .distplan import NotDistributableError, SplitPlan, split_for_partial_aggregation
+from .driver import DistributedRun, Driver, concat_frames
+from .network import NetworkModel
+from .node import MemoryModel, NodeSpec, collect_scan_columns
+from .partition import partition_database, partition_table
+from .tailored import PI4_NODE, TailoredCluster
+from .shuffle import RepartitionedRun, repartition_database, run_repartitioned
+from .scheduler import PowerPolicy, QueryArrival, SimulationResult, WorkloadSimulator, poisson_workload
+from .frameworks import FRAMEWORKS, Framework, feasible_cluster_size, framework_pressure
+from .reliability import (
+    MemoryOutcome,
+    NodeUnresponsiveError,
+    QueryOutOfMemoryError,
+    SwapPolicy,
+    classify_pressure,
+    reliability_report,
+)
+
+__all__ = [
+    "ClusterQueryRun", "DistributedRun", "Driver", "MemoryModel",
+    "NamCluster", "NamQueryRun", "MemoryOutcome", "NodeUnresponsiveError",
+    "QueryOutOfMemoryError", "SwapPolicy", "classify_pressure", "reliability_report",
+    "PowerPolicy", "QueryArrival", "SimulationResult", "WorkloadSimulator",
+    "poisson_workload", "FRAMEWORKS", "Framework", "feasible_cluster_size",
+    "framework_pressure", "RepartitionedRun", "repartition_database",
+    "run_repartitioned", "PI4_NODE", "TailoredCluster",
+    "NetworkModel", "NodeSpec", "NotDistributableError", "SplitPlan",
+    "WimPiCluster", "collect_scan_columns", "concat_frames",
+    "partition_database", "partition_table", "split_for_partial_aggregation",
+    "thrash_multiplier",
+]

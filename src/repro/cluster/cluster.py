@@ -1,0 +1,250 @@
+"""The WIMPI cluster facade: real distributed execution + runtime model.
+
+``WimPiCluster`` glues the substrate together: it generates a TPC-H
+database at a small base SF, partitions it across N simulated Raspberry
+Pi nodes, really executes queries through the distributed driver (so
+results are checkable), and predicts the wall-clock the paper's physical
+cluster would show at the nominal SF:
+
+    total = max over nodes(node compute x thrash multiplier)
+            + sequential gather of partials over the 220 Mbps links
+            + driver-side merge
+
+The thrash multiplier reproduces Table III's 4-node cliff: once a node's
+working set exceeds its ~850 MB of usable memory, the microSD-backed
+paging costs grow exponentially with overcommit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.engine import WorkProfile
+from repro.engine.optimizer import prune_columns
+from repro.hardware import EnergyModel, PerformanceModel, PLATFORMS, PI_KEY
+from repro.tpch import generate, get_query
+
+from .driver import DistributedRun, Driver
+from .network import NetworkModel
+from .node import MemoryModel, NodeSpec
+from .partition import partition_database
+from .reliability import (
+    NodeUnresponsiveError,
+    QueryOutOfMemoryError,
+    SwapPolicy,
+    classify_pressure,
+)
+
+__all__ = ["ClusterQueryRun", "WimPiCluster", "thrash_multiplier"]
+
+
+def thrash_multiplier(pressure_ratio: float, threshold: float = 0.90,
+                      alpha: float = 5.5, cap: float = 45.0) -> float:
+    """Slowdown from memory overcommit.
+
+    1.0 while the working set fits; exponential in the overcommit beyond
+    ``threshold`` (paging through a ~10 MB/s microSD card), capped.
+    """
+    if pressure_ratio <= threshold:
+        return 1.0
+    return min(cap, math.exp(alpha * (pressure_ratio - threshold)))
+
+
+@dataclass
+class ClusterQueryRun:
+    """A distributed execution plus its modeled wall-clock breakdown."""
+
+    run: DistributedRun
+    node_seconds: list[float]
+    node_pressure: list[float]
+    gather_seconds: float
+    merge_seconds: float
+    total_seconds: float
+    energy_joules: float
+
+    @property
+    def result(self):
+        return self.run.result
+
+    @property
+    def n_nodes(self) -> int:
+        return self.run.n_nodes
+
+
+class WimPiCluster:
+    """A cluster of N simulated Raspberry Pi 3B+ nodes.
+
+    Args:
+        n_nodes: cluster size (the paper tests 4-24).
+        base_sf: scale factor actually generated and executed.
+        target_sf: nominal scale factor the runtime model reports for
+            (the paper's SF 10).
+        seed: dbgen seed.
+        node: node spec (memory size, platform).
+        network: network model (defaults to the USB-limited GbE).
+        perf: performance model (defaults to calibrated constants).
+        db: pre-generated database to reuse across cluster sizes
+            (must match ``base_sf``/``seed``); generated when omitted.
+        compress: store base data compressed (§III-C2 extension).
+        swap_policy: thrash on overcommit (``SWAP``, the default) or
+            raise isolated OOM errors (``NO_SWAP``, §III-C4).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        base_sf: float = 0.05,
+        target_sf: float = 10.0,
+        seed: int = 42,
+        node: NodeSpec | None = None,
+        network: NetworkModel | None = None,
+        perf: PerformanceModel | None = None,
+        db=None,
+        compress: bool = False,
+        swap_policy: SwapPolicy = SwapPolicy.SWAP,
+    ):
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.n_nodes = n_nodes
+        self.base_sf = base_sf
+        self.target_sf = target_sf
+        self.node = node or NodeSpec()
+        self.network = network or NetworkModel()
+        self.perf = perf or PerformanceModel()
+        self.swap_policy = swap_policy
+        self.memory = MemoryModel(self.node)
+        self.energy = EnergyModel()
+        self.db = db if db is not None else generate(base_sf, seed=seed)
+        self.compress = compress
+        self.node_dbs = partition_database(self.db, n_nodes)
+        if compress:
+            # §III-C2 extension: trade the Pi's spare cycles for its
+            # scarce bandwidth/memory. Replicated tables are compressed
+            # once and shared; each lineitem shard separately.
+            from repro.engine.compression import compress_table
+            from repro.engine import Database
+
+            shared = {
+                name: compress_table(self.db.table(name))
+                for name in self.db.table_names
+                if name != "lineitem"
+            }
+            compressed_dbs = []
+            for node_db in self.node_dbs:
+                out = Database(node_db.name)
+                for name in node_db.table_names:
+                    if name == "lineitem":
+                        out.add(compress_table(node_db.table(name)))
+                    else:
+                        out.add(shared[name])
+                compressed_dbs.append(out)
+            self.node_dbs = compressed_dbs
+        self.driver = Driver(self.node_dbs)
+        self._pi = PLATFORMS[PI_KEY]
+
+    @property
+    def scale(self) -> float:
+        return self.target_sf / self.base_sf
+
+    # Node-composition hooks (overridden by the tailored cluster) --------
+
+    def node_spec(self, node_index: int) -> NodeSpec:
+        """Spec of one node (uniform by default)."""
+        return self.node
+
+    def single_node_index(self, query) -> int:
+        """Which node hosts single-node-fallback queries (e.g. Q13)."""
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def run_query(self, number: int, params: dict | None = None) -> ClusterQueryRun:
+        """Execute TPC-H query ``number`` on the cluster and model its
+        wall-clock at the target scale factor."""
+        query = get_query(number)
+        params = dict(params or {})
+        params.setdefault("sf", self.base_sf)
+        run = self.driver.run(query, params)
+
+        node_seconds: list[float] = []
+        node_pressure: list[float] = []
+        if run.single_node:
+            host = self.single_node_index(query)
+            spec = self.node_spec(host)
+            profile = run.node_profiles[0].scaled(self.scale)
+            plan = prune_columns(
+                query.build(self.node_dbs[0], params).node, self.node_dbs[0]
+            )
+            ratio = MemoryModel(spec).pressure_ratio(
+                self.node_dbs[0], plan, profile, self.scale
+            )
+            seconds = self.perf.predict(profile, spec.platform, spec.platform.total_cores)
+            node_seconds.append(seconds * thrash_multiplier(ratio))
+            node_pressure.append(ratio)
+            gather = merge = 0.0
+        else:
+            assert run.local_plan is not None
+            pruned_local = prune_columns(run.local_plan, self.node_dbs[0])
+            for i, (node_db, profile) in enumerate(zip(self.node_dbs, run.node_profiles)):
+                spec = self.node_spec(i)
+                scaled = profile.scaled(self.scale)
+                ratio = MemoryModel(spec).pressure_ratio(
+                    node_db, pruned_local, scaled, self.scale
+                )
+                seconds = self.perf.predict(
+                    scaled, spec.platform, spec.platform.total_cores
+                )
+                node_seconds.append(seconds * thrash_multiplier(ratio))
+                node_pressure.append(ratio)
+            # Partial results do not grow with SF (they are aggregates),
+            # so gather/merge use the measured sizes directly.
+            gather = self.network.gather_time(run.partial_bytes_per_node)
+            merge = (
+                self.perf.predict(
+                    run.merge_profile, self._pi, self._pi.total_cores
+                )
+                if run.merge_profile is not None
+                else 0.0
+            )
+
+        # §III-C4 reliability semantics: with swap disabled an
+        # over-committed fragment dies with an isolated OOM (node stays
+        # healthy); with swap enabled it thrashes, and only an extreme
+        # over-commit renders the node unresponsive.
+        for i, pressure in enumerate(node_pressure):
+            outcome = classify_pressure(i, pressure, self.swap_policy)
+            if outcome.outcome == "oom":
+                raise QueryOutOfMemoryError(i, pressure)
+            if outcome.outcome == "unresponsive":
+                raise NodeUnresponsiveError(i, pressure)
+
+        total = max(node_seconds) + gather + merge
+        energy = total * sum(
+            self.node_spec(i).platform.tdp_w for i in range(self.n_nodes)
+        )
+        return ClusterQueryRun(
+            run=run,
+            node_seconds=node_seconds,
+            node_pressure=node_pressure,
+            gather_seconds=gather,
+            merge_seconds=merge,
+            total_seconds=total,
+            energy_joules=energy,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_msrp_usd(self) -> float:
+        """Hardware cost of the cluster (the paper's $35/node figure)."""
+        return self.n_nodes * self._pi.msrp_usd
+
+    @property
+    def hourly_usd(self) -> float:
+        """Electricity cost per hour at peak draw for all nodes."""
+        return self.n_nodes * self._pi.hourly_usd
+
+    @property
+    def peak_power_w(self) -> float:
+        return self.n_nodes * self._pi.tdp_w

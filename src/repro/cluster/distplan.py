@@ -1,0 +1,115 @@
+"""Distributed query rewriting: local partial aggregation + driver merge.
+
+This implements the paper's "simple driver program" strategy (§III-C3):
+each node runs the full query pipeline — including joins, which are local
+because every table except lineitem is replicated — up to and including
+the aggregation, producing *partial* aggregates; the driver concatenates
+the partials and re-aggregates, then applies any trailing
+project/sort/limit. AVG is decomposed into SUM and COUNT and recombined
+at the driver.
+
+Queries whose aggregate is not decomposable (COUNT DISTINCT) or whose
+plan shape is not a chain over a single top aggregate raise
+:class:`NotDistributableError`; the cluster falls back to single-node
+execution for them, exactly as the paper's Q13 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.engine import Database, Q, col
+from repro.engine.operators.aggregate import AggSpec
+from repro.engine.plan import (
+    AggregateNode,
+    FilterNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    SortNode,
+)
+
+__all__ = ["NotDistributableError", "SplitPlan", "split_for_partial_aggregation"]
+
+
+class NotDistributableError(ValueError):
+    """The plan cannot be decomposed into partial + final aggregation."""
+
+
+@dataclass
+class SplitPlan:
+    """A distributable query: the per-node plan and a builder for the
+    driver-side finalization plan (which scans a ``partials`` table)."""
+
+    local: PlanNode
+    build_final: Callable[[Database], PlanNode]
+
+
+def _rebuild_with_child(node: PlanNode, child: PlanNode) -> PlanNode:
+    if isinstance(node, SortNode):
+        return SortNode(child, node.keys)
+    if isinstance(node, LimitNode):
+        return LimitNode(child, node.n)
+    if isinstance(node, ProjectNode):
+        return ProjectNode(child, node.exprs)
+    if isinstance(node, FilterNode):
+        return FilterNode(child, node.predicate)
+    raise NotDistributableError(f"cannot rebuild {type(node).__name__}")
+
+
+def split_for_partial_aggregation(root: PlanNode) -> SplitPlan:
+    """Decompose a plan whose result flows through one top-level
+    aggregation (possibly under project/sort/limit/having)."""
+    chain: list[PlanNode] = []
+    node = root
+    while not isinstance(node, AggregateNode):
+        if isinstance(node, (SortNode, LimitNode, ProjectNode, FilterNode)):
+            chain.append(node)
+            node = node.child
+        else:
+            raise NotDistributableError(
+                f"top of plan is {type(node).__name__}, expected an aggregate chain"
+            )
+    aggregate = node
+
+    partial: list[tuple[str, AggSpec]] = []
+    final: list[tuple[str, AggSpec]] = []
+    restores: dict[str, object] = {}
+    for name, spec in aggregate.aggs:
+        if spec.func in ("sum", "count", "count_star"):
+            partial.append((name, spec))
+            final.append((name, AggSpec("sum", col(name))))
+            restores[name] = col(name)
+        elif spec.func in ("min", "max"):
+            partial.append((name, spec))
+            final.append((name, AggSpec(spec.func, col(name))))
+            restores[name] = col(name)
+        elif spec.func == "avg":
+            sum_name, cnt_name = f"{name}__sum", f"{name}__cnt"
+            partial.append((sum_name, AggSpec("sum", spec.expr)))
+            partial.append((cnt_name, AggSpec("count", spec.expr)))
+            final.append((sum_name, AggSpec("sum", col(sum_name))))
+            final.append((cnt_name, AggSpec("sum", col(cnt_name))))
+            restores[name] = col(sum_name) / col(cnt_name)
+        else:
+            raise NotDistributableError(
+                f"aggregate {spec.func!r} is not decomposable into partials"
+            )
+
+    local = AggregateNode(aggregate.child, aggregate.group_by, tuple(partial))
+
+    def build_final(db: Database) -> PlanNode:
+        scan = Q(db).scan("partials").node
+        merged: PlanNode = AggregateNode(scan, aggregate.group_by, tuple(final))
+        # Restore the original output names (and recombine AVGs).
+        exprs = tuple(
+            [(key, col(key)) for key in aggregate.group_by]
+            + [(name, restores[name]) for name, _ in aggregate.aggs]
+        )
+        merged = ProjectNode(merged, exprs)
+        for upper in reversed(chain):
+            merged = _rebuild_with_child(upper, merged)
+        return merged
+
+    return SplitPlan(local=local, build_final=build_final)

@@ -1,0 +1,49 @@
+"""Network model for the WIMPI cluster.
+
+Nodes sit on a Gigabit switch, but each Pi's Ethernet port shares the
+USB 2.0 bus, capping usable point-to-point bandwidth at ~220 Mbps
+(§II-C3). The driver gathers per-node partial results sequentially over
+the Python client API, so per-message latency matters at large cluster
+sizes — the source of the paper's diminishing returns on Q6/Q14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.microbench.iperf import effective_node_bandwidth_mbps
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Transfer-time model between WIMPI nodes.
+
+    Attributes:
+        bandwidth_mbps: usable node-to-node bandwidth.
+        message_latency_s: fixed cost per request/response exchange
+            (TCP + MonetDB client protocol round trip).
+    """
+
+    bandwidth_mbps: float = effective_node_bandwidth_mbps()
+    message_latency_s: float = 0.0025
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+    def transfer_time(self, payload_bytes: float) -> float:
+        """One message of ``payload_bytes`` between two nodes."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        return self.message_latency_s + payload_bytes / self.bandwidth_bytes_per_s
+
+    def gather_time(self, payload_bytes_per_node: list[float]) -> float:
+        """Driver-side sequential gather of partial results (the paper's
+        simple Python driver collects node by node)."""
+        return sum(self.transfer_time(b) for b in payload_bytes_per_node)
+
+    def broadcast_time(self, payload_bytes: float, n_nodes: int) -> float:
+        """Sequentially send the same request to every node."""
+        return n_nodes * self.transfer_time(payload_bytes)

@@ -1,0 +1,48 @@
+"""Data placement for the WIMPI cluster.
+
+The paper's setup (§II-D2): every table is fully replicated except
+lineitem, which is partitioned evenly on ``l_orderkey``. Partitioning on
+the order key keeps all lines of an order on one node, which is what
+makes the driver's local-join + partial-aggregate strategy correct for
+the chokepoint queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Database, Table
+
+__all__ = ["partition_database", "partition_table"]
+
+
+def partition_table(table: Table, n_nodes: int, key: str) -> list[Table]:
+    """Split ``table`` into ``n_nodes`` disjoint row sets by hashing
+    ``key`` (modulo; keys are dense integers in TPC-H)."""
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    keys = table.column(key).values
+    assignment = keys % n_nodes
+    return [table.select_rows(assignment == node) for node in range(n_nodes)]
+
+
+def partition_database(
+    db: Database,
+    n_nodes: int,
+    partitioned: str = "lineitem",
+    key: str = "l_orderkey",
+) -> list[Database]:
+    """Build one catalog per node: ``partitioned`` split on ``key``,
+    everything else replicated (shared by reference — replicas are
+    immutable)."""
+    shards = partition_table(db.table(partitioned), n_nodes, key)
+    node_dbs = []
+    for node in range(n_nodes):
+        node_db = Database(f"{db.name}_node{node}")
+        for name in db.table_names:
+            if name == partitioned:
+                node_db.add(shards[node])
+            else:
+                node_db.add(db.table(name))
+        node_dbs.append(node_db)
+    return node_dbs

@@ -1,0 +1,191 @@
+"""Workload simulation with node power-gating (paper §III-B2).
+
+The paper argues a key SBC-cluster advantage is *fine-grained energy
+proportionality*: "individual Raspberry Pi 3B+ nodes could easily be
+turned off to save power... SBCs can boot up much faster than traditional
+servers, allowing a cluster of SBCs to respond much more quickly to
+changes in demand."
+
+This module is a small discrete-event simulator realizing that argument:
+queries arrive over time; the cluster runs them FIFO; idle nodes power
+off after a grace period and pay a boot delay when work returns. The
+same trace can be replayed against an always-on cluster or a traditional
+server for the energy/latency trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware import PLATFORMS, PI_KEY, PlatformSpec
+
+__all__ = [
+    "QueryArrival",
+    "PowerPolicy",
+    "SimulationResult",
+    "WorkloadSimulator",
+    "poisson_workload",
+]
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """One query in the trace: when it arrives and how long it runs on
+    the simulated cluster (runtime from the cluster model)."""
+
+    arrival_s: float
+    runtime_s: float
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class PowerPolicy:
+    """When to power nodes off and what waking costs.
+
+    Attributes:
+        gate_after_idle_s: power nodes off after this much idleness
+            (``None`` disables gating — always on).
+        boot_s: time to bring gated nodes back (a Pi boots in tens of
+            seconds; a server in minutes).
+        boot_power_fraction: fraction of peak power drawn while booting.
+    """
+
+    gate_after_idle_s: float | None = 60.0
+    boot_s: float = 20.0
+    boot_power_fraction: float = 0.8
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one trace replay."""
+
+    total_time_s: float
+    busy_s: float
+    idle_on_s: float
+    gated_s: float
+    boot_s: float
+    energy_wh: float
+    mean_latency_s: float
+    p99_latency_s: float
+    queries: int
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_s / self.total_time_s if self.total_time_s else 0.0
+
+
+class WorkloadSimulator:
+    """FIFO single-query-at-a-time execution with optional power gating.
+
+    Args:
+        active_w: whole-configuration power while executing.
+        idle_w: power while idle but on.
+        policy: gating policy (``PowerPolicy(gate_after_idle_s=None)``
+            models an always-on machine).
+    """
+
+    def __init__(self, active_w: float, idle_w: float, policy: PowerPolicy):
+        if active_w <= 0 or idle_w < 0:
+            raise ValueError("power draws must be positive")
+        self.active_w = active_w
+        self.idle_w = idle_w
+        self.policy = policy
+
+    def run(self, trace: list[QueryArrival]) -> SimulationResult:
+        """Replay ``trace`` (sorted by arrival) and account every second
+        of busy / idle-on / gated / booting time."""
+        if not trace:
+            raise ValueError("empty workload trace")
+        trace = sorted(trace, key=lambda q: q.arrival_s)
+        now = 0.0
+        busy = idle_on = gated = booting = 0.0
+        latencies: list[float] = []
+        powered_on = True
+
+        for query in trace:
+            if query.arrival_s > now:
+                gap = query.arrival_s - now
+                limit = self.policy.gate_after_idle_s
+                if limit is None or gap <= limit:
+                    idle_on += gap
+                else:
+                    idle_on += limit
+                    gated += gap - limit
+                    powered_on = False
+                now = query.arrival_s
+            if not powered_on:
+                booting += self.policy.boot_s
+                now += self.policy.boot_s
+                powered_on = True
+            now += query.runtime_s
+            busy += query.runtime_s
+            # Latency is measured from arrival: queueing behind earlier
+            # queries and boot delays both count.
+            latencies.append(now - query.arrival_s)
+
+        total = now
+        energy_wh = (
+            busy * self.active_w
+            + idle_on * self.idle_w
+            + booting * self.active_w * self.policy.boot_power_fraction
+        ) / 3600.0
+        latencies_arr = np.asarray(latencies)
+        return SimulationResult(
+            total_time_s=total,
+            busy_s=busy,
+            idle_on_s=idle_on,
+            gated_s=gated,
+            boot_s=booting,
+            energy_wh=energy_wh,
+            mean_latency_s=float(latencies_arr.mean()),
+            p99_latency_s=float(np.percentile(latencies_arr, 99)),
+            queries=len(trace),
+        )
+
+    # Convenience constructors ------------------------------------------
+
+    @classmethod
+    def for_wimpi(cls, n_nodes: int, policy: PowerPolicy | None = None) -> "WorkloadSimulator":
+        pi = PLATFORMS[PI_KEY]
+        return cls(
+            active_w=pi.tdp_w * n_nodes,
+            idle_w=pi.idle_w * n_nodes,
+            policy=policy or PowerPolicy(),
+        )
+
+    @classmethod
+    def for_server(cls, key: str = "op-e5") -> "WorkloadSimulator":
+        """A traditional server: never powered off (minutes-long boots
+        and remote management make gating impractical, as the paper
+        notes)."""
+        spec: PlatformSpec = PLATFORMS[key]
+        return cls(
+            active_w=spec.total_tdp_w,
+            idle_w=spec.idle_w * spec.sockets,
+            policy=PowerPolicy(gate_after_idle_s=None),
+        )
+
+
+def poisson_workload(
+    duration_s: float,
+    queries_per_hour: float,
+    runtime_s: float = 1.0,
+    seed: int = 7,
+) -> list[QueryArrival]:
+    """A Poisson arrival trace with fixed per-query runtime."""
+    if duration_s <= 0 or queries_per_hour <= 0:
+        raise ValueError("duration and rate must be positive")
+    rng = np.random.default_rng(seed)
+    rate_per_s = queries_per_hour / 3600.0
+    arrivals = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate_per_s))
+        if t > duration_s:
+            break
+        arrivals.append(QueryArrival(arrival_s=t, runtime_s=runtime_s))
+    if not arrivals:
+        arrivals.append(QueryArrival(arrival_s=duration_s / 2, runtime_s=runtime_s))
+    return arrivals

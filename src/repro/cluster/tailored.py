@@ -1,0 +1,68 @@
+"""Heterogeneous ("tailored") SBC clusters — paper §III-C1.
+
+"The Raspberry Pi 4B already comes in a variant with 8 GB of memory...
+they allow for the intriguing possibility of tailoring the node
+composition of SBC clusters to individual workloads."
+
+A :class:`TailoredCluster` mixes node types — e.g. twenty $35 Pi 3B+
+workers plus a few $75 Pi 4B (8 GB) nodes. Memory-hungry single-node
+queries (Q13) are placed on the largest-memory node, where they stop
+thrashing; the embarrassingly parallel lineitem scans stay on the cheap
+nodes. Cost and power account for the actual mix.
+"""
+
+from __future__ import annotations
+
+from repro.hardware import KWH_PRICE_USD, PLATFORMS, PI4_KEY
+
+from .cluster import WimPiCluster
+from .node import NodeSpec
+
+__all__ = ["PI4_NODE", "TailoredCluster"]
+
+# An 8 GB Raspberry Pi 4B worker.
+PI4_NODE = NodeSpec(platform=PLATFORMS[PI4_KEY], memory_bytes=8e9,
+                    os_reserve_bytes=250e6)
+
+
+class TailoredCluster(WimPiCluster):
+    """A WIMPI cluster with per-node hardware composition.
+
+    Args:
+        node_specs: one :class:`NodeSpec` per node (the cluster size is
+            ``len(node_specs)``). Single-node-fallback queries are placed
+            on the node with the most available memory.
+        Remaining arguments as for :class:`WimPiCluster`.
+    """
+
+    def __init__(self, node_specs: list[NodeSpec], **kwargs):
+        if not node_specs:
+            raise ValueError("need at least one node spec")
+        kwargs.pop("node", None)
+        super().__init__(len(node_specs), node=node_specs[0], **kwargs)
+        self.node_specs = list(node_specs)
+
+    # Composition hooks --------------------------------------------------
+
+    def node_spec(self, node_index: int) -> NodeSpec:
+        return self.node_specs[node_index]
+
+    def single_node_index(self, query) -> int:
+        return max(
+            range(len(self.node_specs)),
+            key=lambda i: self.node_specs[i].available_bytes,
+        )
+
+    # Honest accounting ---------------------------------------------------
+
+    @property
+    def total_msrp_usd(self) -> float:
+        return sum(spec.platform.msrp_usd for spec in self.node_specs)
+
+    @property
+    def peak_power_w(self) -> float:
+        return sum(spec.platform.tdp_w for spec in self.node_specs)
+
+    @property
+    def hourly_usd(self) -> float:
+        return self.peak_power_w / 1000.0 * KWH_PRICE_USD

@@ -1,0 +1,211 @@
+"""A machine-checkable registry of the paper's prose claims.
+
+EXPERIMENTS.md narrates how well the reproduction matches the paper;
+this module makes the same assessment executable: each
+:class:`Claim` binds a quoted assertion from the paper to a predicate
+over the study's outputs. ``evaluate_claims(study)`` returns a verdict
+per claim, and ``python -m repro validate`` prints the scorecard.
+
+The shape tests under ``tests/`` enforce a *subset* of these in CI; the
+registry is the user-facing, all-in-one-place version.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hardware import CLOUD, ON_PREMISES, PI_KEY, SERVER_KEYS
+from repro.tpch import ALL_QUERY_NUMBERS, CHOKEPOINTS
+
+from .study import ExperimentStudy
+
+__all__ = ["Claim", "ClaimResult", "CLAIMS", "evaluate_claims"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One assertion from the paper.
+
+    Attributes:
+        claim_id: short identifier (section-scoped).
+        quote: the paper's wording (abridged).
+        check: predicate returning (passed, detail-string).
+    """
+
+    claim_id: str
+    quote: str
+    check: Callable[[ExperimentStudy], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim_id: str
+    quote: str
+    passed: bool
+    detail: str
+
+
+# ----------------------------------------------------------------------
+# Check implementations
+# ----------------------------------------------------------------------
+
+
+def _fig2_single_core(study):
+    micro = study.fig2()["micro"]
+    ratio = (micro["op-e5"].whetstone_mwips_1core
+             / micro[PI_KEY].whetstone_mwips_1core)
+    return 2.0 <= ratio <= 3.0, f"Whetstone 1-core op-e5/Pi = {ratio:.2f}x"
+
+
+def _fig2_sysbench_parity(study):
+    micro = study.fig2()["micro"]
+    ratio = micro[PI_KEY].sysbench_s_1core / micro["op-e5"].sysbench_s_1core
+    return 0.8 <= ratio <= 1.25, f"sysbench 1-core Pi/op-e5 = {ratio:.2f}x"
+
+
+def _fig2_membw(study):
+    micro = study.fig2()["micro"]
+    pi = micro[PI_KEY]
+    one = [m.membw_gbs_1core / pi.membw_gbs_1core
+           for k, m in micro.items() if k != PI_KEY]
+    full = [m.membw_gbs_all / pi.membw_gbs_all
+            for k, m in micro.items() if k != PI_KEY]
+    ok = min(one) >= 5 and max(one) <= 11 and min(full) >= 20 and max(full) <= 99
+    return ok, f"1-core {min(one):.1f}-{max(one):.1f}x, all-core {min(full):.0f}-{max(full):.0f}x"
+
+
+def _fig2_network(study):
+    mbps = study.fig2()["network_mbps"]
+    return 200 <= mbps <= 240, f"{mbps:.0f} Mbps node-to-node"
+
+
+def _table2_median_band(study):
+    table2 = study.table2()
+    medians = {
+        server: statistics.median(
+            table2[server][q] / table2[PI_KEY][q] for q in ALL_QUERY_NUMBERS
+        )
+        for server in SERVER_KEYS
+    }
+    worst = min(medians.values())
+    best = max(medians.values())
+    ok = all(0.05 < m < 0.40 for m in medians.values())
+    return ok, f"Pi median relative performance spans {worst:.2f}-{best:.2f}x"
+
+
+def _table2_q1_worst(study):
+    table2 = study.table2()
+    ratios = {
+        q: statistics.median(table2[PI_KEY][q] / table2[s][q] for s in SERVER_KEYS)
+        for q in ALL_QUERY_NUMBERS
+    }
+    rank = sorted(ratios, key=ratios.get, reverse=True).index(1) + 1
+    return rank <= 6, f"Q1 is the Pi's #{rank} worst query of 22"
+
+
+def _table3_cliff(study):
+    wimpi = study.table3()["wimpi"]
+    jumps = {q: wimpi[4][q] / wimpi[12][q] for q in (1, 3, 5)}
+    ok = all(j > 5 for j in jumps.values()) and max(jumps.values()) > 10
+    detail = ", ".join(f"Q{q}: {j:.0f}x" for q, j in jumps.items())
+    return ok, f"4->12 node jumps: {detail}"
+
+
+def _table3_q13_flat(study):
+    wimpi = study.table3()["wimpi"]
+    values = [wimpi[n][13] for n in sorted(wimpi)]
+    flat = max(values) / min(values) < 1.001
+    return flat, f"Q13 spans {min(values):.1f}-{max(values):.1f} s across sizes"
+
+
+def _table3_network_floor(study):
+    wimpi = study.table3()["wimpi"]
+    gains = [wimpi[16][q] / wimpi[24][q] for q in (6, 14)]
+    ok = all(g < 1.6 for g in gains)
+    return ok, f"Q6/Q14 16->24 node gains: {gains[0]:.2f}x / {gains[1]:.2f}x"
+
+
+def _fig4_ordering(study):
+    cells = {(r.platform, r.strategy, r.query): r.seconds for r in study.fig4()}
+    violations = [
+        (platform, q)
+        for platform in ("op-e5", "op-gold", PI_KEY)
+        for q in CHOKEPOINTS
+        if not (
+            cells[(platform, "access-aware", q)]
+            < cells[(platform, "hybrid", q)]
+            < cells[(platform, "data-centric", q)]
+        )
+    ]
+    return not violations, f"{len(violations)} ordering violations of 24 cells"
+
+
+def _fig5_sf1_always_wins(study):
+    fig5 = study.fig5()
+    worst = min(v for server in ON_PREMISES for v in fig5["sf1"][server].values())
+    return worst > 1.0, f"worst SF 1 MSRP improvement = {worst:.1f}x"
+
+
+def _fig5_q13_never_breaks_even(study):
+    fig5 = study.fig5()
+    best = max(
+        fig5["sf10"][server][n][13]
+        for server in ON_PREMISES
+        for n in fig5["sf10"][server]
+    )
+    return best < 1.0, f"best Q13 SF 10 MSRP cell = {best:.2f}x"
+
+
+def _fig6_cloud_loses_everywhere(study):
+    fig6 = study.fig6()
+    worst = min(v for server in CLOUD for v in fig6["sf1"][server].values())
+    return worst > 1.0, f"worst SF 1 hourly improvement = {worst:.0f}x"
+
+
+def _fig7_band(study):
+    fig7 = study.fig7()
+    values = [v for server in ON_PREMISES for v in fig7["sf1"][server].values()]
+    med = statistics.median(values)
+    ok = min(values) > 1.0 and 3 < med < 25
+    return ok, f"SF 1 energy improvements {min(values):.1f}-{max(values):.1f}x, median {med:.1f}x"
+
+
+def _fig7_selective_beats_scan(study):
+    fig7 = study.fig7()
+    ok = all(fig7["sf1"][s][6] > fig7["sf1"][s][1] for s in ON_PREMISES)
+    return ok, "Q6 (selective) beats Q1 (memory-bound) on energy"
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim("II-C1a", "Pi single-core Whetstone within 2-3x of op-e5", _fig2_single_core),
+    Claim("II-C1b", "Pi sysbench single-core nearly identical to op-e5", _fig2_sysbench_parity),
+    Claim("II-C2", "memory bandwidth gaps 5-11x (1-core) and 20-99x (all-core)", _fig2_membw),
+    Claim("II-C3", "iperf measured ~220 Mbps between WIMPI nodes", _fig2_network),
+    Claim("II-D1a", "Pi median relative performance 0.1-0.3x of the servers", _table2_median_band),
+    Claim("II-D1b", "worst performance for Q1 (memory-bound lineitem scan)", _table2_q1_worst),
+    Claim("II-D2a", "huge jump (10-100x) after doubling/tripling 4 nodes", _table3_cliff),
+    Claim("II-D2b", "adding nodes has no impact on Q13", _table3_q13_flat),
+    Claim("II-D2c", "Q6/Q14 diminish past a point (network latency bottleneck)", _table3_network_floor),
+    Claim("II-D3", "access-aware best, data-centric worst, on every platform", _fig4_ordering),
+    Claim("III-A1a", "SF 1: the Pi always wins the MSRP comparison", _fig5_sf1_always_wins),
+    Claim("III-A1b", "Q13: servers always better, irrespective of cluster size", _fig5_q13_never_breaks_even),
+    Claim("III-A2", "the Pi outperforms all Cloud servers for all queries (SF 1)", _fig6_cloud_loses_everywhere),
+    Claim("III-B1a", "SF 1 energy efficiency 2-22x better, median ~10x", _fig7_band),
+    Claim("III-B1b", "selective queries show the best energy improvement", _fig7_selective_beats_scan),
+)
+
+
+def evaluate_claims(
+    study: ExperimentStudy, claims: tuple[Claim, ...] = CLAIMS
+) -> list[ClaimResult]:
+    """Evaluate every claim against a study instance."""
+    results = []
+    for claim in claims:
+        try:
+            passed, detail = claim.check(study)
+        except Exception as error:  # a crash is a failed claim, not a crash
+            passed, detail = False, f"check raised {type(error).__name__}: {error}"
+        results.append(ClaimResult(claim.claim_id, claim.quote, passed, detail))
+    return results

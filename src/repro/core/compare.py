@@ -1,0 +1,111 @@
+"""Paper-vs-measured shape comparison.
+
+The reproduction's claim is *shape* fidelity — who wins, by roughly what
+factor, where crossovers fall — not digit fidelity (the substrate is a
+calibrated model, not the authors' silicon). These helpers quantify it.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+__all__ = ["ShapeComparison", "compare_grids", "agreement_on_winner",
+           "geometric_mean_ratio"]
+
+
+@dataclass(frozen=True)
+class ShapeComparison:
+    """Aggregate agreement between two runtime grids."""
+
+    cells: int
+    median_abs_log_ratio: float
+    p90_abs_log_ratio: float
+    spearman_like: float
+
+    @property
+    def median_factor(self) -> float:
+        """Median multiplicative discrepancy (1.0 = perfect)."""
+        return math.exp(self.median_abs_log_ratio)
+
+    @property
+    def p90_factor(self) -> float:
+        return math.exp(self.p90_abs_log_ratio)
+
+
+def _rank(values: list[float]) -> list[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    for rank, idx in enumerate(order):
+        ranks[idx] = float(rank)
+    return ranks
+
+
+def compare_grids(
+    measured: dict[str, dict[int, float]],
+    published: dict[str, dict[int, float]],
+) -> ShapeComparison:
+    """Compare two {platform: {query: seconds}} grids cell by cell."""
+    logs: list[float] = []
+    m_flat: list[float] = []
+    p_flat: list[float] = []
+    for platform, per in published.items():
+        if platform not in measured:
+            continue
+        for query, obs in per.items():
+            if query in measured[platform]:
+                pred = measured[platform][query]
+                logs.append(abs(math.log(pred / obs)))
+                m_flat.append(pred)
+                p_flat.append(obs)
+    if not logs:
+        raise ValueError("grids share no cells")
+    # Rank correlation across all cells (does the measured grid order
+    # runtimes the same way the paper does?).
+    mr, pr = _rank(m_flat), _rank(p_flat)
+    n = len(mr)
+    mean = (n - 1) / 2
+    cov = sum((a - mean) * (b - mean) for a, b in zip(mr, pr))
+    var = sum((a - mean) ** 2 for a in mr)
+    rho = cov / var if var else 1.0
+    logs.sort()
+    return ShapeComparison(
+        cells=n,
+        median_abs_log_ratio=statistics.median(logs),
+        p90_abs_log_ratio=logs[min(n - 1, int(0.9 * n))],
+        spearman_like=rho,
+    )
+
+
+def agreement_on_winner(
+    measured: dict[str, dict[int, float]],
+    published: dict[str, dict[int, float]],
+) -> float:
+    """Fraction of queries whose fastest platform matches the paper's."""
+    queries = sorted({
+        q for per in published.values() for q in per
+        if all(q in measured.get(p, {}) for p in published)
+    })
+    if not queries:
+        raise ValueError("no common queries")
+    hits = 0
+    for q in queries:
+        paper_winner = min(published, key=lambda p: published[p][q])
+        our_winner = min(published, key=lambda p: measured[p][q])
+        hits += paper_winner == our_winner
+    return hits / len(queries)
+
+
+def geometric_mean_ratio(
+    measured: dict[int, float], published: dict[int, float]
+) -> float:
+    """Geometric mean of measured/published over shared keys."""
+    logs = [
+        math.log(measured[k] / published[k])
+        for k in published
+        if k in measured
+    ]
+    if not logs:
+        raise ValueError("no shared keys")
+    return math.exp(sum(logs) / len(logs))

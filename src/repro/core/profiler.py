@@ -1,0 +1,73 @@
+"""Execute TPC-H queries at a small base scale factor and extrapolate
+work profiles to the paper's nominal scale factors.
+
+CPython is far too slow to *be* the in-memory OLAP core (the repro gate),
+so queries run on the numpy engine at ``base_sf`` — producing real,
+checkable results — and the hardware-independent work counts are scaled
+linearly to the nominal SF (TPC-H work is linear in SF to first order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine import Database, Result, WorkProfile, execute
+from repro.tpch import generate, get_query
+
+__all__ = ["ProfiledQuery", "TPCHProfiler"]
+
+
+@dataclass
+class ProfiledQuery:
+    """A query execution plus its profile scaled to the nominal SF."""
+
+    number: int
+    result: Result
+    profile: WorkProfile
+    base_sf: float
+    target_sf: float
+
+
+class TPCHProfiler:
+    """Profiles TPC-H queries against a generated database.
+
+    Args:
+        base_sf: scale factor actually executed (default 0.05 — large
+            enough that per-query selectivities are stable, small enough
+            to run in seconds).
+        seed: dbgen seed.
+    """
+
+    def __init__(self, base_sf: float = 0.05, seed: int = 42):
+        self.base_sf = base_sf
+        self.seed = seed
+        self._db: Database | None = None
+        self._cache: dict[tuple[int, float], ProfiledQuery] = {}
+
+    @property
+    def db(self) -> Database:
+        if self._db is None:
+            self._db = generate(self.base_sf, seed=self.seed)
+        return self._db
+
+    def profile(self, number: int, target_sf: float = 1.0) -> ProfiledQuery:
+        """Execute query ``number`` at the base SF and return its result
+        with the profile scaled to ``target_sf``."""
+        key = (number, target_sf)
+        if key not in self._cache:
+            query = get_query(number)
+            plan = query.build(self.db, {"sf": self.base_sf})
+            result = execute(self.db, plan)
+            scaled = result.profile.scaled(target_sf / self.base_sf)
+            self._cache[key] = ProfiledQuery(
+                number=number,
+                result=result,
+                profile=scaled,
+                base_sf=self.base_sf,
+                target_sf=target_sf,
+            )
+        return self._cache[key]
+
+    def profiles(self, numbers, target_sf: float = 1.0) -> dict[int, WorkProfile]:
+        """Scaled profiles for a set of queries."""
+        return {n: self.profile(n, target_sf).profile for n in numbers}

@@ -1,0 +1,153 @@
+"""One-shot textual study report: every artifact plus paper comparison.
+
+``full_report(study)`` renders the complete reproduction — Table I
+through Fig. 7, the shape statistics against the published numbers, and
+the extension studies — as one plain-text document.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import median_relative, render_matrix, render_runtime_table, render_series, speedup_table
+from repro.hardware import CLOUD, ON_PREMISES, PI_KEY
+
+from .compare import compare_grids
+from .paperdata import TABLE2_SF1_RUNTIMES, TABLE3_WIMPI_RUNTIMES
+from .study import ExperimentStudy
+
+__all__ = ["full_report"]
+
+
+def _header(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}\n"
+
+
+def full_report(study: ExperimentStudy, include_extensions: bool = False) -> str:
+    """Render the whole study (optionally including the extension
+    experiments, which add a few seconds of runtime)."""
+    parts: list[str] = []
+    parts.append(_header("Reproduction report — In-Memory OLAP on 'Wimpy' Nodes"))
+    parts.append(
+        f"base scale factor {study.config.base_sf:g}; cluster sizes "
+        f"{study.config.cluster_sizes}; all runtimes are model outputs over "
+        "really-executed queries (see DESIGN.md)."
+    )
+
+    # Table I ------------------------------------------------------------
+    parts.append(_header("Table I — hardware"))
+    rows = [
+        (r["name"], r["category"], f'{r["frequency_ghz"]:g} GHz', r["cores"],
+         f'{r["llc_mb"]:g} MB')
+        for r in study.table1()
+    ]
+    parts.append(render_matrix(rows, ["name", "category", "freq", "cores", "LLC"]))
+
+    # Fig 2 ---------------------------------------------------------------
+    parts.append(_header("Fig. 2 — microbenchmarks"))
+    micro = study.fig2()["micro"]
+    pi = micro[PI_KEY]
+    parts.append(render_matrix(
+        [
+            (m.platform,
+             round(m.whetstone_mwips_1core / pi.whetstone_mwips_1core, 2),
+             round(m.dhrystone_dmips_1core / pi.dhrystone_dmips_1core, 2),
+             round(pi.sysbench_s_1core / m.sysbench_s_1core, 2),
+             round(m.membw_gbs_1core / pi.membw_gbs_1core, 1),
+             round(m.membw_gbs_all / pi.membw_gbs_all, 1))
+            for m in micro.values() if m.platform != PI_KEY
+        ],
+        ["platform", "whet-1c/pi", "dhry-1c/pi", "sysb-1c/pi", "bw-1c/pi", "bw-all/pi"],
+        title="ratios vs the Raspberry Pi 3B+",
+    ))
+    parts.append(f"network: {study.fig2()['network_mbps']:.0f} Mbps node-to-node")
+
+    # Table II -------------------------------------------------------------
+    parts.append(_header("Table II — TPC-H SF 1"))
+    table2 = study.table2()
+    parts.append(render_runtime_table(table2, title="modeled runtimes (s)"))
+    comparison = compare_grids(table2, TABLE2_SF1_RUNTIMES)
+    parts.append(
+        f"\nvs paper: median factor {comparison.median_factor:.2f}x, "
+        f"p90 {comparison.p90_factor:.2f}x, rank corr {comparison.spearman_like:.2f}"
+    )
+    servers = {k: v for k, v in table2.items() if k != PI_KEY}
+    medians = median_relative(speedup_table(servers, table2[PI_KEY]))
+    parts.append("Pi median relative performance: " + ", ".join(
+        f"{k}={v:.2f}x" for k, v in sorted(medians.items())
+    ))
+
+    # Table III ------------------------------------------------------------
+    parts.append(_header("Table III — TPC-H SF 10"))
+    data = study.table3()
+    grid = dict(data["servers"])
+    for nodes, runtimes in data["wimpi"].items():
+        grid[f"pi3b+ x{nodes}"] = runtimes
+    parts.append(render_runtime_table(grid, title="modeled runtimes (s)"))
+    wimpi_measured = {str(n): per for n, per in data["wimpi"].items()}
+    wimpi_paper = {str(n): per for n, per in TABLE3_WIMPI_RUNTIMES.items()}
+    wimpi_cmp = compare_grids(wimpi_measured, wimpi_paper)
+    parts.append(
+        f"\nWIMPI vs paper: median factor {wimpi_cmp.median_factor:.2f}x, "
+        f"rank corr {wimpi_cmp.spearman_like:.2f}"
+    )
+
+    # Fig 4 -----------------------------------------------------------------
+    parts.append(_header("Fig. 4 — execution strategies"))
+    cells = {(r.platform, r.strategy, r.query): r.seconds for r in study.fig4()}
+    queries = sorted({q for _, _, q in cells})
+    rows = []
+    for platform in ("op-e5", "op-gold", PI_KEY):
+        for strategy in ("data-centric", "hybrid", "access-aware"):
+            rows.append((platform, strategy) + tuple(
+                round(cells[(platform, strategy, q)], 3) for q in queries
+            ))
+    parts.append(render_matrix(rows, ["platform", "strategy"] + [f"Q{q}" for q in queries]))
+
+    # Figs 5-7 ----------------------------------------------------------------
+    parts.append(_header("Figs. 5-7 — normalized comparisons (SF 1 medians)"))
+    fig5, fig6, fig7 = study.fig5(), study.fig6(), study.fig7()
+    summary_rows = []
+    for server in ON_PREMISES:
+        summary_rows.append((
+            server,
+            round(statistics.median(fig5["sf1"][server].values()), 1),
+            "-",
+            round(statistics.median(fig7["sf1"][server].values()), 1),
+        ))
+    for server in CLOUD:
+        summary_rows.append((
+            server, "-",
+            round(statistics.median(fig6["sf1"][server].values())),
+            "-",
+        ))
+    parts.append(render_matrix(
+        summary_rows, ["server", "MSRP-x", "hourly-x", "energy-x"],
+        title="median improvement of the Pi configuration (>1 favors the Pi)",
+    ))
+
+    if include_extensions:
+        from .extensions import compression_study, nam_study, proportionality_study
+
+        parts.append(_header("Extensions"))
+        c = compression_study(base_sf=study.config.base_sf)
+        parts.append(
+            f"compression: lineitem ratio {c['ratio']:.2f}x; Q1@4 cliff "
+            f"{c['cliff']['plain']['seconds']:.1f}s -> "
+            f"{c['cliff']['compressed']['seconds']:.1f}s"
+        )
+        n = nam_study(base_sf=study.config.base_sf)
+        parts.append(
+            "NAM: " + ", ".join(
+                f"Q{q} {row['plain_seconds']:.1f}s->{row['nam_seconds']:.2f}s"
+                for q, row in sorted(n["queries"].items())
+            )
+        )
+        p = proportionality_study()
+        parts.append(
+            f"power gating: {p['savings_vs_always_on']:.0%} energy saved vs "
+            f"always-on, {p['savings_vs_server']:.0%} vs op-e5"
+        )
+
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,48 @@
+"""Serialization of study results (JSON/CSV) for EXPERIMENTS.md and
+external analysis."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+__all__ = ["to_jsonable", "save_json", "runtimes_to_csv"]
+
+
+def to_jsonable(value):
+    """Recursively convert study outputs (dataclasses, nested dicts with
+    int keys, numpy scalars) into JSON-compatible structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def save_json(value, path: "str | Path") -> Path:
+    """Write a study result to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(to_jsonable(value), indent=2, sort_keys=True))
+    return path
+
+
+def runtimes_to_csv(runtimes: dict[str, dict[int, float]], path: "str | Path") -> Path:
+    """Write a {platform: {query: seconds}} grid as CSV."""
+    path = Path(path)
+    queries = sorted({q for per in runtimes.values() for q in per})
+    lines = ["platform," + ",".join(f"q{q}" for q in queries)]
+    for platform, per in runtimes.items():
+        cells = [f"{per[q]:.6f}" if q in per else "" for q in queries]
+        lines.append(platform + "," + ",".join(cells))
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,288 @@
+"""The experimental study harness — reruns every table and figure.
+
+``ExperimentStudy`` reproduces each artifact of the paper by id:
+
+=========== =====================================================
+id          artifact
+=========== =====================================================
+``table1``  hardware catalog (Table I)
+``fig2``    microbenchmarks (Fig. 2a-d + §II-C3 network)
+``table2``  TPC-H SF 1 runtimes, 22 queries x 10 platforms
+``fig3_sf1``  SF 1 speedups relative to the Pi
+``table3``  TPC-H SF 10: servers + WIMPI at 6 cluster sizes
+``fig3_sf10`` SF 10 speedups relative to WIMPI
+``fig4``    execution strategies, single-threaded
+``fig5``    MSRP-normalized comparison (SF 1 + SF 10)
+``fig6``    hourly-cost-normalized comparison (SF 1 + SF 10)
+``fig7``    energy-normalized comparison (SF 1 + SF 10)
+=========== =====================================================
+
+All computation is cached on the instance: the TPC-H database is
+generated once, each query executes once per scale setting, and the
+hardware model is applied analytically per platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import (
+    energy_improvement,
+    hourly_improvement,
+    msrp_improvement,
+    speedup_table,
+)
+from repro.cluster import WimPiCluster
+from repro.hardware import (
+    ALL_KEYS,
+    CLOUD,
+    ON_PREMISES,
+    PI_KEY,
+    PLATFORMS,
+    PerformanceModel,
+    SERVER_KEYS,
+)
+from repro.microbench import network_bandwidth_mbps, run_all as run_microbench
+from repro.strategies import run_matrix
+from repro.tpch import ALL_QUERY_NUMBERS, CHOKEPOINTS
+
+from .profiler import TPCHProfiler
+
+__all__ = ["StudyConfig", "ExperimentStudy", "EXPERIMENT_IDS"]
+
+EXPERIMENT_IDS = (
+    "table1", "fig2", "table2", "fig3_sf1", "table3", "fig3_sf10",
+    "fig4", "fig5", "fig6", "fig7",
+)
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs for the study harness.
+
+    Attributes:
+        base_sf: scale factor actually generated and executed.
+        seed: dbgen seed.
+        cluster_sizes: WIMPI sizes evaluated at SF 10 (paper: 4-24).
+        sf1 / sf10: the nominal scale factors reported.
+    """
+
+    base_sf: float = 0.05
+    seed: int = 42
+    cluster_sizes: tuple[int, ...] = (4, 8, 12, 16, 20, 24)
+    sf1: float = 1.0
+    sf10: float = 10.0
+
+
+class ExperimentStudy:
+    """Runs the paper's full experimental study on the simulated testbed."""
+
+    def __init__(self, config: StudyConfig | None = None):
+        self.config = config or StudyConfig()
+        self.profiler = TPCHProfiler(self.config.base_sf, self.config.seed)
+        self.model = PerformanceModel()
+        self._cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Table I / Fig. 2
+    # ------------------------------------------------------------------
+
+    def table1(self) -> list[dict]:
+        """The hardware catalog as rows (Table I)."""
+        rows = []
+        for key in ALL_KEYS:
+            spec = PLATFORMS[key]
+            rows.append({
+                "name": key,
+                "category": spec.category,
+                "cpu": spec.cpu,
+                "frequency_ghz": spec.freq_ghz,
+                "cores": spec.cores,
+                "llc_mb": spec.llc_mb,
+                "msrp_usd": spec.msrp_usd,
+                "hourly_usd": spec.hourly_usd,
+                "tdp_w": spec.tdp_w,
+            })
+        return rows
+
+    def fig2(self) -> dict:
+        """Microbenchmark matrix plus the network measurement."""
+        if "fig2" not in self._cache:
+            self._cache["fig2"] = {
+                "micro": run_microbench(),
+                "network_mbps": network_bandwidth_mbps(),
+            }
+        return self._cache["fig2"]
+
+    # ------------------------------------------------------------------
+    # TPC-H SF 1 (Table II, Fig. 3 left)
+    # ------------------------------------------------------------------
+
+    def table2(self) -> dict[str, dict[int, float]]:
+        """Modeled SF 1 runtimes: 22 queries x all 10 platforms."""
+        if "table2" not in self._cache:
+            profiles = self.profiler.profiles(ALL_QUERY_NUMBERS, self.config.sf1)
+            self._cache["table2"] = {
+                key: {
+                    n: self.model.predict(profiles[n], PLATFORMS[key])
+                    for n in ALL_QUERY_NUMBERS
+                }
+                for key in ALL_KEYS
+            }
+        return self._cache["table2"]
+
+    def fig3_sf1(self) -> dict[str, dict[int, float]]:
+        """SF 1 relative performance of the single Pi vs. every server."""
+        table = self.table2()
+        servers = {k: v for k, v in table.items() if k != PI_KEY}
+        return speedup_table(servers, table[PI_KEY])
+
+    # ------------------------------------------------------------------
+    # TPC-H SF 10 (Table III, Fig. 3 right)
+    # ------------------------------------------------------------------
+
+    def table3(self) -> dict:
+        """SF 10: modeled server runtimes + real distributed WIMPI runs."""
+        if "table3" not in self._cache:
+            profiles = self.profiler.profiles(CHOKEPOINTS, self.config.sf10)
+            servers = {
+                key: {
+                    n: self.model.predict(profiles[n], PLATFORMS[key])
+                    for n in CHOKEPOINTS
+                }
+                for key in SERVER_KEYS
+            }
+            wimpi: dict[int, dict[int, float]] = {}
+            details: dict[int, dict[int, object]] = {}
+            for n_nodes in self.config.cluster_sizes:
+                cluster = WimPiCluster(
+                    n_nodes,
+                    base_sf=self.config.base_sf,
+                    target_sf=self.config.sf10,
+                    seed=self.config.seed,
+                    db=self.profiler.db,
+                )
+                wimpi[n_nodes] = {}
+                details[n_nodes] = {}
+                for number in CHOKEPOINTS:
+                    run = cluster.run_query(number)
+                    wimpi[n_nodes][number] = run.total_seconds
+                    details[n_nodes][number] = run
+            self._cache["table3"] = {
+                "servers": servers,
+                "wimpi": wimpi,
+                "runs": details,
+            }
+        return self._cache["table3"]
+
+    def fig3_sf10(self) -> dict[int, dict[str, dict[int, float]]]:
+        """SF 10 relative performance of WIMPI (per cluster size) vs.
+        every server."""
+        data = self.table3()
+        out = {}
+        for n_nodes, pi_runtimes in data["wimpi"].items():
+            out[n_nodes] = speedup_table(data["servers"], pi_runtimes)
+        return out
+
+    # ------------------------------------------------------------------
+    # Fig. 4
+    # ------------------------------------------------------------------
+
+    def fig4(self):
+        """Execution-strategy matrix (single-threaded, SF 1)."""
+        if "fig4" not in self._cache:
+            self._cache["fig4"] = run_matrix(self.profiler, target_sf=self.config.sf1)
+        return self._cache["fig4"]
+
+    # ------------------------------------------------------------------
+    # Figs. 5-7 (normalized analyses)
+    # ------------------------------------------------------------------
+
+    def fig5(self) -> dict:
+        """MSRP-normalized improvements (on-premises only, as in the
+        paper: cloud SKUs have no MSRP)."""
+        sf1 = {
+            server: {
+                q: msrp_improvement(server, seconds, self.table2()[PI_KEY][q])
+                for q, seconds in self.table2()[server].items()
+            }
+            for server in ON_PREMISES
+        }
+        data = self.table3()
+        sf10 = {
+            server: {
+                nodes: {
+                    q: msrp_improvement(
+                        server, data["servers"][server][q], runtimes[q], nodes
+                    )
+                    for q in CHOKEPOINTS
+                }
+                for nodes, runtimes in data["wimpi"].items()
+            }
+            for server in ON_PREMISES
+        }
+        return {"sf1": sf1, "sf10": sf10}
+
+    def fig6(self) -> dict:
+        """Hourly-cost-normalized improvements (cloud only, as in the
+        paper: on-premises machines have no hourly price)."""
+        sf1 = {
+            server: {
+                q: hourly_improvement(server, seconds, self.table2()[PI_KEY][q])
+                for q, seconds in self.table2()[server].items()
+            }
+            for server in CLOUD
+        }
+        data = self.table3()
+        sf10 = {
+            server: {
+                nodes: {
+                    q: hourly_improvement(
+                        server, data["servers"][server][q], runtimes[q], nodes
+                    )
+                    for q in CHOKEPOINTS
+                }
+                for nodes, runtimes in data["wimpi"].items()
+            }
+            for server in CLOUD
+        }
+        return {"sf1": sf1, "sf10": sf10}
+
+    def fig7(self) -> dict:
+        """Energy-normalized improvements (on-premises only: cloud TDP is
+        not public)."""
+        sf1 = {
+            server: {
+                q: energy_improvement(server, seconds, self.table2()[PI_KEY][q])
+                for q, seconds in self.table2()[server].items()
+            }
+            for server in ON_PREMISES
+        }
+        data = self.table3()
+        sf10 = {
+            server: {
+                nodes: {
+                    q: energy_improvement(
+                        server, data["servers"][server][q], runtimes[q], nodes
+                    )
+                    for q in CHOKEPOINTS
+                }
+                for nodes, runtimes in data["wimpi"].items()
+            }
+            for server in ON_PREMISES
+        }
+        return {"sf1": sf1, "sf10": sf10}
+
+    # ------------------------------------------------------------------
+
+    def run(self, experiment_id: str):
+        """Run one experiment by id (see module docstring)."""
+        if experiment_id not in EXPERIMENT_IDS:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; known: {EXPERIMENT_IDS}"
+            )
+        return getattr(self, experiment_id)()
+
+    def run_all(self) -> dict[str, object]:
+        """Run the full study (every table and figure)."""
+        return {eid: self.run(eid) for eid in EXPERIMENT_IDS}

@@ -1,0 +1,31 @@
+"""In-memory columnar OLAP engine (the study's MonetDB stand-in).
+
+Public surface::
+
+    from repro.engine import Database, Table, Column, Q, col, lit, agg, execute
+
+Queries really execute and return correct rows; every operator also
+records a hardware-independent :class:`~repro.engine.profile.WorkProfile`
+that :mod:`repro.hardware` converts into per-platform runtimes.
+"""
+
+from .column import Column
+from .compression import CompressedColumn, compress_column, compress_table, compression_ratio
+from .executor import ExecContext, Executor, execute
+from .expr import Expr, case, col, lit, scalar
+from .frame import Frame
+from .plan import Q, agg
+from .profile import OperatorWork, WorkProfile
+from .result import Result
+from .sql import SqlSyntaxError, sql
+from .table import Database, Schema, Table
+from .types import BOOL, DATE, FLOAT64, INT64, STRING, DataType, date_to_days, days_to_date
+
+__all__ = [
+    "Column", "Database", "DataType", "ExecContext", "Executor", "Expr",
+    "Frame", "OperatorWork", "Q", "Result", "Schema", "Table", "WorkProfile",
+    "agg", "case", "col", "date_to_days", "days_to_date", "execute", "lit",
+    "scalar", "BOOL", "DATE", "FLOAT64", "INT64", "STRING",
+    "CompressedColumn", "compress_column", "compress_table", "compression_ratio",
+    "SqlSyntaxError", "sql",
+]

@@ -1,0 +1,139 @@
+"""Full-materialization (MonetDB-style) plan executor with profiling."""
+
+from __future__ import annotations
+
+from .frame import Frame
+from .optimizer import prune_columns
+from .plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    Q,
+    ScanNode,
+    SortNode,
+    UnionAllNode,
+)
+from .profile import OperatorWork, WorkProfile
+from .result import Result
+from .table import Database
+from .operators.aggregate import execute_aggregate
+from .operators.distinct import execute_distinct
+from .operators.filter import execute_filter
+from .operators.join import execute_join
+from .operators.limit import execute_limit
+from .operators.project import execute_project
+from .operators.scan import execute_scan
+from .operators.sort import execute_sort, execute_topk
+from .operators.unionall import execute_union_all
+
+__all__ = ["ExecContext", "Executor", "execute"]
+
+
+class ExecContext:
+    """Per-query execution state: the accumulating profile, the operator
+    currently charging work, and the scalar-subquery cache."""
+
+    def __init__(self, db: Database, executor: "Executor"):
+        self.db = db
+        self._executor = executor
+        self.profile = WorkProfile()
+        self.work: OperatorWork | None = None
+        self._scalar_cache: dict[int, object] = {}
+
+    def scalar(self, plan) -> object:
+        """Evaluate an uncorrelated scalar subquery once, merging its work
+        into this query's profile."""
+        key = id(plan)
+        if key not in self._scalar_cache:
+            saved = self.work
+            node = plan.node if isinstance(plan, Q) else plan
+            frame = self._executor._exec(node, self)
+            self.work = saved
+            if frame.nrows != 1 or len(frame.columns) != 1:
+                raise ValueError("scalar subquery must produce a 1x1 result")
+            self._scalar_cache[key] = next(iter(frame.columns.values())).to_list()[0]
+        return self._scalar_cache[key]
+
+
+class Executor:
+    """Executes logical plans against a database catalog."""
+
+    def __init__(self, db: Database):
+        self.db = db
+
+    def execute(self, plan: "Q | PlanNode", optimize: bool = True) -> Result:
+        """Run a plan and return its :class:`Result` (rows + profile)."""
+        node = plan.node if isinstance(plan, Q) else plan
+        if node is None:
+            raise ValueError("cannot execute an empty plan")
+        if optimize:
+            node = prune_columns(node, self.db, required=None)
+        import time
+
+        ctx = ExecContext(self.db, self)
+        start = time.perf_counter()
+        frame = self._exec(node, ctx)
+        elapsed = time.perf_counter() - start
+        return Result(frame, ctx.profile, wall_seconds=elapsed)
+
+    # ------------------------------------------------------------------
+
+    def _exec(self, node: PlanNode, ctx: ExecContext) -> Frame:
+        if isinstance(node, ScanNode):
+            ctx.work = ctx.profile.new_operator("scan")
+            cols = list(node.columns) if node.columns is not None else None
+            return execute_scan(self.db.table(node.table), cols, ctx)
+        if isinstance(node, FilterNode):
+            child = self._exec(node.child, ctx)
+            ctx.work = ctx.profile.new_operator("filter")
+            return execute_filter(child, node.predicate, ctx)
+        if isinstance(node, ProjectNode):
+            child = self._exec(node.child, ctx)
+            ctx.work = ctx.profile.new_operator("project")
+            return execute_project(child, dict(node.exprs), ctx)
+        if isinstance(node, JoinNode):
+            left = self._exec(node.left, ctx)
+            right = self._exec(node.right, ctx)
+            ctx.work = ctx.profile.new_operator("hashjoin")
+            return execute_join(
+                left, right, list(node.left_on), list(node.right_on), node.how, ctx
+            )
+        if isinstance(node, AggregateNode):
+            child = self._exec(node.child, ctx)
+            ctx.work = ctx.profile.new_operator("aggregate")
+            return execute_aggregate(child, list(node.group_by), dict(node.aggs), ctx)
+        if isinstance(node, SortNode):
+            child = self._exec(node.child, ctx)
+            ctx.work = ctx.profile.new_operator("sort")
+            return execute_sort(child, list(node.keys), ctx)
+        if isinstance(node, LimitNode):
+            if isinstance(node.child, SortNode):
+                # Physical top-k: fuse ORDER BY + LIMIT (partition select
+                # instead of a full sort).
+                child = self._exec(node.child.child, ctx)
+                ctx.work = ctx.profile.new_operator("topk")
+                return execute_topk(child, list(node.child.keys), node.n, ctx)
+            child = self._exec(node.child, ctx)
+            ctx.work = ctx.profile.new_operator("limit")
+            return execute_limit(child, node.n, ctx)
+        if isinstance(node, UnionAllNode):
+            left = self._exec(node.left, ctx)
+            right = self._exec(node.right, ctx)
+            ctx.work = ctx.profile.new_operator("unionall")
+            return execute_union_all(left, right, ctx)
+        if isinstance(node, DistinctNode):
+            child = self._exec(node.child, ctx)
+            ctx.work = ctx.profile.new_operator("distinct")
+            return execute_distinct(
+                child, list(node.columns) if node.columns else None, ctx
+            )
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+
+def execute(db: Database, plan: "Q | PlanNode", optimize: bool = True) -> Result:
+    """Convenience wrapper: ``Executor(db).execute(plan)``."""
+    return Executor(db).execute(plan, optimize=optimize)

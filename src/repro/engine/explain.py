@@ -1,0 +1,99 @@
+"""EXPLAIN: render logical plans and per-operator work profiles.
+
+``explain(plan, db)`` prints the (optionally optimized) operator tree;
+``explain_profile(result)`` shows where a finished query spent its work —
+useful for understanding why a query is memory- or compute-bound on a
+given platform (e.g. Q1's scan dominance on the Pi).
+"""
+
+from __future__ import annotations
+
+from .optimizer import output_columns, prune_columns
+from .plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    Q,
+    ScanNode,
+    SortNode,
+    UnionAllNode,
+)
+from .result import Result
+from .table import Database
+
+__all__ = ["explain", "explain_profile"]
+
+
+def _describe(node: PlanNode) -> str:
+    if isinstance(node, ScanNode):
+        cols = "*" if node.columns is None else ", ".join(node.columns)
+        return f"Scan {node.table} [{cols}]"
+    if isinstance(node, FilterNode):
+        return f"Filter ({node.predicate!r})"
+    if isinstance(node, ProjectNode):
+        return "Project [" + ", ".join(name for name, _ in node.exprs) + "]"
+    if isinstance(node, JoinNode):
+        keys = ", ".join(f"{l}={r}" for l, r in zip(node.left_on, node.right_on))
+        return f"HashJoin {node.how} on ({keys})"
+    if isinstance(node, AggregateNode):
+        by = ", ".join(node.group_by) or "<global>"
+        aggs = ", ".join(f"{name}={spec.func}" for name, spec in node.aggs)
+        return f"Aggregate by [{by}] computing [{aggs}]"
+    if isinstance(node, SortNode):
+        keys = ", ".join(f"{k} {d}" for k, d in node.keys)
+        return f"Sort [{keys}]"
+    if isinstance(node, LimitNode):
+        return f"Limit {node.n}"
+    if isinstance(node, DistinctNode):
+        cols = "*" if node.columns is None else ", ".join(node.columns)
+        return f"Distinct [{cols}]"
+    if isinstance(node, UnionAllNode):
+        return "UnionAll"
+    return type(node).__name__
+
+
+def explain(plan: "Q | PlanNode", db: Database, optimize: bool = True) -> str:
+    """Render a plan as an indented operator tree (top operator first)."""
+    node = plan.node if isinstance(plan, Q) else plan
+    if node is None:
+        raise ValueError("cannot explain an empty plan")
+    if optimize:
+        node = prune_columns(node, db, required=None)
+
+    lines: list[str] = []
+
+    def walk(current: PlanNode, depth: int) -> None:
+        lines.append("  " * depth + "-> " + _describe(current))
+        for child in current.children():
+            walk(child, depth + 1)
+
+    walk(node, 0)
+    lines.append("output: [" + ", ".join(output_columns(node, db)) + "]")
+    return "\n".join(lines)
+
+
+def explain_profile(result: Result) -> str:
+    """Tabulate a finished query's per-operator work counts."""
+    header = (
+        f"{'operator':<12} {'tuples_in':>12} {'tuples_out':>12} "
+        f"{'seq_MB':>9} {'rand_acc':>12} {'ops':>14} {'out_MB':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for op in result.profile.operators:
+        lines.append(
+            f"{op.operator:<12} {op.tuples_in:>12,.0f} {op.tuples_out:>12,.0f} "
+            f"{op.seq_bytes / 1e6:>9.2f} {op.rand_accesses:>12,.0f} "
+            f"{op.ops:>14,.0f} {op.out_bytes / 1e6:>8.2f}"
+        )
+    totals = result.profile
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<12} {totals.tuples:>12,.0f} {'':>12} "
+        f"{totals.seq_bytes / 1e6:>9.2f} {totals.rand_accesses:>12,.0f} "
+        f"{totals.ops:>14,.0f} {totals.out_bytes / 1e6:>8.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Intermediate result frames flowing between operators.
+
+The engine executes MonetDB-style: each operator fully materializes its
+output as a :class:`Frame` (a bag of equal-length columns) before the next
+operator runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .column import Column
+from .table import Table
+
+__all__ = ["Frame"]
+
+
+class Frame:
+    """A materialized intermediate result: named columns of equal length."""
+
+    __slots__ = ("columns", "nrows")
+
+    def __init__(self, columns: dict[str, Column], nrows: int | None = None):
+        if nrows is None:
+            if not columns:
+                raise ValueError("empty frame needs an explicit row count")
+            nrows = len(next(iter(columns.values())))
+        for name, col in columns.items():
+            if len(col) != nrows:
+                raise ValueError(f"column {name!r} has {len(col)} rows, expected {nrows}")
+        self.columns = columns
+        self.nrows = nrows
+
+    @classmethod
+    def from_table(cls, table: Table, column_names: list[str] | None = None) -> "Frame":
+        names = column_names if column_names is not None else table.column_names
+        return cls({name: table.column(name) for name in names}, table.nrows)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"frame has no column {name!r}; available: {list(self.columns)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns
+
+    @property
+    def nbytes(self) -> int:
+        return sum(col.nbytes for col in self.columns.values())
+
+    def filter(self, mask: np.ndarray) -> "Frame":
+        return Frame({n: c.filter(mask) for n, c in self.columns.items()}, int(mask.sum()))
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        return Frame({n: c.take(indices) for n, c in self.columns.items()}, len(indices))
+
+    def slice(self, start: int, stop: int) -> "Frame":
+        stop = min(stop, self.nrows)
+        return Frame({n: c.slice(start, stop) for n, c in self.columns.items()}, stop - start)
+
+    def renamed(self, mapping: dict[str, str]) -> "Frame":
+        cols = {mapping.get(n, n): c for n, c in self.columns.items()}
+        return Frame(cols, self.nrows)
+
+    def with_columns(self, extra: dict[str, Column]) -> "Frame":
+        cols = dict(self.columns)
+        cols.update(extra)
+        return Frame(cols, self.nrows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Frame(rows={self.nrows}, cols={list(self.columns)})"

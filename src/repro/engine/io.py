@@ -1,0 +1,95 @@
+"""CSV import/export for tables and whole databases.
+
+Useful for inspecting generated TPC-H data, feeding external tools, and
+loading custom datasets into the engine. The on-disk format is plain
+CSV with a one-line schema header (``name:type,...``) so loads need no
+separate schema argument.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .column import Column
+from .table import Database, Table
+from .types import BOOL, DATE, FLOAT64, INT64, STRING, DataType, date_to_days
+
+__all__ = ["write_csv", "read_csv", "save_database", "load_database"]
+
+_TYPES_BY_NAME: dict[str, DataType] = {
+    t.name: t for t in (INT64, FLOAT64, DATE, STRING, BOOL)
+}
+
+
+def write_csv(table: Table, path: "str | Path") -> Path:
+    """Write ``table`` to CSV with a typed header line."""
+    path = Path(path)
+    columns = {name: table.column(name) for name in table.column_names}
+    for name, col in columns.items():
+        if not isinstance(col, Column):
+            raise TypeError(f"column {name!r} is compressed; decompress before export")
+    header = [f"{name}:{col.dtype.name}" for name, col in columns.items()]
+    decoded = [col.to_list() for col in columns.values()]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in zip(*decoded):
+            writer.writerow(["" if v is None else v for v in row])
+    return path
+
+
+def _parse_column(dtype: DataType, raw: list[str]) -> Column:
+    if dtype is INT64:
+        return Column(INT64, np.asarray([int(v) for v in raw], dtype=np.int64))
+    if dtype is FLOAT64:
+        return Column(FLOAT64, np.asarray([float(v) for v in raw], dtype=np.float64))
+    if dtype is DATE:
+        return Column(DATE, np.asarray([date_to_days(v) for v in raw], dtype=np.int32))
+    if dtype is BOOL:
+        return Column(BOOL, np.asarray([v == "True" for v in raw], dtype=np.bool_))
+    return Column.from_strings(raw)
+
+
+def read_csv(path: "str | Path", table_name: str | None = None) -> Table:
+    """Load a CSV written by :func:`write_csv` (typed header required)."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = list(reader)
+    names, dtypes = [], []
+    for field in header:
+        name, _, type_name = field.partition(":")
+        if type_name not in _TYPES_BY_NAME:
+            raise ValueError(f"header field {field!r} lacks a valid type suffix")
+        names.append(name)
+        dtypes.append(_TYPES_BY_NAME[type_name])
+    column_data = list(zip(*rows)) if rows else [[] for _ in names]
+    columns = {
+        name: _parse_column(dtype, list(raw))
+        for name, dtype, raw in zip(names, dtypes, column_data)
+    }
+    return Table(table_name or path.stem, columns)
+
+
+def save_database(db: Database, directory: "str | Path") -> Path:
+    """Write every table of ``db`` into ``directory`` as <table>.csv."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in db.table_names:
+        write_csv(db.table(name), directory / f"{name}.csv")
+    return directory
+
+
+def load_database(directory: "str | Path", name: str = "db") -> Database:
+    """Load every ``*.csv`` in ``directory`` into a new database."""
+    directory = Path(directory)
+    db = Database(name)
+    for path in sorted(directory.glob("*.csv")):
+        db.add(read_csv(path))
+    if not db.table_names:
+        raise FileNotFoundError(f"no CSV tables found in {directory}")
+    return db

@@ -1,0 +1,31 @@
+"""DISTINCT over the frame's columns (or a subset)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Frame
+from ..types import STRING
+
+__all__ = ["execute_distinct"]
+
+
+def execute_distinct(frame: Frame, columns: list[str] | None, ctx) -> Frame:
+    """Keep the first row of each distinct combination of ``columns``
+    (default: all columns)."""
+    names = columns if columns is not None else list(frame.columns)
+    combined = np.zeros(frame.nrows, dtype=np.int64)
+    for name in names:
+        column = frame.column(name)
+        values = column.decoded() if column.dtype is STRING else column.values
+        _, codes = np.unique(values, return_inverse=True)
+        card = int(codes.max()) + 1 if len(codes) else 1
+        combined = combined * card + codes
+    _, first = np.unique(combined, return_index=True)
+    out = frame.take(np.sort(first))
+    ctx.work.tuples_in += frame.nrows
+    ctx.work.tuples_out += out.nrows
+    ctx.work.rand_accesses += frame.nrows
+    ctx.work.ops += frame.nrows
+    ctx.work.out_bytes += out.nbytes
+    return out

@@ -1,0 +1,25 @@
+"""Selection: evaluate a boolean expression and keep matching rows."""
+
+from __future__ import annotations
+
+from ..expr import Expr
+from ..frame import Frame
+
+__all__ = ["execute_filter"]
+
+
+def execute_filter(frame: Frame, predicate: Expr, ctx) -> Frame:
+    """Keep the rows of ``frame`` where ``predicate`` is true.
+
+    The predicate's per-row arithmetic is charged by the expression
+    evaluator; the filter itself charges the selection-vector
+    materialization (output columns are rewritten compactly, as in
+    MonetDB's candidate-list execution).
+    """
+    mask = predicate.evaluate(frame, ctx).values
+    out = frame.filter(mask)
+    ctx.work.tuples_in += frame.nrows
+    ctx.work.tuples_out += out.nrows
+    ctx.work.seq_bytes += frame.nrows  # the mask/candidate list itself
+    ctx.work.out_bytes += out.nbytes
+    return out

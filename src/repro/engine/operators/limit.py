@@ -1,0 +1,15 @@
+"""LIMIT: keep the first n rows."""
+
+from __future__ import annotations
+
+from ..frame import Frame
+
+__all__ = ["execute_limit"]
+
+
+def execute_limit(frame: Frame, n: int, ctx) -> Frame:
+    out = frame.slice(0, n)
+    ctx.work.tuples_in += frame.nrows
+    ctx.work.tuples_out += out.nrows
+    ctx.work.out_bytes += out.nbytes
+    return out

@@ -1,0 +1,25 @@
+"""Projection: compute named expressions into a new frame."""
+
+from __future__ import annotations
+
+from ..expr import ColRef, Expr
+from ..frame import Frame
+
+__all__ = ["execute_project"]
+
+
+def execute_project(frame: Frame, exprs: dict[str, Expr], ctx) -> Frame:
+    """Evaluate ``exprs`` over ``frame``; the output has exactly those
+    columns. Plain column references are zero-copy."""
+    columns = {}
+    materialized_bytes = 0
+    for name, expr in exprs.items():
+        column = expr.evaluate(frame, ctx)
+        columns[name] = column
+        if not isinstance(expr, ColRef):
+            materialized_bytes += column.nbytes
+    out = Frame(columns, frame.nrows)
+    ctx.work.tuples_in += frame.nrows
+    ctx.work.tuples_out += out.nrows
+    ctx.work.out_bytes += materialized_bytes
+    return out

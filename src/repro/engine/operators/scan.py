@@ -1,0 +1,40 @@
+"""Table scan: materializes the requested columns of a base table.
+
+Handles both plain and compressed columns: a compressed column is
+streamed at its compressed size and charged its decode ops — the
+bandwidth-for-cycles trade the paper's §III-C2 proposes for SBCs.
+"""
+
+from __future__ import annotations
+
+from ..column import Column
+from ..compression import CompressedColumn
+from ..frame import Frame
+from ..table import Table
+
+__all__ = ["execute_scan"]
+
+
+def execute_scan(table: Table, columns: list[str] | None, ctx) -> Frame:
+    """Read ``columns`` (default: all) of ``table``.
+
+    Accounting: a columnar scan streams every referenced column array
+    sequentially through memory once — the dominant memory-bandwidth term
+    for OLAP queries (and the reason Q1 is the Pi's worst query).
+    Compressed columns stream fewer bytes but cost decode ops.
+    """
+    names = columns if columns is not None else table.column_names
+    out: dict[str, Column] = {}
+    for name in names:
+        col = table.column(name)
+        if isinstance(col, CompressedColumn):
+            ctx.work.seq_bytes += col.nbytes
+            ctx.work.ops += col.decode_ops
+            out[name] = col.to_column()
+        else:
+            ctx.work.seq_bytes += col.nbytes
+            out[name] = col
+    frame = Frame(out, table.nrows)
+    ctx.work.tuples_in += frame.nrows
+    ctx.work.tuples_out += frame.nrows
+    return frame

@@ -1,0 +1,27 @@
+"""UNION ALL: concatenate two frames with identical schemas."""
+
+from __future__ import annotations
+
+from ..column import Column
+from ..frame import Frame
+
+__all__ = ["execute_union_all"]
+
+
+def execute_union_all(left: Frame, right: Frame, ctx) -> Frame:
+    """Stack ``right`` under ``left``; column names and types must match
+    positionally (SQL UNION ALL semantics, no dedup)."""
+    if list(left.columns) != list(right.columns):
+        raise ValueError(
+            f"UNION ALL schema mismatch: {list(left.columns)} vs {list(right.columns)}"
+        )
+    columns = {
+        name: Column.concat([left.column(name), right.column(name)])
+        for name in left.columns
+    }
+    out = Frame(columns, left.nrows + right.nrows)
+    ctx.work.tuples_in += left.nrows + right.nrows
+    ctx.work.tuples_out += out.nrows
+    ctx.work.seq_bytes += left.nbytes + right.nbytes
+    ctx.work.out_bytes += out.nbytes
+    return out

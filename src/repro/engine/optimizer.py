@@ -1,0 +1,140 @@
+"""A small optimizer: projection pruning.
+
+Pruning scan columns to what the query actually reads keeps the work
+profiles honest — a selective TPC-H query must not be charged for
+streaming the 16-column lineitem table when it touches four columns.
+"""
+
+from __future__ import annotations
+
+from .plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    UnionAllNode,
+)
+from .table import Database
+
+__all__ = ["output_columns", "prune_columns"]
+
+
+def output_columns(node: PlanNode, db: Database) -> list[str]:
+    """The column names a node produces."""
+    if isinstance(node, ScanNode):
+        if node.columns is not None:
+            return list(node.columns)
+        return db.table(node.table).column_names
+    if isinstance(node, (FilterNode, SortNode, LimitNode)):
+        return output_columns(node.child, db)
+    if isinstance(node, DistinctNode):
+        return output_columns(node.child, db)
+    if isinstance(node, ProjectNode):
+        return [name for name, _ in node.exprs]
+    if isinstance(node, AggregateNode):
+        return list(node.group_by) + [name for name, _ in node.aggs]
+    if isinstance(node, UnionAllNode):
+        return output_columns(node.left, db)
+    if isinstance(node, JoinNode):
+        left = output_columns(node.left, db)
+        if node.how in ("semi", "anti"):
+            return left
+        right = [
+            c
+            for c in output_columns(node.right, db)
+            if not (c in left and c in node.right_on)
+        ]
+        return left + right
+    raise TypeError(f"unknown plan node {type(node).__name__}")
+
+
+def prune_columns(node: PlanNode, db: Database, required: set[str] | None = None) -> PlanNode:
+    """Rewrite the plan so scans read only columns some ancestor needs.
+
+    ``required=None`` means "everything the node produces is needed"
+    (the root, or below operators that need all columns).
+    """
+    if isinstance(node, ScanNode):
+        available = output_columns(node, db)
+        if required is None:
+            return node
+        keep = [c for c in available if c in required]
+        if not keep:  # degenerate (e.g. COUNT(*) over a bare scan)
+            keep = available[:1]
+        return ScanNode(node.table, tuple(keep))
+
+    if isinstance(node, FilterNode):
+        child_req = None if required is None else required | node.predicate.references()
+        return FilterNode(prune_columns(node.child, db, child_req), node.predicate)
+
+    if isinstance(node, ProjectNode):
+        exprs = node.exprs if required is None else tuple(
+            (name, e) for name, e in node.exprs if name in required
+        )
+        if not exprs:
+            exprs = node.exprs[:1]
+        child_req: set[str] = set()
+        for _, expr in exprs:
+            child_req |= expr.references()
+        return ProjectNode(prune_columns(node.child, db, child_req), exprs)
+
+    if isinstance(node, JoinNode):
+        left_cols = set(output_columns(node.left, db))
+        right_cols = set(output_columns(node.right, db))
+        if required is None:
+            left_req, right_req = None, None
+        else:
+            left_req = (required & left_cols) | set(node.left_on)
+            right_req = (required & right_cols) | set(node.right_on)
+        if node.how in ("semi", "anti"):
+            right_req = set(node.right_on) if right_req is not None or True else None
+        return JoinNode(
+            prune_columns(node.left, db, left_req),
+            prune_columns(node.right, db, right_req),
+            node.left_on,
+            node.right_on,
+            node.how,
+        )
+
+    if isinstance(node, AggregateNode):
+        child_req = set(node.group_by)
+        for _, spec in node.aggs:
+            if spec.expr is not None:
+                child_req |= spec.expr.references()
+        # COUNT(*)-only aggregates leave child_req empty; the scan rule
+        # falls back to reading a single column.
+        return AggregateNode(
+            prune_columns(node.child, db, child_req), node.group_by, node.aggs
+        )
+
+    if isinstance(node, SortNode):
+        child_req = None if required is None else required | {k for k, _ in node.keys}
+        return SortNode(prune_columns(node.child, db, child_req), node.keys)
+
+    if isinstance(node, LimitNode):
+        return LimitNode(prune_columns(node.child, db, required), node.n)
+
+    if isinstance(node, UnionAllNode):
+        # Children must stay positionally aligned: prune both with the
+        # same requirement set.
+        return UnionAllNode(
+            prune_columns(node.left, db, required),
+            prune_columns(node.right, db, required),
+        )
+
+    if isinstance(node, DistinctNode):
+        # DISTINCT ON a subset still *outputs* all child columns (first
+        # row per group), so the child's requirement only narrows when an
+        # ancestor narrowed ours.
+        if required is None:
+            child_req = None
+        else:
+            child_req = required | set(node.columns or ())
+        return DistinctNode(prune_columns(node.child, db, child_req), node.columns)
+
+    raise TypeError(f"unknown plan node {type(node).__name__}")

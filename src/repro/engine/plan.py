@@ -1,0 +1,226 @@
+"""Logical query plans and the fluent builder.
+
+Queries are composed with :class:`Q`::
+
+    from repro.engine import Q, col, agg
+
+    plan = (
+        Q(db).scan("lineitem")
+        .filter(col("l_shipdate") <= "1998-09-02")
+        .aggregate(by=["l_returnflag", "l_linestatus"],
+                   sum_qty=agg.sum(col("l_quantity")))
+        .sort("l_returnflag", "l_linestatus")
+    )
+    result = db.execute(plan)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .expr import ColRef, Expr, col
+from .operators.aggregate import (
+    AggSpec,
+    avg,
+    count,
+    count_distinct,
+    count_star,
+    max_,
+    min_,
+    sum_,
+)
+
+__all__ = ["Q", "agg", "PlanNode", "ScanNode", "FilterNode", "ProjectNode",
+           "JoinNode", "AggregateNode", "SortNode", "LimitNode", "DistinctNode",
+           "UnionAllNode"]
+
+
+class agg:
+    """Aggregate constructors for :meth:`Q.aggregate`."""
+
+    sum = staticmethod(sum_)
+    avg = staticmethod(avg)
+    count = staticmethod(count)
+    count_star = staticmethod(count_star)
+    count_distinct = staticmethod(count_distinct)
+    min = staticmethod(min_)
+    max = staticmethod(max_)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base logical plan node."""
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    table: str
+    columns: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class FilterNode(PlanNode):
+    child: PlanNode
+    predicate: Expr
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class ProjectNode(PlanNode):
+    child: PlanNode
+    exprs: tuple[tuple[str, Expr], ...]
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    left_on: tuple[str, ...]
+    right_on: tuple[str, ...]
+    how: str = "inner"
+
+    def children(self):
+        return [self.left, self.right]
+
+
+@dataclass(frozen=True)
+class AggregateNode(PlanNode):
+    child: PlanNode
+    group_by: tuple[str, ...]
+    aggs: tuple[tuple[str, AggSpec], ...]
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class SortNode(PlanNode):
+    child: PlanNode
+    keys: tuple[tuple[str, str], ...]
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class LimitNode(PlanNode):
+    child: PlanNode
+    n: int
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class DistinctNode(PlanNode):
+    child: PlanNode
+    columns: tuple[str, ...] | None = None
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass(frozen=True)
+class UnionAllNode(PlanNode):
+    left: PlanNode
+    right: PlanNode
+
+    def children(self):
+        return [self.left, self.right]
+
+
+class Q:
+    """Immutable fluent plan builder bound to a database catalog."""
+
+    def __init__(self, db, node: PlanNode | None = None):
+        self.db = db
+        self.node = node
+
+    def _wrap(self, node: PlanNode) -> "Q":
+        return Q(self.db, node)
+
+    def _require_node(self) -> PlanNode:
+        if self.node is None:
+            raise ValueError("start the plan with .scan(table)")
+        return self.node
+
+    # ------------------------------------------------------------------
+
+    def scan(self, table: str, columns: list[str] | None = None) -> "Q":
+        """Start from a base table (optionally restricting columns)."""
+        if table not in self.db:
+            raise KeyError(f"unknown table {table!r}")
+        cols = tuple(columns) if columns is not None else None
+        return self._wrap(ScanNode(table, cols))
+
+    def filter(self, predicate: Expr) -> "Q":
+        """Keep rows satisfying ``predicate``."""
+        return self._wrap(FilterNode(self._require_node(), predicate))
+
+    def project(self, **exprs) -> "Q":
+        """Compute named expressions; output has exactly these columns.
+        String values are shorthand for column references."""
+        resolved = tuple(
+            (name, col(e) if isinstance(e, str) else e) for name, e in exprs.items()
+        )
+        return self._wrap(ProjectNode(self._require_node(), resolved))
+
+    def select(self, *names: str) -> "Q":
+        """Keep only the named pass-through columns."""
+        return self._wrap(
+            ProjectNode(self._require_node(), tuple((n, col(n)) for n in names))
+        )
+
+    def join(
+        self,
+        other: "Q | str",
+        on: list[tuple[str, str]],
+        how: str = "inner",
+    ) -> "Q":
+        """Join with another plan (or a table name) on key-name pairs
+        ``[(left_col, right_col), ...]``."""
+        if isinstance(other, str):
+            other = Q(self.db).scan(other)
+        left_on = tuple(pair[0] for pair in on)
+        right_on = tuple(pair[1] for pair in on)
+        return self._wrap(
+            JoinNode(self._require_node(), other._require_node(), left_on, right_on, how)
+        )
+
+    def aggregate(self, by: list[str] | None = None, **aggs: AggSpec) -> "Q":
+        """Group by ``by`` (default: global aggregate) and compute ``aggs``."""
+        for name, spec in aggs.items():
+            if not isinstance(spec, AggSpec):
+                raise TypeError(f"aggregate {name!r} must be built with the agg namespace")
+        return self._wrap(
+            AggregateNode(self._require_node(), tuple(by or ()), tuple(aggs.items()))
+        )
+
+    def sort(self, *keys: "str | tuple[str, str]") -> "Q":
+        """Order by the given keys; a bare name sorts ascending."""
+        resolved = tuple((k, "asc") if isinstance(k, str) else (k[0], k[1]) for k in keys)
+        for _, direction in resolved:
+            if direction not in ("asc", "desc"):
+                raise ValueError(f"sort direction must be asc/desc, got {direction!r}")
+        return self._wrap(SortNode(self._require_node(), resolved))
+
+    def limit(self, n: int) -> "Q":
+        return self._wrap(LimitNode(self._require_node(), n))
+
+    def distinct(self, *columns: str) -> "Q":
+        return self._wrap(DistinctNode(self._require_node(), tuple(columns) or None))
+
+    def union_all(self, other: "Q") -> "Q":
+        """Concatenate with another plan producing the same columns."""
+        return self._wrap(UnionAllNode(self._require_node(), other._require_node()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q({self.node!r})"

@@ -1,0 +1,119 @@
+"""Hardware-independent work accounting.
+
+Every operator records the work it performed in a :class:`WorkProfile`.
+Profiles are deliberately hardware-free: they count bytes streamed
+sequentially through memory, random (cache-unfriendly) accesses, scalar
+arithmetic/comparison operations, and tuples processed. The
+:mod:`repro.hardware` performance model later converts a profile into a
+predicted runtime for a concrete platform, which is how this reproduction
+substitutes for running on real Raspberry Pi / Xeon silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OperatorWork", "WorkProfile"]
+
+
+@dataclass
+class OperatorWork:
+    """Work performed by a single operator instance.
+
+    Attributes:
+        operator: operator class name, e.g. ``"hashjoin"``.
+        seq_bytes: bytes streamed sequentially (scans, materializations).
+        rand_accesses: random accesses (hash probes, gathers, dict lookups
+            outside the streaming pattern).
+        ops: scalar arithmetic / comparison / hash operations.
+        tuples_in: input tuples consumed.
+        tuples_out: output tuples produced.
+        out_bytes: bytes materialized as output.
+    """
+
+    operator: str
+    seq_bytes: float = 0.0
+    rand_accesses: float = 0.0
+    ops: float = 0.0
+    tuples_in: float = 0.0
+    tuples_out: float = 0.0
+    out_bytes: float = 0.0
+
+    def scaled(self, factor: float) -> "OperatorWork":
+        return OperatorWork(
+            operator=self.operator,
+            seq_bytes=self.seq_bytes * factor,
+            rand_accesses=self.rand_accesses * factor,
+            ops=self.ops * factor,
+            tuples_in=self.tuples_in * factor,
+            tuples_out=self.tuples_out * factor,
+            out_bytes=self.out_bytes * factor,
+        )
+
+
+@dataclass
+class WorkProfile:
+    """Aggregate work profile of a query (or query fragment).
+
+    The per-operator breakdown is kept so the performance model can apply
+    operator-class-specific parallel efficiencies and cache residency.
+    """
+
+    operators: list[OperatorWork] = field(default_factory=list)
+
+    def new_operator(self, name: str) -> OperatorWork:
+        work = OperatorWork(name)
+        self.operators.append(work)
+        return work
+
+    # Aggregate views ---------------------------------------------------
+
+    @property
+    def seq_bytes(self) -> float:
+        return sum(op.seq_bytes for op in self.operators)
+
+    @property
+    def rand_accesses(self) -> float:
+        return sum(op.rand_accesses for op in self.operators)
+
+    @property
+    def ops(self) -> float:
+        return sum(op.ops for op in self.operators)
+
+    @property
+    def tuples(self) -> float:
+        return sum(op.tuples_in for op in self.operators)
+
+    @property
+    def out_bytes(self) -> float:
+        return sum(op.out_bytes for op in self.operators)
+
+    @property
+    def result_bytes(self) -> float:
+        """Bytes of the final operator's output (what a distributed driver
+        would ship over the network)."""
+        if not self.operators:
+            return 0.0
+        return self.operators[-1].out_bytes
+
+    def scaled(self, factor: float) -> "WorkProfile":
+        """Scale all work counts by ``factor``.
+
+        Used to extrapolate a profile measured at a small scale factor to
+        the paper's nominal SF 1 / SF 10 (all TPC-H query work is linear
+        in SF to first order — see DESIGN.md §5).
+        """
+        return WorkProfile([op.scaled(factor) for op in self.operators])
+
+    def merged(self, other: "WorkProfile") -> "WorkProfile":
+        return WorkProfile(list(self.operators) + list(other.operators))
+
+    def summary(self) -> dict:
+        return {
+            "seq_bytes": self.seq_bytes,
+            "rand_accesses": self.rand_accesses,
+            "ops": self.ops,
+            "tuples": self.tuples,
+            "out_bytes": self.out_bytes,
+            "n_operators": len(self.operators),
+        }

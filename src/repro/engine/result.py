@@ -1,0 +1,60 @@
+"""Query results: real rows plus the work profile that produced them."""
+
+from __future__ import annotations
+
+from .frame import Frame
+from .profile import WorkProfile
+
+__all__ = ["Result"]
+
+
+class Result:
+    """Final output of executing a plan.
+
+    Attributes:
+        frame: the materialized result columns.
+        profile: hardware-independent work profile of the execution,
+            consumed by :mod:`repro.hardware` to predict per-platform
+            runtimes.
+        wall_seconds: measured wall-clock of this (numpy-engine)
+            execution on the host — useful for engine regression
+            tracking, *not* a paper artifact (those come from the
+            hardware model).
+    """
+
+    def __init__(self, frame: Frame, profile: WorkProfile, wall_seconds: float = 0.0):
+        self.frame = frame
+        self.profile = profile
+        self.wall_seconds = wall_seconds
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.frame.columns)
+
+    def column(self, name: str) -> list:
+        """Python-native values of one output column."""
+        return self.frame.column(name).to_list()
+
+    @property
+    def rows(self) -> list[tuple]:
+        """All rows as tuples of Python-native values."""
+        lists = [col.to_list() for col in self.frame.columns.values()]
+        return list(zip(*lists)) if lists else []
+
+    def to_dicts(self) -> list[dict]:
+        names = self.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def scalar(self):
+        """The single value of a 1x1 result (global aggregates)."""
+        if self.frame.nrows != 1 or len(self.frame.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got {self.frame.nrows}x{len(self.frame.columns)}"
+            )
+        return self.rows[0][0]
+
+    def __len__(self) -> int:
+        return self.frame.nrows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Result(rows={self.frame.nrows}, cols={self.column_names})"

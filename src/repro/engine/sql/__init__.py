@@ -1,0 +1,6 @@
+"""SQL front-end for the columnar engine."""
+
+from .lexer import SqlSyntaxError, Token, tokenize
+from .parser import parse, sql
+
+__all__ = ["SqlSyntaxError", "Token", "parse", "sql", "tokenize"]

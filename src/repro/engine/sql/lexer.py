@@ -1,0 +1,108 @@
+"""SQL tokenizer for the engine's query subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "SqlSyntaxError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+    "DESC", "LIMIT", "AS", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "JOIN", "INNER", "LEFT",
+    "SEMI", "ANTI", "ON", "SUM", "AVG", "COUNT", "MIN", "MAX", "DISTINCT",
+    "EXTRACT", "YEAR", "SUBSTRING", "FOR", "INTERVAL", "DAY", "MONTH",
+    "DATE", "IS", "NULL", "EXISTS", "UNION", "ALL",
+}
+
+_PUNCT = {
+    "<=": "LE", ">=": "GE", "<>": "NE", "!=": "NE", "=": "EQ", "<": "LT",
+    ">": "GT", "+": "PLUS", "-": "MINUS", "*": "STAR", "/": "SLASH",
+    "(": "LPAREN", ")": "RPAREN", ",": "COMMA", ".": "DOT", ";": "SEMI_COLON",
+}
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL (lexing or parsing)."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is a keyword name, a punctuation name (``LE``, ``LPAREN``…),
+    or one of ``IDENT`` / ``NUMBER`` / ``STRING`` / ``EOF``.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":  # line comment
+            nl = text.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError(f"unterminated string at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(upper, upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        two = text[i:i + 2]
+        if two in _PUNCT:
+            tokens.append(Token(_PUNCT[two], two, i))
+            i += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

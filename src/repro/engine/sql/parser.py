@@ -1,0 +1,592 @@
+"""SQL front-end: parse a SELECT statement into an engine plan.
+
+Supported subset (everything the engine executes):
+
+* ``SELECT`` expressions with aliases, ``*``, aggregate functions
+  (``SUM/AVG/MIN/MAX/COUNT/COUNT(*)/COUNT(DISTINCT x)``);
+* ``FROM`` a base table or a derived table ``(SELECT ...) AS t``, plus
+  ``[INNER|LEFT|SEMI|ANTI] JOIN <table | (SELECT ...)> ON`` equality
+  conditions (conjunctions of ``a = b``);
+* ``WHERE`` with arithmetic, comparisons, ``AND/OR/NOT``, ``BETWEEN``,
+  ``IN (list)``, ``[NOT] LIKE``, ``IS [NOT] NULL``, scalar subqueries,
+  and uncorrelated ``[NOT] IN (SELECT ...)`` (planned as semi/anti
+  joins);
+* ``GROUP BY`` plain columns or SELECT aliases, ``HAVING``;
+* ``ORDER BY`` output columns with ``ASC/DESC``, ``LIMIT``;
+* ``UNION ALL`` between SELECTs;
+* ``CASE WHEN``, ``EXTRACT(YEAR FROM d)``,
+  ``SUBSTRING(s FROM i FOR n)`` / ``SUBSTRING(s, i, n)``,
+  ``DATE 'yyyy-mm-dd'`` and date ``+/- INTERVAL 'n' DAY|MONTH|YEAR``
+  (folded at parse time).
+
+Example::
+
+    from repro.engine.sql import sql
+    plan = sql(db, \"\"\"
+        SELECT l_returnflag, SUM(l_quantity) AS qty
+        FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'
+        GROUP BY l_returnflag ORDER BY qty DESC LIMIT 5\"\"\")
+    result = execute(db, plan)
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from ..expr import Expr, Literal, case, col, lit, scalar
+from ..plan import Q, agg
+from ..optimizer import output_columns
+from ..table import Database
+from .lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["sql", "parse", "SqlSyntaxError"]
+
+
+@dataclass
+class _SelectItem:
+    alias: str
+    expr: Expr
+    is_star: bool = False
+
+
+@dataclass
+class _JoinClause:
+    how: str
+    table: str
+    on: list[tuple[str, str]]
+
+
+@dataclass
+class _SemiJoin:
+    """An uncorrelated ``[NOT] IN (SELECT col FROM ...)`` conjunct."""
+
+    left_column: str
+    subplan: Q
+    sub_column: str
+    negated: bool
+
+
+@dataclass
+class _Interval:
+    days: int = 0
+    months: int = 0
+    years: int = 0
+
+
+class _Parser:
+    """Recursive-descent parser producing engine plans directly."""
+
+    def __init__(self, db: Database, tokens: list[Token]):
+        self.db = db
+        self.tokens = tokens
+        self.pos = 0
+        self._aggs: dict[str, object] = {}
+        self._agg_counter = 0
+        self._semijoins: list[_SemiJoin] = []
+        self._in_conjunctive_where = False
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.next()
+        if token.kind != kind:
+            raise SqlSyntaxError(
+                f"expected {kind} but found {token.kind} ({token.value!r}) "
+                f"at position {token.position}"
+            )
+        return token
+
+    # -- statement ------------------------------------------------------
+
+    def parse_query(self) -> Q:
+        plan = self._parse_select()
+        while self.accept("UNION"):
+            self.expect("ALL")
+            # Each branch gets fresh aggregate/semijoin state.
+            branch = _Parser(self.db, self.tokens)
+            branch.pos = self.pos
+            right = branch._parse_select()
+            self.pos = branch.pos
+            plan = plan.union_all(right)
+        return plan
+
+    def _parse_select(self) -> Q:
+        self.expect("SELECT")
+        items = self._select_list()
+        self.expect("FROM")
+        plan = self._from_clause()
+
+        where_expr = None
+        if self.accept("WHERE"):
+            self._in_conjunctive_where = True
+            where_expr = self._expr()
+            self._in_conjunctive_where = False
+        for semijoin in self._semijoins:
+            sub = semijoin.subplan.project(__sub=col(semijoin.sub_column))
+            plan = plan.join(
+                sub,
+                on=[(semijoin.left_column, "__sub")],
+                how="anti" if semijoin.negated else "semi",
+            )
+        self._semijoins = []
+        if where_expr is not None:
+            plan = plan.filter(where_expr)
+
+        group_names: list[str] = []
+        if self.accept("GROUP"):
+            self.expect("BY")
+            group_names = self._name_list()
+
+        having_expr = None
+        if self.accept("HAVING"):
+            having_expr = self._expr()
+
+        plan = self._plan_projection(plan, items, group_names, having_expr)
+
+        if self.accept("ORDER"):
+            self.expect("BY")
+            keys = []
+            while True:
+                name = self._identifier("ORDER BY column")
+                direction = "asc"
+                if self.accept("DESC"):
+                    direction = "desc"
+                else:
+                    self.accept("ASC")
+                keys.append((name, direction))
+                if not self.accept("COMMA"):
+                    break
+            plan = plan.sort(*keys)
+
+        if self.accept("LIMIT"):
+            plan = plan.limit(int(self.expect("NUMBER").value))
+        self.accept("SEMI_COLON")
+        return plan
+
+    # -- clauses ----------------------------------------------------------
+
+    def _select_list(self) -> list[_SelectItem]:
+        items: list[_SelectItem] = []
+        while True:
+            if self.accept("STAR"):
+                items.append(_SelectItem(alias="*", expr=lit(0), is_star=True))
+            else:
+                expr = self._expr()
+                alias = None
+                if self.accept("AS"):
+                    alias = self._identifier("alias")
+                elif self.peek().kind == "IDENT":
+                    alias = self.next().value
+                if alias is None:
+                    from ..expr import ColRef
+
+                    if isinstance(expr, ColRef):
+                        alias = expr.name
+                    else:
+                        alias = f"col{len(items)}"
+                items.append(_SelectItem(alias=alias, expr=expr))
+            if not self.accept("COMMA"):
+                return items
+
+    def _from_clause(self) -> Q:
+        if self.peek().kind == "LPAREN":
+            # Derived table: FROM (SELECT ...) [AS alias]
+            self.next()
+            sub = _Parser(self.db, self.tokens)
+            sub.pos = self.pos
+            plan = sub.parse_query()
+            self.pos = sub.pos
+            self.expect("RPAREN")
+            self._maybe_alias()
+        else:
+            table = self._identifier("table name")
+            self._maybe_alias()
+            plan = Q(self.db).scan(table)
+        while self.peek().kind in ("JOIN", "INNER", "LEFT", "SEMI", "ANTI"):
+            how = "inner"
+            kind = self.next().kind
+            if kind in ("INNER", "LEFT", "SEMI", "ANTI"):
+                how = {"INNER": "inner", "LEFT": "left", "SEMI": "semi", "ANTI": "anti"}[kind]
+                self.expect("JOIN")
+            if self.peek().kind == "LPAREN":
+                self.next()
+                sub = _Parser(self.db, self.tokens)
+                sub.pos = self.pos
+                right_plan: Q | str = sub.parse_query()
+                self.pos = sub.pos
+                self.expect("RPAREN")
+                self._maybe_alias()
+                right_cols = set(output_columns(right_plan.node, self.db))
+            else:
+                right_plan = self._identifier("table name")
+                self._maybe_alias()
+                right_cols = set(self.db.table(right_plan).column_names)
+            self.expect("ON")
+            on = [self._join_equality()]
+            while self.accept("AND"):
+                on.append(self._join_equality())
+            # Orient each pair: left side of the pair must come from the
+            # plan built so far, the other from the newly joined table.
+            oriented = []
+            for a, b in on:
+                if b in right_cols and a not in right_cols:
+                    oriented.append((a, b))
+                elif a in right_cols and b not in right_cols:
+                    oriented.append((b, a))
+                elif b in right_cols:
+                    oriented.append((a, b))
+                else:
+                    raise SqlSyntaxError(
+                        f"join condition {a} = {b} does not reference the joined table"
+                    )
+            plan = plan.join(right_plan, on=oriented, how=how)
+        return plan
+
+    def _maybe_alias(self) -> None:
+        if self.accept("AS"):
+            self._identifier("alias")
+        elif self.peek().kind == "IDENT" and self.peek(1).kind not in ("DOT",):
+            # bare alias like "lineitem l"
+            self.next()
+
+    def _join_equality(self) -> tuple[str, str]:
+        left = self._identifier("join column")
+        self.expect("EQ")
+        right = self._identifier("join column")
+        return left, right
+
+    def _name_list(self) -> list[str]:
+        names = [self._identifier("column")]
+        while self.accept("COMMA"):
+            names.append(self._identifier("column"))
+        return names
+
+    def _identifier(self, what: str) -> str:
+        token = self.next()
+        if token.kind != "IDENT":
+            raise SqlSyntaxError(f"expected {what}, found {token.value!r}")
+        if self.accept("DOT"):
+            # qualified name: alias.column — column names are globally
+            # unique in this engine, keep only the column part.
+            return self.expect("IDENT").value
+        return token.value
+
+    # -- projection planning ---------------------------------------------
+
+    def _plan_projection(
+        self,
+        plan: Q,
+        items: list[_SelectItem],
+        group_names: list[str],
+        having_expr: Expr | None,
+    ) -> Q:
+        has_star = any(item.is_star for item in items)
+        if not self._aggs and not group_names:
+            if has_star:
+                if len(items) > 1:
+                    raise SqlSyntaxError("SELECT * cannot mix with other items")
+                return plan
+            return plan.project(**{item.alias: item.expr for item in items})
+
+        if has_star:
+            raise SqlSyntaxError("SELECT * cannot be combined with aggregation")
+
+        # Group keys may name SELECT aliases of computed expressions; those
+        # must be materialized before the aggregate.
+        alias_exprs = {item.alias: item.expr for item in items}
+        available = set(output_columns(plan.node, self.db))
+        pre_project: dict[str, Expr] = {}
+        for name in group_names:
+            if name not in available:
+                if name not in alias_exprs:
+                    raise SqlSyntaxError(f"GROUP BY column {name!r} is not in scope")
+                pre_project[name] = alias_exprs[name]
+        if pre_project:
+            needed: set[str] = set()
+            for spec in self._aggs.values():
+                if spec.expr is not None:
+                    needed |= spec.expr.references()
+            for expr in pre_project.values():
+                needed |= expr.references()
+            keep = {name: col(name) for name in needed & available}
+            keep.update({g: col(g) for g in group_names if g in available})
+            keep.update(pre_project)
+            plan = plan.project(**keep)
+
+        plan = plan.aggregate(by=group_names, **self._aggs)
+        if having_expr is not None:
+            plan = plan.filter(having_expr)
+        # Group-key select items were materialized before the aggregate
+        # (possibly as computed expressions); after it they are plain
+        # columns named by their alias.
+        final = {
+            item.alias: col(item.alias) if item.alias in group_names else item.expr
+            for item in items
+        }
+        return plan.project(**final)
+
+    # -- expressions ------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self.accept("OR"):
+            left = left | self._and_expr()
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self.accept("AND"):
+            right = self._not_expr()
+            if right is None:
+                continue
+            left = right if left is None else (left & right)
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self.accept("NOT"):
+            operand = self._not_expr()
+            return ~operand
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        kind = self.peek().kind
+        if kind in ("EQ", "NE", "LT", "LE", "GT", "GE"):
+            self.next()
+            right = self._additive()
+            ops = {"EQ": "__eq__", "NE": "__ne__", "LT": "__lt__",
+                   "LE": "__le__", "GT": "__gt__", "GE": "__ge__"}
+            return getattr(left, ops[kind])(right)
+        if self.accept("BETWEEN"):
+            lo = self._additive()
+            self.expect("AND")
+            hi = self._additive()
+            return (left >= lo) & (left <= hi)
+        negated = False
+        if self.peek().kind == "NOT" and self.peek(1).kind in ("IN", "LIKE"):
+            self.next()
+            negated = True
+        if self.accept("IN"):
+            return self._in_tail(left, negated)
+        if self.accept("LIKE"):
+            pattern = self.expect("STRING").value
+            return left.not_like(pattern) if negated else left.like(pattern)
+        if self.accept("IS"):
+            is_not = bool(self.accept("NOT"))
+            self.expect("NULL")
+            return left.is_not_null() if is_not else left.is_null()
+        return left
+
+    def _in_tail(self, left: Expr, negated: bool) -> Expr:
+        self.expect("LPAREN")
+        if self.peek().kind == "SELECT":
+            from ..expr import ColRef
+
+            if not isinstance(left, ColRef):
+                raise SqlSyntaxError("IN (SELECT ...) requires a plain column on the left")
+            if not self._in_conjunctive_where:
+                raise SqlSyntaxError("IN (SELECT ...) is only supported in WHERE conjunctions")
+            sub = _Parser(self.db, self.tokens)
+            sub.pos = self.pos
+            subplan = sub.parse_query()
+            self.pos = sub.pos
+            self.expect("RPAREN")
+            sub_cols = output_columns(subplan.node, self.db)
+            if len(sub_cols) != 1:
+                raise SqlSyntaxError("IN subquery must produce exactly one column")
+            self._semijoins.append(_SemiJoin(left.name, subplan, sub_cols[0], negated))
+            return None  # removed from the boolean tree by _and_expr
+        values = [self._literal_value()]
+        while self.accept("COMMA"):
+            values.append(self._literal_value())
+        self.expect("RPAREN")
+        out = left.isin(values)
+        return ~out if negated else out
+
+    def _literal_value(self):
+        token = self.next()
+        if token.kind == "NUMBER":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "STRING":
+            return token.value
+        if token.kind == "MINUS":
+            inner = self._literal_value()
+            return -inner
+        raise SqlSyntaxError(f"expected a literal, found {token.value!r}")
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            if self.accept("PLUS"):
+                left = self._fold_date_arith(left, self._multiplicative(), +1)
+            elif self.accept("MINUS"):
+                left = self._fold_date_arith(left, self._multiplicative(), -1)
+            else:
+                return left
+
+    def _fold_date_arith(self, left: Expr, right, sign: int) -> Expr:
+        if isinstance(right, _Interval):
+            if not isinstance(left, Literal) or not isinstance(left.value, str):
+                raise SqlSyntaxError("INTERVAL arithmetic needs a DATE literal")
+            base = _dt.date.fromisoformat(left.value)
+            year = base.year + sign * right.years
+            month = base.month + sign * right.months
+            year += (month - 1) // 12
+            month = (month - 1) % 12 + 1
+            day = min(base.day, _days_in_month(year, month))
+            moved = _dt.date(year, month, day) + _dt.timedelta(days=sign * right.days)
+            return lit(moved.isoformat())
+        return (left + right) if sign > 0 else (left - right)
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            if self.accept("STAR"):
+                left = left * self._unary()
+            elif self.accept("SLASH"):
+                left = left / self._unary()
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.accept("MINUS"):
+            return lit(0) - self._unary()
+        return self._primary()
+
+    def _primary(self):
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.next()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return lit(value)
+        if token.kind == "STRING":
+            self.next()
+            return lit(token.value)
+        if token.kind == "DATE":
+            self.next()
+            return lit(self.expect("STRING").value)
+        if token.kind == "INTERVAL":
+            self.next()
+            amount = int(self.expect("STRING").value)
+            unit = self.next()
+            if unit.kind == "DAY":
+                return _Interval(days=amount)
+            if unit.kind == "MONTH":
+                return _Interval(months=amount)
+            if unit.kind == "YEAR":
+                return _Interval(years=amount)
+            raise SqlSyntaxError(f"unsupported interval unit {unit.value!r}")
+        if token.kind == "CASE":
+            return self._case()
+        if token.kind in ("SUM", "AVG", "MIN", "MAX", "COUNT"):
+            return self._aggregate_call()
+        if token.kind == "EXTRACT":
+            self.next()
+            self.expect("LPAREN")
+            self.expect("YEAR")
+            self.expect("FROM")
+            inner = self._expr()
+            self.expect("RPAREN")
+            return inner.year()
+        if token.kind == "SUBSTRING":
+            self.next()
+            self.expect("LPAREN")
+            inner = self._expr()
+            if self.accept("FROM"):
+                start = int(self.expect("NUMBER").value)
+                self.expect("FOR")
+                length = int(self.expect("NUMBER").value)
+            else:
+                self.expect("COMMA")
+                start = int(self.expect("NUMBER").value)
+                self.expect("COMMA")
+                length = int(self.expect("NUMBER").value)
+            self.expect("RPAREN")
+            return inner.substring(start, length)
+        if token.kind == "LPAREN":
+            self.next()
+            if self.peek().kind == "SELECT":
+                sub = _Parser(self.db, self.tokens)
+                sub.pos = self.pos
+                subplan = sub.parse_query()
+                self.pos = sub.pos
+                self.expect("RPAREN")
+                return scalar(subplan)
+            inner = self._expr()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "IDENT":
+            return col(self._identifier("column"))
+        raise SqlSyntaxError(f"unexpected token {token.value!r} at {token.position}")
+
+    def _case(self) -> Expr:
+        self.expect("CASE")
+        whens = []
+        while self.accept("WHEN"):
+            cond = self._expr()
+            self.expect("THEN")
+            value = self._expr()
+            whens.append((cond, value))
+        otherwise = lit(0.0)
+        if self.accept("ELSE"):
+            otherwise = self._expr()
+        self.expect("END")
+        return case(whens, otherwise)
+
+    def _aggregate_call(self) -> Expr:
+        func = self.next().kind
+        self.expect("LPAREN")
+        if func == "COUNT" and self.accept("STAR"):
+            self.expect("RPAREN")
+            return self._register(agg.count_star())
+        if func == "COUNT" and self.accept("DISTINCT"):
+            inner = self._expr()
+            self.expect("RPAREN")
+            return self._register(agg.count_distinct(inner))
+        inner = self._expr()
+        self.expect("RPAREN")
+        builder = {"SUM": agg.sum, "AVG": agg.avg, "MIN": agg.min,
+                   "MAX": agg.max, "COUNT": agg.count}[func]
+        return self._register(builder(inner))
+
+    def _register(self, spec) -> Expr:
+        name = f"__agg{self._agg_counter}"
+        self._agg_counter += 1
+        self._aggs[name] = spec
+        return col(name)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    return (_dt.date(year, month + 1, 1) - _dt.timedelta(days=1)).day
+
+
+def parse(db: Database, text: str) -> Q:
+    """Parse a SQL SELECT into a plan (alias: :func:`sql`)."""
+    parser = _Parser(db, tokenize(text))
+    plan = parser.parse_query()
+    trailing = parser.peek()
+    if trailing.kind != "EOF":
+        raise SqlSyntaxError(f"unexpected trailing input {trailing.value!r}")
+    return plan
+
+
+sql = parse

@@ -1,0 +1,71 @@
+"""Type system for the columnar engine.
+
+The engine supports the five types TPC-H needs: 64-bit integers, 64-bit
+floats, dates (stored as int32 days since the Unix epoch), booleans, and
+strings (stored dictionary-encoded: int32 codes into a per-column
+dictionary of unique values, which is MonetDB's in-memory layout for
+low-cardinality text).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DataType",
+    "INT64",
+    "FLOAT64",
+    "DATE",
+    "STRING",
+    "BOOL",
+    "date_to_days",
+    "days_to_date",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A column data type.
+
+    Attributes:
+        name: canonical lowercase type name.
+        numpy_dtype: dtype of the physical value array. For STRING this is
+            the dtype of the *code* array, not the dictionary.
+        width: bytes per value as laid out in memory (used for memory
+            traffic accounting in :class:`~repro.engine.profile.WorkProfile`).
+    """
+
+    name: str
+    numpy_dtype: np.dtype
+    width: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType({self.name})"
+
+
+INT64 = DataType("int64", np.dtype(np.int64), 8)
+FLOAT64 = DataType("float64", np.dtype(np.float64), 8)
+DATE = DataType("date", np.dtype(np.int32), 4)
+STRING = DataType("string", np.dtype(np.int32), 4)
+BOOL = DataType("bool", np.dtype(np.bool_), 1)
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+def date_to_days(value: str | _dt.date) -> int:
+    """Convert an ISO date string (or :class:`datetime.date`) to epoch days.
+
+    >>> date_to_days("1970-01-02")
+    1
+    """
+    if isinstance(value, str):
+        value = _dt.date.fromisoformat(value)
+    return (value - _EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Inverse of :func:`date_to_days`."""
+    return _EPOCH + _dt.timedelta(days=int(days))

@@ -1,0 +1,146 @@
+"""Calibration constants for the performance model.
+
+The model's per-platform inputs are fixed spec-sheet values
+(:mod:`repro.hardware.platforms`); this module holds the small set of
+*global* constants that map counted engine work onto hardware resource
+demand. Defaults were chosen by fitting predicted TPC-H SF 1 runtimes
+against the paper's published Table II with
+:func:`fit_constants` (log-space least squares over all 22 queries x 10
+platforms) and then frozen, so the library needs no scipy at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CalibrationConstants", "DEFAULT_CONSTANTS", "fit_constants"]
+
+
+@dataclass(frozen=True)
+class CalibrationConstants:
+    """Global work-to-hardware translation constants.
+
+    Attributes:
+        cycles_per_op: proxy CPU operations per counted engine op. This
+            absorbs the DBMS interpretation overhead (MonetDB executes
+            many instructions per logical value touched).
+        bytes_factor: actual bytes moved per counted byte (full
+            materialization echoes intermediates through memory).
+        rand_latency_factor: multiplier on the platform DRAM latency per
+            counted random access.
+        llc_resident_discount: random-access latency factor when the
+            working structure fits in LLC.
+        working_set_factor: counted output bytes are multiplied by this
+            to estimate the random-access working-structure size.
+        mlp_per_core: outstanding misses a core can overlap.
+        dispatch_ops: fixed per-operator dispatch cost in proxy ops
+            (query setup, BAT bookkeeping), paid at single-core speed.
+        smt_boost: throughput multiplier from Hyper-Threading on
+            compute-bound work.
+        parallel_efficiency: global multi-core scaling efficiency.
+        serial_fraction: Amdahl serial fraction of compute work per query
+            (MonetDB does not saturate 40 threads on sub-second queries).
+        mem_serial_fraction: Amdahl serial fraction for memory streaming
+            (one query rarely drives a machine's full aggregate bandwidth).
+    """
+
+    cycles_per_op: float = 22.1
+    bytes_factor: float = 1.5
+    rand_latency_factor: float = 0.3
+    llc_resident_discount: float = 0.18
+    working_set_factor: float = 1.0
+    mlp_per_core: float = 4.0
+    dispatch_ops: float = 4.0e6
+    smt_boost: float = 1.25
+    parallel_efficiency: float = 0.80
+    serial_fraction: float = 0.02
+    mem_serial_fraction: float = 0.0666
+
+    def replaced(self, **kwargs) -> "CalibrationConstants":
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONSTANTS = CalibrationConstants()
+
+# Per-platform DBMS efficiency factors (predicted time is multiplied by
+# this). The spec-sheet model cannot see how well MonetDB's runtime maps
+# onto a particular machine (NUMA layout, allocator behaviour, kernel);
+# these scalars are calibrated against the paper's published Table II
+# (geometric mean of observed/predicted per platform, alternated with the
+# global fit) and frozen. They are an instrument calibration, not a
+# fudge-per-query: one number per machine, constant across all 22 queries
+# and reused unchanged for SF 10, the cluster study, and the strategy
+# study. Values near 1.0 mean the spec model alone was already right.
+DEFAULT_PLATFORM_FACTORS: dict[str, float] = {
+    "op-e5": 1.179,
+    "op-gold": 1.256,
+    "c4.8xlarge": 0.703,
+    "m4.10xlarge": 0.623,
+    "m4.16xlarge": 0.706,
+    "z1d.metal": 1.469,
+    "m5.metal": 1.228,
+    "a1.metal": 1.205,
+    "c6g.metal": 1.485,
+    "pi3b+": 0.540,
+    # Extension platform (SIII-C1); assumed to share the Pi 3B+'s DBMS
+    # efficiency profile (same OS/DBMS build, similar ARM core family).
+    "pi4b-8gb": 0.540,
+}
+
+
+def fit_constants(
+    observed: dict[str, dict[int, float]],
+    profiles: dict[int, "object"],
+    platforms: dict[str, "object"],
+    initial: CalibrationConstants | None = None,
+) -> CalibrationConstants:
+    """Fit the four dominant constants against published runtimes.
+
+    Args:
+        observed: ``{platform_key: {query_number: seconds}}`` — e.g. the
+            paper's Table II.
+        profiles: ``{query_number: WorkProfile}`` at the *same scale
+            factor* as the observations.
+        platforms: ``{platform_key: PlatformSpec}``.
+        initial: starting constants (default: current defaults).
+
+    Returns the fitted constants. Requires scipy (not needed at runtime —
+    fitted values are frozen in :data:`DEFAULT_CONSTANTS`).
+    """
+    import numpy as np
+    from scipy.optimize import least_squares
+
+    from .perfmodel import PerformanceModel
+
+    base = initial or DEFAULT_CONSTANTS
+    keys = [
+        "cycles_per_op", "bytes_factor", "rand_latency_factor",
+        "dispatch_ops", "serial_fraction", "mem_serial_fraction",
+    ]
+    # Bounds keep the model physically meaningful: the memory and random
+    # terms must not be optimized away (the Pi's memory-bound behaviour —
+    # the paper's Q1 story — depends on them).
+    bounds_lo = np.log([4.0, 1.5, 0.3, 1e5, 0.02, 0.05])
+    bounds_hi = np.log([120.0, 12.0, 3.0, 4e6, 0.50, 0.60])
+    x0 = np.clip(np.log([getattr(base, k) for k in keys]), bounds_lo, bounds_hi)
+
+    pairs = [
+        (platform_key, number, seconds)
+        for platform_key, per_query in observed.items()
+        for number, seconds in per_query.items()
+        if number in profiles and seconds is not None
+    ]
+
+    def residuals(x):
+        constants = base.replaced(**{k: float(np.exp(v)) for k, v in zip(keys, x)})
+        model = PerformanceModel(constants)
+        out = []
+        for platform_key, number, seconds in pairs:
+            predicted = model.predict(profiles[number], platforms[platform_key])
+            out.append(np.log(max(predicted, 1e-6)) - np.log(seconds))
+        return np.asarray(out)
+
+    fit = least_squares(
+        residuals, x0, method="trf", bounds=(bounds_lo, bounds_hi), max_nfev=200
+    )
+    return base.replaced(**{k: float(np.exp(v)) for k, v in zip(keys, fit.x)})

@@ -1,0 +1,92 @@
+"""Energy model (Section III-B of the paper).
+
+Active energy follows the paper's methodology exactly: runtime x TDP,
+where TDP is the CPU's per-socket figure (doubled for the dual-socket
+on-premises servers) and, for the Pi, the whole board's 5.1 W peak draw —
+a deliberately pessimistic accounting for the SBC, as the paper notes.
+
+The model additionally exposes idle power and an energy-proportionality
+curve (Section III-B2's discussion), which the paper argues is the SBC
+cluster's structural advantage: nodes can be powered off individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .platforms import KWH_PRICE_USD, PlatformSpec
+
+__all__ = ["EnergyModel", "EnergyEstimate"]
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy for one query execution."""
+
+    runtime_s: float
+    power_w: float
+
+    @property
+    def joules(self) -> float:
+        return self.runtime_s * self.power_w
+
+    @property
+    def watt_hours(self) -> float:
+        return self.joules / 3600.0
+
+    @property
+    def electricity_cost_usd(self) -> float:
+        return self.watt_hours / 1000.0 * KWH_PRICE_USD
+
+
+class EnergyModel:
+    """Per-platform power and energy accounting."""
+
+    def active_power(self, platform: PlatformSpec, nodes: int = 1) -> float:
+        """Peak active power in watts for ``nodes`` units of a platform
+        (TDP-based, per the paper; raises for cloud SKUs whose TDP is not
+        public — the paper likewise excludes them from Fig. 7)."""
+        if platform.total_tdp_w is None:
+            raise ValueError(
+                f"platform {platform.key!r} has no public TDP; the paper's "
+                "energy comparison covers only on-premises servers and the Pi"
+            )
+        return platform.total_tdp_w * nodes
+
+    def idle_power(self, platform: PlatformSpec, nodes: int = 1) -> float:
+        return platform.idle_w * platform.sockets * nodes
+
+    def query_energy(
+        self, platform: PlatformSpec, runtime_s: float, nodes: int = 1
+    ) -> EnergyEstimate:
+        """Active energy of a query run (paper methodology: full TDP for
+        the whole runtime)."""
+        return EnergyEstimate(runtime_s, self.active_power(platform, nodes))
+
+    def proportionality_curve(
+        self, platform: PlatformSpec, utilizations: list[float], nodes: int = 1
+    ) -> list[float]:
+        """Power draw at each utilization in [0, 1], modeling a linear
+        idle-to-peak ramp per node. For a *cluster*, unused nodes can be
+        powered off entirely (the paper's fine-grained scaling argument),
+        so cluster power steps with ceil(utilization x nodes)."""
+        idle = self.idle_power(platform, 1)
+        peak = self.active_power(platform, 1)
+        curve = []
+        for u in utilizations:
+            if not 0.0 <= u <= 1.0:
+                raise ValueError(f"utilization must be in [0, 1], got {u}")
+            if nodes == 1:
+                curve.append(idle + (peak - idle) * u)
+            else:
+                import math
+
+                active_nodes = math.ceil(u * nodes)
+                # Active nodes run at full utilization; the rest are off.
+                curve.append(active_nodes * peak)
+        return curve
+
+    def hourly_cost_usd(self, platform: PlatformSpec, nodes: int = 1) -> float:
+        """Electricity cost per hour at peak draw (how the paper derives
+        the Pi's $0.0004/hour figure)."""
+        return self.active_power(platform, nodes) / 1000.0 * KWH_PRICE_USD

@@ -1,0 +1,138 @@
+"""Roofline performance model: WorkProfile × PlatformSpec → seconds.
+
+This is the reproduction's substitute for running MonetDB on real
+hardware (the paper's repro gate). Per operator, the model takes the
+maximum of three resource times (they overlap on an out-of-order core):
+
+* compute — counted scalar ops × an interpretation factor, divided by the
+  platform's parallel integer throughput for the operator class;
+* sequential memory — bytes streamed divided by the platform's bandwidth
+  at the thread count (bandwidth saturates; SMT does not help it);
+* random access — probes/gathers × DRAM latency, discounted when the
+  working structure fits in LLC, divided by the achievable memory-level
+  parallelism.
+
+A per-operator dispatch overhead (MonetDB's interpreter) runs at
+single-core speed. Global constants live in
+:mod:`repro.hardware.calibration` and were fitted against the paper's
+published Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine import OperatorWork, WorkProfile
+
+from .calibration import CalibrationConstants, DEFAULT_CONSTANTS, DEFAULT_PLATFORM_FACTORS
+from .platforms import PlatformSpec
+
+__all__ = ["PerformanceModel", "RuntimeBreakdown"]
+
+# Parallel efficiency by operator class: scans split perfectly, hash
+# builds and sorts serialize on shared structures.
+_OPERATOR_PARALLEL_EFF = {
+    "scan": 1.0,
+    "filter": 0.95,
+    "project": 0.95,
+    "hashjoin": 0.75,
+    "aggregate": 0.70,
+    "sort": 0.55,
+    "topk": 0.90,
+    "distinct": 0.70,
+    "unionall": 1.0,
+    "limit": 1.0,
+}
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Predicted runtime with its resource decomposition (seconds)."""
+
+    total: float
+    compute: float
+    memory: float
+    random: float
+    dispatch: float
+
+
+class PerformanceModel:
+    """Converts work profiles into predicted runtimes per platform."""
+
+    def __init__(
+        self,
+        constants: CalibrationConstants | None = None,
+        platform_factors: dict[str, float] | None = None,
+    ):
+        self.constants = constants or DEFAULT_CONSTANTS
+        self.platform_factors = (
+            platform_factors if platform_factors is not None else DEFAULT_PLATFORM_FACTORS
+        )
+
+    # ------------------------------------------------------------------
+
+    def operator_time(
+        self, op: OperatorWork, platform: PlatformSpec, threads: int
+    ) -> tuple[float, float, float]:
+        """(compute, sequential-memory, random-access) times for one
+        operator at ``threads`` threads."""
+        c = self.constants
+        eff = _OPERATOR_PARALLEL_EFF.get(op.operator, 0.8)
+        threads = min(threads, platform.db_parallel_cap)
+        cores_used = min(threads, platform.total_cores)
+        boost = c.smt_boost if (platform.smt > 1 and threads > platform.total_cores) else 1.0
+        # Amdahl-limited compute scaling: one query does not keep 40
+        # threads busy end to end.
+        n_eff = max(1.0, cores_used * boost * eff * c.parallel_efficiency)
+        f = c.serial_fraction
+        speedup = 1.0 / (f + (1.0 - f) / n_eff)
+        rate = platform.core_rate("int") * speedup
+        compute = op.ops * c.cycles_per_op / rate
+
+        # Memory bandwidth: hardware saturation curve, further limited by
+        # the query's own streaming parallelism.
+        fm = c.mem_serial_fraction
+        mem_speedup = 1.0 / (fm + (1.0 - fm) / max(1.0, cores_used))
+        bandwidth = min(
+            platform.mem_bandwidth(threads),
+            platform.mem_bw_1core_gbs * 1e9 * mem_speedup,
+        )
+        seq = (op.seq_bytes + op.out_bytes) * c.bytes_factor / bandwidth
+
+        resident = op.out_bytes * c.working_set_factor <= platform.total_llc_bytes
+        latency = platform.dram_latency_ns * 1e-9 * c.rand_latency_factor
+        if resident:
+            latency *= c.llc_resident_discount
+        mlp = min(threads, platform.total_cores) * c.mlp_per_core
+        random = op.rand_accesses * latency / max(1.0, mlp)
+        return compute, seq, random
+
+    def breakdown(
+        self, profile: WorkProfile, platform: PlatformSpec, threads: int | None = None
+    ) -> RuntimeBreakdown:
+        """Predict a query runtime with its resource decomposition."""
+        c = self.constants
+        if threads is None:
+            threads = platform.total_cores * platform.smt
+        total = compute_sum = seq_sum = rand_sum = 0.0
+        for op in profile.operators:
+            compute, seq, random = self.operator_time(op, platform, threads)
+            total += max(compute, seq, random)
+            compute_sum += compute
+            seq_sum += seq
+            rand_sum += random
+        dispatch = len(profile.operators) * c.dispatch_ops / platform.core_rate("int")
+        factor = self.platform_factors.get(platform.key, 1.0)
+        return RuntimeBreakdown(
+            total=(total + dispatch) * factor,
+            compute=compute_sum * factor,
+            memory=seq_sum * factor,
+            random=rand_sum * factor,
+            dispatch=dispatch * factor,
+        )
+
+    def predict(
+        self, profile: WorkProfile, platform: PlatformSpec, threads: int | None = None
+    ) -> float:
+        """Predicted runtime in seconds for ``profile`` on ``platform``."""
+        return self.breakdown(profile, platform, threads).total

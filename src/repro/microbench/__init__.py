@@ -1,0 +1,10 @@
+"""Microbenchmark suite (Fig. 2 + the network check in §II-C3)."""
+
+from . import dhrystone, iperf, membw, sysbench, whetstone
+from .runner import BENCH_NAMES, MicrobenchResult, network_bandwidth_mbps, run_all, run_platform
+
+__all__ = [
+    "BENCH_NAMES", "MicrobenchResult", "dhrystone", "iperf", "membw",
+    "network_bandwidth_mbps", "run_all", "run_platform", "sysbench",
+    "whetstone",
+]

@@ -1,0 +1,42 @@
+"""Dhrystone (integer/string) microbenchmark — Fig. 2b."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hardware import PlatformSpec
+
+__all__ = ["model_dmips", "run_kernel"]
+
+# DMIPS per (GHz x IPC): classic cores sustain roughly 2-3 Dhrystone
+# MIPS per MHz of effective issue rate; 3.2 matches the published
+# Cortex-A53 figure (2.24 DMIPS/MHz at IPC 0.7).
+_DMIPS_PER_OP = 3.2
+
+
+def model_dmips(platform: PlatformSpec, all_cores: bool = False) -> float:
+    """Predicted DMIPS (higher is better)."""
+    if all_cores:
+        rate = platform.parallel_rate("int")
+    else:
+        rate = platform.core_rate("int")
+    return rate / 1e6 * _DMIPS_PER_OP
+
+
+def run_kernel(duration_s: float = 0.2, vector_size: int = 100_000) -> float:
+    """Dhrystone-like integer/branch/copy mix on the host; returns
+    M int-ops/second."""
+    rng = np.random.default_rng(11)
+    a = rng.integers(1, 1000, vector_size)
+    b = rng.integers(1, 1000, vector_size)
+    ops = 0
+    deadline = time.perf_counter() + duration_s
+    while time.perf_counter() < deadline:
+        c = a + b
+        d = np.where(c > 1000, c - b, c + b)  # the branch
+        a = np.roll(d, 1)  # the record copy
+        b = (a & 1023) + 1
+        ops += vector_size * 6
+    return ops / duration_s / 1e6

@@ -1,0 +1,31 @@
+"""Node-to-node network bandwidth (the paper's iperf check, §II-C3).
+
+Each WIMPI node's GbE port shares an internal USB 2.0 bus, capping
+usable bandwidth at roughly 20% of line rate; the paper measured
+~220 Mbps with iperf. The model exposes that figure and simulates a
+transfer through the cluster's network model.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GBE_LINE_RATE_MBPS", "USB_BUS_EFFICIENCY", "effective_node_bandwidth_mbps",
+           "simulate_transfer_s"]
+
+GBE_LINE_RATE_MBPS = 1000.0
+# The Pi 3B+ Ethernet hangs off the single USB 2.0 bus (~480 Mbps raw,
+# shared both directions plus protocol overhead).
+USB_BUS_EFFICIENCY = 0.22
+
+
+def effective_node_bandwidth_mbps() -> float:
+    """Usable point-to-point bandwidth between two WIMPI nodes (Mbps)."""
+    return GBE_LINE_RATE_MBPS * USB_BUS_EFFICIENCY
+
+
+def simulate_transfer_s(payload_bytes: float, latency_s: float = 0.0006) -> float:
+    """Time to move ``payload_bytes`` between two nodes: per-message
+    latency plus serialization at the effective bandwidth."""
+    if payload_bytes < 0:
+        raise ValueError("payload must be non-negative")
+    bandwidth_bps = effective_node_bandwidth_mbps() * 1e6 / 8.0
+    return latency_s + payload_bytes / bandwidth_bps

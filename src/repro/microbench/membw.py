@@ -1,0 +1,41 @@
+"""sysbench memory-bandwidth microbenchmark — Fig. 2d.
+
+The paper's key memory findings, which the model reproduces by
+construction of the platform table:
+
+* one Pi core nearly saturates the board's single memory channel, so the
+  Pi's all-core bandwidth barely exceeds its single-core bandwidth;
+* servers have 5-11x the Pi's single-core bandwidth and 20-99x its
+  all-core bandwidth;
+* Hyper-Threading does not increase bandwidth (the model never scales
+  bandwidth past physical cores).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hardware import PlatformSpec
+
+__all__ = ["model_bandwidth_gbs", "run_kernel"]
+
+
+def model_bandwidth_gbs(platform: PlatformSpec, all_cores: bool = False) -> float:
+    """Predicted sequential read bandwidth in GB/s."""
+    threads = platform.total_cores if all_cores else 1
+    return platform.mem_bandwidth(threads) / 1e9
+
+
+def run_kernel(buffer_mb: int = 64, passes: int = 3) -> float:
+    """Sequentially read a large buffer on the host; returns GB/s."""
+    buf = np.ones(buffer_mb * 1024 * 1024 // 8, dtype=np.float64)
+    best = 0.0
+    for _ in range(passes):
+        start = time.perf_counter()
+        total = float(buf.sum())  # forces a full sequential read
+        elapsed = time.perf_counter() - start
+        assert total > 0
+        best = max(best, buf.nbytes / elapsed / 1e9)
+    return best

@@ -1,0 +1,55 @@
+"""Run the full Fig. 2 microbenchmark matrix across all platforms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import ALL_KEYS, PLATFORMS, PlatformSpec
+
+from . import dhrystone, iperf, membw, sysbench, whetstone
+
+__all__ = ["MicrobenchResult", "run_all", "BENCH_NAMES"]
+
+BENCH_NAMES = ("whetstone_mwips", "dhrystone_dmips", "sysbench_s", "membw_gbs")
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """One platform's row across the four Fig. 2 panels."""
+
+    platform: str
+    whetstone_mwips_1core: float
+    whetstone_mwips_all: float
+    dhrystone_dmips_1core: float
+    dhrystone_dmips_all: float
+    sysbench_s_1core: float
+    sysbench_s_all: float
+    membw_gbs_1core: float
+    membw_gbs_all: float
+
+
+def run_platform(platform: PlatformSpec) -> MicrobenchResult:
+    """Evaluate all four microbenchmark models for one platform."""
+    return MicrobenchResult(
+        platform=platform.key,
+        whetstone_mwips_1core=whetstone.model_mwips(platform, all_cores=False),
+        whetstone_mwips_all=whetstone.model_mwips(platform, all_cores=True),
+        dhrystone_dmips_1core=dhrystone.model_dmips(platform, all_cores=False),
+        dhrystone_dmips_all=dhrystone.model_dmips(platform, all_cores=True),
+        sysbench_s_1core=sysbench.model_runtime_s(platform, all_cores=False),
+        sysbench_s_all=sysbench.model_runtime_s(platform, all_cores=True),
+        membw_gbs_1core=membw.model_bandwidth_gbs(platform, all_cores=False),
+        membw_gbs_all=membw.model_bandwidth_gbs(platform, all_cores=True),
+    )
+
+
+def run_all(keys: list[str] | None = None) -> dict[str, MicrobenchResult]:
+    """Fig. 2 data for every comparison point (plus the §II-C3 network
+    figure via :func:`network_bandwidth_mbps`)."""
+    keys = keys or list(ALL_KEYS)
+    return {key: run_platform(PLATFORMS[key]) for key in keys}
+
+
+def network_bandwidth_mbps() -> float:
+    """WIMPI node-to-node bandwidth (the paper measured ~220 Mbps)."""
+    return iperf.effective_node_bandwidth_mbps()

@@ -1,0 +1,73 @@
+"""sysbench CPU (prime search) microbenchmark — Fig. 2c.
+
+The sysbench CPU test runs a tight loop testing integers up to a limit
+for primality by trial division — dominated by integer division, which is
+why the paper found the Pi's Cortex-A53 "nearly identical" to the Ivy
+Bridge Xeon on this test while trailing on Whetstone/Dhrystone: old
+Xeons' integer dividers are slow.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.hardware import PlatformSpec
+
+__all__ = ["model_runtime_s", "division_count", "run_kernel"]
+
+# Seconds-per-division calibration: one trial division is ~1 "div-class"
+# op in the platform model.
+_OPS_PER_DIVISION = 1.0
+_DEFAULT_LIMIT = 10_000
+_DEFAULT_EVENTS = 10_000
+
+
+def division_count(limit: int = _DEFAULT_LIMIT) -> float:
+    """Trial divisions needed to test primality of 3..limit
+    (sum of sqrt(n), the sysbench inner loop)."""
+    return sum(math.isqrt(n) for n in range(3, limit + 1))
+
+
+# sysbench's event dispatcher serializes threads on a shared counter; the
+# contention is markedly worse with Hyper-Threading (twice the threads
+# fighting for the same lock). This is why the paper's all-core sysbench
+# gaps (4-14x) are far below the raw core-count ratios: an Amdahl serial
+# fraction models it.
+_SERIAL_FRACTION_SMT = 0.05
+_SERIAL_FRACTION_NO_SMT = 0.01
+
+
+def model_runtime_s(
+    platform: PlatformSpec,
+    all_cores: bool = False,
+    limit: int = _DEFAULT_LIMIT,
+    events: int = _DEFAULT_EVENTS,
+) -> float:
+    """Predicted runtime in seconds (lower is better) for ``events``
+    repetitions of the prime test."""
+    total_ops = division_count(limit) * events * _OPS_PER_DIVISION
+    if all_cores:
+        threads_eff = platform.parallel_rate("div") / platform.core_rate("div")
+        serial = _SERIAL_FRACTION_SMT if platform.smt > 1 else _SERIAL_FRACTION_NO_SMT
+        speedup = 1.0 / (serial + (1.0 - serial) / threads_eff)
+        rate = platform.core_rate("div") * speedup
+    else:
+        rate = platform.core_rate("div")
+    return total_ops / rate
+
+
+def run_kernel(limit: int = 2_000) -> tuple[int, float]:
+    """Run the actual prime loop once on the host; returns
+    ``(primes_found, seconds)``."""
+    start = time.perf_counter()
+    primes = 0
+    for n in range(3, limit + 1):
+        is_prime = True
+        for d in range(2, math.isqrt(n) + 1):
+            if n % d == 0:
+                is_prime = False
+                break
+        if is_prime:
+            primes += 1
+    return primes, time.perf_counter() - start

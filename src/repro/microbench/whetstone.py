@@ -1,0 +1,59 @@
+"""Whetstone (floating-point) microbenchmark — Fig. 2a.
+
+Two faces:
+
+* :func:`model_mwips` — the per-platform analytic model (float throughput
+  from the platform spec), used to regenerate Fig. 2a for hardware we do
+  not have.
+* :func:`run_kernel` — a real, runnable Whetstone-style float kernel
+  (numpy), exercising the same instruction mix on the host; used by tests
+  to validate the kernel path and by the quickstart example.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hardware import PlatformSpec
+
+__all__ = ["model_mwips", "run_kernel"]
+
+# Whetstone reports MWIPS; one "Whetstone instruction" is roughly one
+# float operation in the canonical loop mix.
+_MWIPS_PER_FLOP = 1.0
+
+
+def model_mwips(platform: PlatformSpec, all_cores: bool = False) -> float:
+    """Predicted MWIPS (higher is better).
+
+    Single-core uses the per-core float rate; all-cores scales by the
+    full machine (with the paper's observed moderate Hyper-Threading
+    benefit on CPU-bound code).
+    """
+    if all_cores:
+        rate = platform.parallel_rate("flt")
+    else:
+        rate = platform.core_rate("flt")
+    return rate / 1e6 * _MWIPS_PER_FLOP
+
+
+def run_kernel(duration_s: float = 0.2, vector_size: int = 100_000) -> float:
+    """Run a Whetstone-like float mix on the host and return measured
+    M float-ops/second (vectorized — measures the host's float pipeline,
+    not the interpreter)."""
+    rng = np.random.default_rng(7)
+    x = rng.random(vector_size) + 0.5
+    y = rng.random(vector_size) + 0.5
+    flops = 0
+    deadline = time.perf_counter() + duration_s
+    while time.perf_counter() < deadline:
+        # The classic N1/N2/N7 style mix: multiply-add chains and
+        # transcendental-ish work.
+        z = x * y + y
+        z = z * x - y
+        z = np.sqrt(z * z + 1.0)
+        x = z / (z + 1.0)
+        flops += vector_size * 8
+    return flops / duration_s / 1e6

@@ -1,0 +1,11 @@
+"""ML workload extension — the paper's SV future work, executed."""
+
+from .kernels import FitResult, kmeans, logistic_regression
+from .study import MlPlatformResult, distributed_training_time, ml_study
+from .workload import FEATURE_COLUMNS, lineitem_features
+
+__all__ = [
+    "FEATURE_COLUMNS", "FitResult", "MlPlatformResult",
+    "distributed_training_time", "kmeans", "lineitem_features",
+    "logistic_regression", "ml_study",
+]

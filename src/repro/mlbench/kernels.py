@@ -1,0 +1,135 @@
+"""Instrumented machine-learning kernels (the paper's §V future work).
+
+"In the near future, we plan to extend our study with other
+computationally intensive workloads, in particular machine learning."
+
+Each kernel really trains on numpy data *and* records a
+:class:`~repro.engine.profile.WorkProfile`, so the same hardware model
+that prices TPC-H can price ML training: per-iteration float ops and the
+bytes streamed through the feature matrix. ML training is far more
+compute-dense per byte than OLAP scans — exactly the regime where the
+paper's microbenchmarks say the Pi shines relative to its price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine import OperatorWork, WorkProfile
+
+__all__ = ["FitResult", "kmeans", "logistic_regression"]
+
+
+@dataclass
+class FitResult:
+    """A trained model plus the work it took.
+
+    Attributes:
+        name: kernel name.
+        model: kernel-specific parameters (centroids / weights).
+        metric: quality metric (inertia for k-means, accuracy for
+            logistic regression).
+        iterations: iterations actually run.
+        profile: hardware-independent work profile of the training.
+    """
+
+    name: str
+    model: np.ndarray
+    metric: float
+    iterations: int
+    profile: WorkProfile
+
+
+def _training_work(name: str, n: int, d: int, iterations: int,
+                   flops_per_row_iter: float) -> WorkProfile:
+    """Profile of an iterative pass-based trainer: every iteration
+    streams the feature matrix once and spends dense float ops on it."""
+    work = OperatorWork(
+        operator="mltrain",
+        seq_bytes=float(n * d * 8 * iterations),
+        ops=float(n * flops_per_row_iter * iterations),
+        tuples_in=float(n * iterations),
+        tuples_out=float(n),
+        out_bytes=float(d * 8),
+    )
+    return WorkProfile([work])
+
+
+def kmeans(
+    features: np.ndarray,
+    k: int = 8,
+    max_iterations: int = 20,
+    tolerance: float = 1e-4,
+    seed: int = 0,
+) -> FitResult:
+    """Lloyd's k-means; returns centroids, inertia, and the work profile."""
+    if features.ndim != 2 or not len(features):
+        raise ValueError("features must be a non-empty 2-D array")
+    n, d = features.shape
+    rng = np.random.default_rng(seed)
+    # k-means++ seeding: spread initial centroids by squared distance.
+    k = min(k, n)
+    first = int(rng.integers(n))
+    centroids = [features[first].astype(np.float64)]
+    for _ in range(k - 1):
+        dist_sq = np.min(
+            ((features[:, None, :] - np.asarray(centroids)[None, :, :]) ** 2).sum(axis=2),
+            axis=1,
+        )
+        total = dist_sq.sum()
+        if total <= 0:
+            centroids.append(features[int(rng.integers(n))].astype(np.float64))
+            continue
+        pick = int(rng.choice(n, p=dist_sq / total))
+        centroids.append(features[pick].astype(np.float64))
+    centroids = np.asarray(centroids)
+    iterations = 0
+    inertia = np.inf
+    for iterations in range(1, max_iterations + 1):
+        distances = ((features[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assignment = distances.argmin(axis=1)
+        new_inertia = float(distances[np.arange(n), assignment].sum())
+        for j in range(len(centroids)):
+            members = features[assignment == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+        if inertia - new_inertia < tolerance * max(inertia, 1e-12):
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    # distance computation: ~3 flops per (row, centroid, dim) + argmin.
+    profile = _training_work("kmeans", n, d, iterations,
+                             flops_per_row_iter=3.0 * len(centroids) * d + len(centroids))
+    return FitResult("kmeans", centroids, inertia, iterations, profile)
+
+
+def logistic_regression(
+    features: np.ndarray,
+    labels: np.ndarray,
+    iterations: int = 50,
+    learning_rate: float = 0.1,
+) -> FitResult:
+    """Full-batch gradient-descent logistic regression; returns weights,
+    training accuracy, and the work profile."""
+    if features.ndim != 2 or len(features) != len(labels):
+        raise ValueError("features/labels shape mismatch")
+    n, d = features.shape
+    # Standardize for stable steps (counted as one extra pass).
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0] = 1.0
+    x = (features - mean) / std
+    y = labels.astype(np.float64)
+    weights = np.zeros(d + 1)
+    xb = np.concatenate([x, np.ones((n, 1))], axis=1)
+    for _ in range(iterations):
+        logits = xb @ weights
+        preds = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+        gradient = xb.T @ (preds - y) / n
+        weights -= learning_rate * gradient
+    accuracy = float(((xb @ weights > 0) == (y > 0.5)).mean())
+    # matvec + sigmoid + gradient: ~4 flops per (row, dim) per iteration.
+    profile = _training_work("logreg", n, d + 1, iterations, flops_per_row_iter=4.0 * (d + 1))
+    return FitResult("logreg", weights, accuracy, iterations, profile)

@@ -1,0 +1,106 @@
+"""The ML extension study: training cost on Pi vs servers, single-node
+and data-parallel (the paper's §V plan, executed).
+
+Two results the paper's microbenchmarks predict:
+
+* single-node: ML training is compute-dense (many flops per byte), so
+  the Pi's *relative* gap to the servers is set by core compute — the
+  2-6x of Fig. 2 — not the 20-99x bandwidth gap, making ML-per-dollar
+  spectacular on the Pi;
+* distributed: full-batch gradient descent data-parallelizes with one
+  small allreduce (the weight vector) per iteration, so a WIMPI-style
+  cluster scales until the per-iteration network latency floor —
+  the same plateau Table III shows for Q6/Q14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import NetworkModel
+from repro.hardware import PLATFORMS, PI_KEY, PerformanceModel
+from repro.tpch import generate
+
+from .kernels import FitResult, kmeans, logistic_regression
+from .workload import lineitem_features
+
+__all__ = ["MlPlatformResult", "ml_study", "distributed_training_time"]
+
+
+@dataclass
+class MlPlatformResult:
+    platform: str
+    kernel: str
+    seconds: float
+    msrp_seconds_usd: float  # runtime x hardware price (per-dollar metric)
+
+
+def distributed_training_time(
+    single_node_seconds: float,
+    n_nodes: int,
+    iterations: int,
+    weight_bytes: float,
+    network: NetworkModel | None = None,
+) -> float:
+    """Data-parallel training wall-clock: compute splits across nodes;
+    each iteration pays a gather+broadcast of the model over the
+    paper's 220 Mbps links (sequential driver, as in WIMPI)."""
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    network = network or NetworkModel()
+    compute = single_node_seconds / n_nodes
+    per_iteration = network.gather_time([weight_bytes] * n_nodes) + network.transfer_time(
+        weight_bytes
+    )
+    return compute + iterations * per_iteration
+
+
+def ml_study(
+    base_sf: float = 0.02,
+    target_sf: float = 1.0,
+    platforms: tuple[str, ...] = ("pi3b+", "op-e5", "op-gold"),
+    cluster_sizes: tuple[int, ...] = (4, 8, 16, 24),
+    seed: int = 42,
+) -> dict:
+    """Train k-means and logistic regression on TPC-H lineitem features;
+    price the training per platform and model the WIMPI scaling curve.
+
+    Returns ``{"fits": {...}, "platforms": [...], "cluster": {...}}``.
+    """
+    db = generate(base_sf, seed=seed)
+    features, labels = lineitem_features(db)
+    fits: dict[str, FitResult] = {
+        "kmeans": kmeans(features, k=8, max_iterations=10),
+        "logreg": logistic_regression(features, labels, iterations=50),
+    }
+
+    model = PerformanceModel(platform_factors={})  # bare kernels, no DBMS
+    scale = target_sf / base_sf
+    rows: list[MlPlatformResult] = []
+    for kernel_name, fit in fits.items():
+        profile = fit.profile.scaled(scale)
+        for key in platforms:
+            spec = PLATFORMS[key]
+            seconds = model.predict(profile, spec)
+            price = spec.total_msrp_usd if spec.total_msrp_usd else float("nan")
+            rows.append(MlPlatformResult(
+                platform=key,
+                kernel=kernel_name,
+                seconds=seconds,
+                msrp_seconds_usd=seconds * price,
+            ))
+
+    # Data-parallel logistic regression on WIMPI.
+    pi = PLATFORMS[PI_KEY]
+    logreg = fits["logreg"]
+    single = model.predict(logreg.profile.scaled(scale), pi)
+    weight_bytes = logreg.model.nbytes
+    cluster = {
+        n: distributed_training_time(single, n, logreg.iterations, weight_bytes)
+        for n in cluster_sizes
+    }
+    return {
+        "fits": fits,
+        "platforms": rows,
+        "cluster": {"single_pi_seconds": single, "by_nodes": cluster},
+    }

@@ -1,0 +1,33 @@
+"""Feature extraction from TPC-H for the ML study.
+
+The ML workloads train on real generated data: a numeric feature matrix
+drawn from lineitem (the quantity / price / discount / tax space) with a
+derived "large order line" label for classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Database
+
+__all__ = ["lineitem_features", "FEATURE_COLUMNS"]
+
+FEATURE_COLUMNS = ("l_quantity", "l_extendedprice", "l_discount", "l_tax")
+
+
+def lineitem_features(db: Database, limit: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """(features, labels) from lineitem.
+
+    Features: the four numeric lineitem measures. Label: whether the
+    line's discounted revenue exceeds the table median (a balanced,
+    data-derived target).
+    """
+    li = db.table("lineitem")
+    columns = [li.column(name).values.astype(np.float64) for name in FEATURE_COLUMNS]
+    features = np.stack(columns, axis=1)
+    if limit is not None:
+        features = features[:limit]
+    revenue = features[:, 1] * (1.0 - features[:, 2])
+    labels = (revenue > np.median(revenue)).astype(np.int64)
+    return features, labels

@@ -1,0 +1,13 @@
+"""Execution-strategy study (Fig. 4): data-centric, hybrid, access-aware."""
+
+from .accessaware import ACCESS_AWARE
+from .base import COMPILED_CONSTANTS, STRATEGY_QUERIES, Strategy
+from .datacentric import DATA_CENTRIC
+from .hybrid import HYBRID
+from .runner import ALL_STRATEGIES, FIG4_PLATFORMS, StrategyRun, run_matrix
+
+__all__ = [
+    "ACCESS_AWARE", "ALL_STRATEGIES", "COMPILED_CONSTANTS", "DATA_CENTRIC",
+    "FIG4_PLATFORMS", "HYBRID", "STRATEGY_QUERIES", "Strategy",
+    "StrategyRun", "run_matrix",
+]

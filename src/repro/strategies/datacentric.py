@@ -1,0 +1,20 @@
+"""Data-centric (fused tuple-at-a-time) execution — the slowest paradigm
+in both the original study and the paper's Fig. 4."""
+
+from .base import Strategy
+
+__all__ = ["DATA_CENTRIC"]
+
+DATA_CENTRIC = Strategy(
+    name="data-centric",
+    # Per-tuple control flow: every tuple walks the whole pipeline, with
+    # data-dependent branches at each operator boundary.
+    ops_factor=1.50,
+    # Effective memory traffic: fusion avoids materialization, but
+    # tuple-at-a-time interleaving of many base columns wastes cache-line
+    # bandwidth, so effective traffic is highest of the three.
+    seq_factor=1.00,
+    # Data-dependent per-tuple accesses defeat the prefetcher.
+    rand_factor=1.40,
+    description="HyPer-style fused pipelines, tuple at a time",
+)

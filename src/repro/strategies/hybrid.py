@@ -1,0 +1,18 @@
+"""Hybrid (relaxed operator fusion) execution — between the other two
+paradigms, as in the paper's Fig. 4."""
+
+from .base import Strategy
+
+__all__ = ["HYBRID"]
+
+HYBRID = Strategy(
+    name="hybrid",
+    # Vectorized stages amortize control flow over small batches.
+    ops_factor=1.15,
+    # Stages materialize at pipeline breakers only; vector-at-a-time
+    # access recovers most cache-line utilization.
+    seq_factor=0.95,
+    # Batch-at-a-time access restores some locality.
+    rand_factor=1.00,
+    description="Relaxed operator fusion: vectors staged at pipeline breakers",
+)

@@ -1,0 +1,52 @@
+"""Run the Fig. 4 matrix: 8 queries x 3 strategies x platforms,
+single-threaded."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiler import TPCHProfiler
+from repro.hardware import PLATFORMS, PerformanceModel
+
+from .accessaware import ACCESS_AWARE
+from .base import COMPILED_CONSTANTS, STRATEGY_QUERIES, Strategy
+from .datacentric import DATA_CENTRIC
+from .hybrid import HYBRID
+
+__all__ = ["ALL_STRATEGIES", "StrategyRun", "run_matrix", "FIG4_PLATFORMS"]
+
+ALL_STRATEGIES: tuple[Strategy, ...] = (DATA_CENTRIC, HYBRID, ACCESS_AWARE)
+
+# The paper's Fig. 4 shows op-e5, op-gold, and the Pi (cloud machines
+# "exhibited similar trends").
+FIG4_PLATFORMS = ("op-e5", "op-gold", "pi3b+")
+
+
+@dataclass(frozen=True)
+class StrategyRun:
+    platform: str
+    strategy: str
+    query: int
+    seconds: float
+
+
+def run_matrix(
+    profiler: TPCHProfiler | None = None,
+    platforms: tuple[str, ...] = FIG4_PLATFORMS,
+    queries: tuple[int, ...] = STRATEGY_QUERIES,
+    target_sf: float = 1.0,
+) -> list[StrategyRun]:
+    """Predicted single-threaded runtimes for every (platform, strategy,
+    query) cell of Fig. 4. Hand-coded kernels carry no DBMS platform
+    factor, so the model runs with factors disabled."""
+    profiler = profiler or TPCHProfiler()
+    model = PerformanceModel(COMPILED_CONSTANTS, platform_factors={})
+    runs = []
+    for number in queries:
+        base_profile = profiler.profile(number, target_sf).profile
+        for strategy in ALL_STRATEGIES:
+            shaped = strategy.transform(base_profile)
+            for key in platforms:
+                seconds = model.predict(shaped, PLATFORMS[key], threads=1)
+                runs.append(StrategyRun(key, strategy.name, number, seconds))
+    return runs

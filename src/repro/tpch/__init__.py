@@ -1,0 +1,13 @@
+"""TPC-H substrate: schemas, deterministic dbgen, and the 22 queries."""
+
+from .dbgen import CURRENT_DATE, generate, generate_table
+from .schema import BASE_ROWS, TABLE_NAMES, TPCH_SCHEMAS, rows_at_sf
+from .queries import ALL_QUERY_NUMBERS, CHOKEPOINTS, QUERIES, QueryDef, get_query
+from .sqltext import SQL_QUERIES, SQL_QUERY_NUMBERS, build_from_sql
+
+__all__ = [
+    "ALL_QUERY_NUMBERS", "BASE_ROWS", "CHOKEPOINTS", "CURRENT_DATE",
+    "QUERIES", "QueryDef", "TABLE_NAMES", "TPCH_SCHEMAS", "generate",
+    "generate_table", "get_query", "rows_at_sf",
+    "SQL_QUERIES", "SQL_QUERY_NUMBERS", "build_from_sql",
+]

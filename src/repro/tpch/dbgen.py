@@ -1,0 +1,348 @@
+"""Deterministic TPC-H data generator (dbgen stand-in).
+
+Generates all 8 tables at any scale factor with numpy, preserving the
+value distributions, key formulas, and cross-table correlations the 22
+queries depend on:
+
+* ``ps_suppkey`` follows the spec's supplier-spreading formula, and
+  ``l_suppkey`` always matches one of the part's four partsupp rows.
+* Only customers whose key is not divisible by 3 place orders (so Q13's
+  zero-order spike and Q22's "customers without orders" exist).
+* ``o_totalprice`` / ``o_orderstatus`` are derived from the order's
+  actual lineitems.
+* Comment columns draw from deterministic pools that plant Q13's
+  ``special … requests`` and Q16's ``Customer … Complaints`` phrases at
+  spec-like frequencies.
+
+Everything is reproducible from ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Column, Database, Table, date_to_days
+from repro.engine.types import DATE, FLOAT64, INT64
+
+from . import text
+from .schema import rows_at_sf
+
+__all__ = ["generate", "generate_table", "CURRENT_DATE"]
+
+# The spec's "current date" used to derive return flags and line status.
+CURRENT_DATE = date_to_days("1995-06-17")
+_MIN_ORDER_DATE = date_to_days("1992-01-01")
+_MAX_ORDER_DATE = date_to_days("1998-08-02") - 151
+
+_TABLE_SEEDS = {
+    "region": 0, "nation": 1, "supplier": 2, "part": 3,
+    "partsupp": 4, "customer": 5, "orders": 6, "lineitem": 7,
+}
+
+
+def _rng(seed: int, table: str) -> np.random.Generator:
+    return np.random.default_rng([seed, _TABLE_SEEDS[table]])
+
+
+def _pool_column(rng: np.random.Generator, n: int, pool) -> Column:
+    """A string column sampled uniformly from a pool of distinct values."""
+    pool_arr = np.asarray(pool, dtype=object)
+    codes = rng.integers(0, len(pool_arr), size=n).astype(np.int32)
+    return Column.from_string_codes(codes, pool_arr)
+
+
+def _phones(rng: np.random.Generator, nationkeys: np.ndarray) -> Column:
+    """Phone numbers whose first two digits are nationkey + 10 (Q22)."""
+    local1 = rng.integers(100, 1000, size=len(nationkeys))
+    local2 = rng.integers(100, 1000, size=len(nationkeys))
+    local3 = rng.integers(1000, 10000, size=len(nationkeys))
+    values = [
+        f"{nk + 10}-{a}-{b}-{c}"
+        for nk, a, b, c in zip(nationkeys, local1, local2, local3)
+    ]
+    return Column.from_strings(values)
+
+
+def _acctbal(rng: np.random.Generator, n: int) -> Column:
+    cents = rng.integers(-99_999, 1_000_000, size=n)
+    return Column(FLOAT64, cents / 100.0)
+
+
+def _retail_price(partkeys: np.ndarray) -> np.ndarray:
+    return (90_000 + ((partkeys // 10) % 20_001) + 100 * (partkeys % 1_000)) / 100.0
+
+
+def _ps_suppkey(partkeys: np.ndarray, i: np.ndarray, n_supp: int) -> np.ndarray:
+    """The spec's supplier-spreading formula for partsupp rows."""
+    return (partkeys + i * (n_supp // 4 + (partkeys - 1) // n_supp)) % n_supp + 1
+
+
+# ----------------------------------------------------------------------
+# Per-table generators
+# ----------------------------------------------------------------------
+
+
+def _gen_region(rng: np.random.Generator) -> Table:
+    names = Column.from_strings(text.REGIONS)
+    pool = text.comment_pool(rng, 5)
+    return Table("region", {
+        "r_regionkey": Column.from_ints(range(5)),
+        "r_name": names,
+        "r_comment": _pool_column(rng, 5, pool),
+    })
+
+
+def _gen_nation(rng: np.random.Generator) -> Table:
+    pool = text.comment_pool(rng, 25)
+    return Table("nation", {
+        "n_nationkey": Column.from_ints(range(25)),
+        "n_name": Column.from_strings([n for n, _ in text.NATIONS]),
+        "n_regionkey": Column.from_ints([r for _, r in text.NATIONS]),
+        "n_comment": _pool_column(rng, 25, pool),
+    })
+
+
+def _gen_supplier(rng: np.random.Generator, n: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nationkeys = rng.integers(0, 25, size=n)
+    # Spec: ~5 suppliers per 10,000 carry the Customer...Complaints phrase
+    # (Q16 excludes them). With pooled comments the per-row probability is
+    # the pool fraction, so plant 1 poisoned entry per 2000 pool slots.
+    comment_pool = text.comment_pool(rng, max(200, min(n, 2000)))
+    n_complaints = max(1, round(0.0005 * len(comment_pool)))
+    for i in range(n_complaints):
+        comment_pool[i * 7 % len(comment_pool)] = f"sly Customer deposits Complaints #{i}c"
+    addr_pool = text.comment_pool(rng, 200, words_min=2, words_max=4)
+    return Table("supplier", {
+        "s_suppkey": Column(INT64, keys),
+        "s_name": Column.from_strings([f"Supplier#{k:09d}" for k in keys]),
+        "s_address": _pool_column(rng, n, addr_pool),
+        "s_nationkey": Column(INT64, nationkeys.astype(np.int64)),
+        "s_phone": _phones(rng, nationkeys),
+        "s_acctbal": _acctbal(rng, n),
+        "s_comment": _pool_column(rng, n, comment_pool),
+    })
+
+
+def _gen_part(rng: np.random.Generator, n: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    colors = np.asarray(text.COLORS, dtype=object)
+    picks = rng.integers(0, len(colors), size=(n, 5))
+    names = [" ".join(colors[row]) for row in picks]
+    mfgr_ids = rng.integers(1, 6, size=n)
+    brand_ids = rng.integers(1, 6, size=n)
+    mfgr = [f"Manufacturer#{m}" for m in mfgr_ids]
+    brand = [f"Brand#{m}{b}" for m, b in zip(mfgr_ids, brand_ids)]
+    comment = text.comment_pool(rng, 200, words_min=2, words_max=5)
+    return Table("part", {
+        "p_partkey": Column(INT64, keys),
+        "p_name": Column.from_strings(names),
+        "p_mfgr": Column.from_strings(mfgr),
+        "p_brand": Column.from_strings(brand),
+        "p_type": _pool_column(rng, n, text.part_types()),
+        "p_size": Column(INT64, rng.integers(1, 51, size=n).astype(np.int64)),
+        "p_container": _pool_column(rng, n, text.part_containers()),
+        "p_retailprice": Column(FLOAT64, _retail_price(keys)),
+        "p_comment": _pool_column(rng, n, comment),
+    })
+
+
+def _gen_partsupp(rng: np.random.Generator, n_part: int, n_supp: int) -> Table:
+    partkeys = np.repeat(np.arange(1, n_part + 1, dtype=np.int64), 4)
+    i = np.tile(np.arange(4, dtype=np.int64), n_part)
+    suppkeys = _ps_suppkey(partkeys, i, n_supp)
+    n = len(partkeys)
+    comment = text.comment_pool(rng, 200)
+    return Table("partsupp", {
+        "ps_partkey": Column(INT64, partkeys),
+        "ps_suppkey": Column(INT64, suppkeys),
+        "ps_availqty": Column(INT64, rng.integers(1, 10_000, size=n).astype(np.int64)),
+        "ps_supplycost": Column(FLOAT64, rng.integers(100, 100_001, size=n) / 100.0),
+        "ps_comment": _pool_column(rng, n, comment),
+    })
+
+
+def _gen_customer(rng: np.random.Generator, n: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nationkeys = rng.integers(0, 25, size=n)
+    comment = text.comment_pool(rng, max(200, min(n, 2000)))
+    addr_pool = text.comment_pool(rng, 200, words_min=2, words_max=4)
+    return Table("customer", {
+        "c_custkey": Column(INT64, keys),
+        "c_name": Column.from_strings([f"Customer#{k:09d}" for k in keys]),
+        "c_address": _pool_column(rng, n, addr_pool),
+        "c_nationkey": Column(INT64, nationkeys.astype(np.int64)),
+        "c_phone": _phones(rng, nationkeys),
+        "c_acctbal": _acctbal(rng, n),
+        "c_mktsegment": _pool_column(rng, n, text.SEGMENTS),
+        "c_comment": _pool_column(rng, n, comment),
+    })
+
+
+def _gen_orders_and_lineitem(
+    rng: np.random.Generator,
+    n_orders: int,
+    n_cust: int,
+    n_part: int,
+    n_supp: int,
+    part_retail: np.ndarray,
+) -> tuple[Table, Table]:
+    orderkeys = np.arange(1, n_orders + 1, dtype=np.int64)
+    # Spec: customers with custkey % 3 == 0 never order (Q13/Q22 depend
+    # on a large population of order-less customers).
+    n_valid_cust = n_cust - n_cust // 3  # keys with custkey % 3 != 0
+    idx = rng.integers(0, max(1, n_valid_cust), size=n_orders)
+    custkeys = (3 * (idx // 2) + (idx % 2) + 1).astype(np.int64)
+    orderdates = rng.integers(_MIN_ORDER_DATE, _MAX_ORDER_DATE + 1, size=n_orders)
+
+    lines_per_order = rng.integers(1, 8, size=n_orders)
+    n_lines = int(lines_per_order.sum())
+    l_orderkey = np.repeat(orderkeys, lines_per_order)
+    order_row = np.repeat(np.arange(n_orders), lines_per_order)
+    l_linenumber = (
+        np.arange(n_lines) - np.repeat(np.cumsum(lines_per_order) - lines_per_order, lines_per_order) + 1
+    )
+
+    l_partkey = rng.integers(1, n_part + 1, size=n_lines).astype(np.int64)
+    supp_i = rng.integers(0, 4, size=n_lines)
+    l_suppkey = _ps_suppkey(l_partkey, supp_i, n_supp)
+    l_quantity = rng.integers(1, 51, size=n_lines).astype(np.float64)
+    l_discount = rng.integers(0, 11, size=n_lines) / 100.0
+    l_tax = rng.integers(0, 9, size=n_lines) / 100.0
+    l_extendedprice = l_quantity * part_retail[l_partkey - 1]
+
+    base = orderdates[order_row]
+    l_shipdate = base + rng.integers(1, 122, size=n_lines)
+    l_commitdate = base + rng.integers(30, 91, size=n_lines)
+    l_receiptdate = l_shipdate + rng.integers(1, 31, size=n_lines)
+
+    shipped = l_receiptdate <= CURRENT_DATE
+    returnflag_codes = np.where(
+        shipped, rng.integers(0, 2, size=n_lines), 2
+    ).astype(np.int32)  # 0='A', 1='R', 2='N'
+    linestatus_codes = (l_shipdate > CURRENT_DATE).astype(np.int32)  # 0='F', 1='O'
+
+    # Order-level derivations from actual lineitems.
+    line_price = l_extendedprice * (1.0 + l_tax) * (1.0 - l_discount)
+    o_totalprice = np.bincount(order_row, weights=line_price, minlength=n_orders)
+    open_lines = np.bincount(order_row, weights=(linestatus_codes == 1), minlength=n_orders)
+    status_codes = np.where(
+        open_lines == 0, 0, np.where(open_lines == lines_per_order, 1, 2)
+    ).astype(np.int32)  # 0='F', 1='O', 2='P'
+
+    o_comment_pool = text.comment_pool(
+        rng, 2000, plant_phrase="special|requests", plant_fraction=0.01
+    )
+    l_comment_pool = text.comment_pool(rng, 2000)
+    n_clerks = max(1, n_orders // 1000)
+
+    orders = Table("orders", {
+        "o_orderkey": Column(INT64, orderkeys),
+        "o_custkey": Column(INT64, custkeys),
+        "o_orderstatus": Column.from_string_codes(
+            status_codes, np.asarray(["F", "O", "P"], dtype=object)
+        ),
+        "o_totalprice": Column(FLOAT64, np.round(o_totalprice, 2)),
+        "o_orderdate": Column(DATE, orderdates.astype(np.int32)),
+        "o_orderpriority": _pool_column(rng, n_orders, text.PRIORITIES),
+        "o_clerk": _pool_column(
+            rng, n_orders, [f"Clerk#{i:09d}" for i in range(1, n_clerks + 1)]
+        ),
+        "o_shippriority": Column(INT64, np.zeros(n_orders, dtype=np.int64)),
+        "o_comment": _pool_column(rng, n_orders, o_comment_pool),
+    })
+
+    lineitem = Table("lineitem", {
+        "l_orderkey": Column(INT64, l_orderkey),
+        "l_partkey": Column(INT64, l_partkey),
+        "l_suppkey": Column(INT64, l_suppkey),
+        "l_linenumber": Column(INT64, l_linenumber.astype(np.int64)),
+        "l_quantity": Column(FLOAT64, l_quantity),
+        "l_extendedprice": Column(FLOAT64, np.round(l_extendedprice, 2)),
+        "l_discount": Column(FLOAT64, l_discount),
+        "l_tax": Column(FLOAT64, l_tax),
+        "l_returnflag": Column.from_string_codes(
+            returnflag_codes, np.asarray(["A", "R", "N"], dtype=object)
+        ),
+        "l_linestatus": Column.from_string_codes(
+            linestatus_codes, np.asarray(["F", "O"], dtype=object)
+        ),
+        "l_shipdate": Column(DATE, l_shipdate.astype(np.int32)),
+        "l_commitdate": Column(DATE, l_commitdate.astype(np.int32)),
+        "l_receiptdate": Column(DATE, l_receiptdate.astype(np.int32)),
+        "l_shipinstruct": _pool_column(rng, n_lines, text.SHIP_INSTRUCTIONS),
+        "l_shipmode": _pool_column(rng, n_lines, text.SHIP_MODES),
+        "l_comment": _pool_column(rng, n_lines, l_comment_pool),
+    })
+    return orders, lineitem
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+def generate(scale_factor: float = 0.01, seed: int = 42) -> Database:
+    """Generate a full TPC-H database at ``scale_factor``.
+
+    Deterministic given (scale_factor, seed). SF 0.01 (~60k lineitems)
+    generates in well under a second; SF 1 (~6M lineitems) takes a few
+    seconds and ~1 GB of process memory.
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    db = Database(f"tpch_sf{scale_factor:g}")
+    n_supp = rows_at_sf("supplier", scale_factor)
+    n_part = rows_at_sf("part", scale_factor)
+    n_cust = rows_at_sf("customer", scale_factor)
+    n_orders = rows_at_sf("orders", scale_factor)
+
+    db.add(_gen_region(_rng(seed, "region")))
+    db.add(_gen_nation(_rng(seed, "nation")))
+    db.add(_gen_supplier(_rng(seed, "supplier"), n_supp))
+    part = _gen_part(_rng(seed, "part"), n_part)
+    db.add(part)
+    db.add(_gen_partsupp(_rng(seed, "partsupp"), n_part, n_supp))
+    db.add(_gen_customer(_rng(seed, "customer"), n_cust))
+    orders, lineitem = _gen_orders_and_lineitem(
+        _rng(seed, "orders"), n_orders, n_cust, n_part, n_supp,
+        part.column("p_retailprice").values,
+    )
+    db.add(orders)
+    db.add(lineitem)
+    return db
+
+
+def generate_table(name: str, scale_factor: float = 0.01, seed: int = 42) -> Table:
+    """Generate a single table (orders/lineitem are generated together;
+    asking for either builds both and returns the requested one)."""
+    if name in ("orders", "lineitem"):
+        n_supp = rows_at_sf("supplier", scale_factor)
+        n_part = rows_at_sf("part", scale_factor)
+        part = _gen_part(_rng(seed, "part"), n_part)
+        orders, lineitem = _gen_orders_and_lineitem(
+            _rng(seed, "orders"),
+            rows_at_sf("orders", scale_factor),
+            rows_at_sf("customer", scale_factor),
+            n_part,
+            n_supp,
+            part.column("p_retailprice").values,
+        )
+        return orders if name == "orders" else lineitem
+    if name == "region":
+        return _gen_region(_rng(seed, "region"))
+    if name == "nation":
+        return _gen_nation(_rng(seed, "nation"))
+    if name == "supplier":
+        return _gen_supplier(_rng(seed, "supplier"), rows_at_sf("supplier", scale_factor))
+    if name == "part":
+        return _gen_part(_rng(seed, "part"), rows_at_sf("part", scale_factor))
+    if name == "partsupp":
+        return _gen_partsupp(
+            _rng(seed, "partsupp"),
+            rows_at_sf("part", scale_factor),
+            rows_at_sf("supplier", scale_factor),
+        )
+    if name == "customer":
+        return _gen_customer(_rng(seed, "customer"), rows_at_sf("customer", scale_factor))
+    raise KeyError(f"unknown TPC-H table {name!r}")

@@ -1,0 +1,48 @@
+"""Registry of the 22 TPC-H query definitions.
+
+Usage::
+
+    from repro.tpch.queries import get_query, ALL_QUERY_NUMBERS, CHOKEPOINTS
+    plan = get_query(6).build(db, {"sf": 1.0})
+"""
+
+from __future__ import annotations
+
+from .base import QueryDef
+from . import (
+    q01, q02, q03, q04, q05, q06, q07, q08, q09, q10, q11,
+    q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22,
+)
+
+__all__ = ["QUERIES", "ALL_QUERY_NUMBERS", "CHOKEPOINTS", "get_query", "QueryDef"]
+
+_MODULES = {
+    1: q01, 2: q02, 3: q03, 4: q04, 5: q05, 6: q06, 7: q07, 8: q08,
+    9: q09, 10: q10, 11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16,
+    17: q17, 18: q18, 19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+QUERIES: dict[int, QueryDef] = {
+    number: QueryDef(
+        number=number,
+        name=module.NAME,
+        build=module.build,
+        uses_lineitem="lineitem" in module.TABLES,
+        tables=tuple(module.TABLES),
+    )
+    for number, module in _MODULES.items()
+}
+
+ALL_QUERY_NUMBERS = tuple(sorted(QUERIES))
+
+# The 8 chokepoint queries the paper uses for SF 10 / the strategy study
+# (following Menon et al. and Crotty et al.).
+CHOKEPOINTS = (1, 3, 4, 5, 6, 13, 14, 19)
+
+
+def get_query(number: int) -> QueryDef:
+    """Look up a TPC-H query definition by number (1-22)."""
+    try:
+        return QUERIES[number]
+    except KeyError:
+        raise KeyError(f"TPC-H queries are numbered 1-22, got {number}") from None

@@ -1,0 +1,40 @@
+"""Shared helpers for TPC-H query definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine import Database, Q
+
+__all__ = ["QueryDef", "revenue_expr"]
+
+
+@dataclass(frozen=True)
+class QueryDef:
+    """A TPC-H query: its number, plan builder, and metadata the
+    distributed planner needs.
+
+    Attributes:
+        number: 1-22.
+        name: the spec's query title.
+        build: ``(db, params) -> Q`` plan builder; ``params`` always has
+            at least ``sf`` (some predicates, e.g. Q11's HAVING fraction,
+            are SF-dependent per the spec).
+        uses_lineitem: whether the query touches the partitioned lineitem
+            table (drives single-node fallback for Q13 in the cluster).
+        tables: tables referenced, for partitioning/memory accounting.
+    """
+
+    number: int
+    name: str
+    build: Callable[[Database, dict], Q]
+    uses_lineitem: bool
+    tables: tuple[str, ...]
+
+
+def revenue_expr():
+    """The ubiquitous ``l_extendedprice * (1 - l_discount)``."""
+    from repro.engine import col
+
+    return col("l_extendedprice") * (1.0 - col("l_discount"))

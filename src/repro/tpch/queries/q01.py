@@ -1,0 +1,35 @@
+"""Q1 — Pricing Summary Report.
+
+Scans ~98% of lineitem; the paper's canonical memory-bound query (the
+Raspberry Pi's worst case at SF 1, and the query whose cluster speedup
+jumps once per-node data fits in cache).
+"""
+
+from repro.engine import Q, agg, col
+
+NAME = "Pricing Summary Report"
+TABLES = ("lineitem",)
+
+
+def build(db, params=None):
+    p = params or {}
+    cutoff = p.get("date", "1998-09-02")  # 1998-12-01 minus 90 days
+    disc_price = col("l_extendedprice") * (1.0 - col("l_discount"))
+    charge = disc_price * (1.0 + col("l_tax"))
+    return (
+        Q(db)
+        .scan("lineitem")
+        .filter(col("l_shipdate") <= cutoff)
+        .aggregate(
+            by=["l_returnflag", "l_linestatus"],
+            sum_qty=agg.sum(col("l_quantity")),
+            sum_base_price=agg.sum(col("l_extendedprice")),
+            sum_disc_price=agg.sum(disc_price),
+            sum_charge=agg.sum(charge),
+            avg_qty=agg.avg(col("l_quantity")),
+            avg_price=agg.avg(col("l_extendedprice")),
+            avg_disc=agg.avg(col("l_discount")),
+            count_order=agg.count_star(),
+        )
+        .sort("l_returnflag", "l_linestatus")
+    )

@@ -1,0 +1,54 @@
+"""Q2 — Minimum Cost Supplier.
+
+No lineitem at all — one of the queries where the paper found the Pi
+most competitive.
+"""
+
+from repro.engine import Q, agg, col
+
+NAME = "Minimum Cost Supplier"
+TABLES = ("part", "supplier", "partsupp", "nation", "region")
+
+
+def _regional_partsupp(db, region):
+    """partsupp rows whose supplier sits in ``region``."""
+    return (
+        Q(db)
+        .scan("partsupp")
+        .join("supplier", on=[("ps_suppkey", "s_suppkey")])
+        .join("nation", on=[("s_nationkey", "n_nationkey")])
+        .join("region", on=[("n_regionkey", "r_regionkey")])
+        .filter(col("r_name") == region)
+    )
+
+
+def build(db, params=None):
+    p = params or {}
+    size = p.get("size", 15)
+    type_suffix = p.get("type", "%BRASS")
+    region = p.get("region", "EUROPE")
+
+    min_cost = (
+        _regional_partsupp(db, region)
+        .aggregate(by=["ps_partkey"], min_cost=agg.min(col("ps_supplycost")))
+        .project(mc_partkey="ps_partkey", min_cost="min_cost")
+    )
+    return (
+        Q(db)
+        .scan("part")
+        .filter((col("p_size") == size) & col("p_type").like(type_suffix))
+        .join(_regional_partsupp(db, region), on=[("p_partkey", "ps_partkey")])
+        .join(min_cost, on=[("p_partkey", "mc_partkey"), ("ps_supplycost", "min_cost")])
+        .project(
+            s_acctbal="s_acctbal",
+            s_name="s_name",
+            n_name="n_name",
+            p_partkey="p_partkey",
+            p_mfgr="p_mfgr",
+            s_address="s_address",
+            s_phone="s_phone",
+            s_comment="s_comment",
+        )
+        .sort(("s_acctbal", "desc"), "n_name", "s_name", "p_partkey")
+        .limit(100)
+    )

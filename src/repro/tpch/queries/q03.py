@@ -1,0 +1,33 @@
+"""Q3 — Shipping Priority."""
+
+from repro.engine import Q, agg, col
+
+from .base import revenue_expr
+
+NAME = "Shipping Priority"
+TABLES = ("customer", "orders", "lineitem")
+
+
+def build(db, params=None):
+    p = params or {}
+    segment = p.get("segment", "BUILDING")
+    date = p.get("date", "1995-03-15")
+    return (
+        Q(db)
+        .scan("customer")
+        .filter(col("c_mktsegment") == segment)
+        .join(
+            Q(db).scan("orders").filter(col("o_orderdate") < date),
+            on=[("c_custkey", "o_custkey")],
+        )
+        .join(
+            Q(db).scan("lineitem").filter(col("l_shipdate") > date),
+            on=[("o_orderkey", "l_orderkey")],
+        )
+        .aggregate(
+            by=["l_orderkey", "o_orderdate", "o_shippriority"],
+            revenue=agg.sum(revenue_expr()),
+        )
+        .sort(("revenue", "desc"), "o_orderdate")
+        .limit(10)
+    )

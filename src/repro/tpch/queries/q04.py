@@ -1,0 +1,21 @@
+"""Q4 — Order Priority Checking (EXISTS via semi join)."""
+
+from repro.engine import Q, agg, col
+
+NAME = "Order Priority Checking"
+TABLES = ("orders", "lineitem")
+
+
+def build(db, params=None):
+    p = params or {}
+    start = p.get("date", "1993-07-01")
+    end = p.get("date_end", "1993-10-01")
+    late_lines = Q(db).scan("lineitem").filter(col("l_commitdate") < col("l_receiptdate"))
+    return (
+        Q(db)
+        .scan("orders")
+        .filter((col("o_orderdate") >= start) & (col("o_orderdate") < end))
+        .join(late_lines, on=[("o_orderkey", "l_orderkey")], how="semi")
+        .aggregate(by=["o_orderpriority"], order_count=agg.count_star())
+        .sort("o_orderpriority")
+    )

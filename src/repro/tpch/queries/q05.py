@@ -1,0 +1,39 @@
+"""Q5 — Local Supplier Volume (customer and supplier in the same nation)."""
+
+from repro.engine import Q, agg, col
+
+from .base import revenue_expr
+
+NAME = "Local Supplier Volume"
+TABLES = ("customer", "orders", "lineitem", "supplier", "nation", "region")
+
+
+def build(db, params=None):
+    p = params or {}
+    region = p.get("region", "ASIA")
+    start = p.get("date", "1994-01-01")
+    end = p.get("date_end", "1995-01-01")
+    return (
+        Q(db)
+        .scan("customer")
+        .join(
+            Q(db)
+            .scan("orders")
+            .filter((col("o_orderdate") >= start) & (col("o_orderdate") < end)),
+            on=[("c_custkey", "o_custkey")],
+        )
+        .join("lineitem", on=[("o_orderkey", "l_orderkey")])
+        # The "local" condition: the line's supplier must share the
+        # customer's nation, expressed as a second equi-join key.
+        .join(
+            "supplier",
+            on=[("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
+        )
+        .join("nation", on=[("c_nationkey", "n_nationkey")])
+        .join(
+            Q(db).scan("region").filter(col("r_name") == region),
+            on=[("n_regionkey", "r_regionkey")],
+        )
+        .aggregate(by=["n_name"], revenue=agg.sum(revenue_expr()))
+        .sort(("revenue", "desc"))
+    )

@@ -1,0 +1,29 @@
+"""Q6 — Forecasting Revenue Change.
+
+Highly selective single-table scan: the paper's best case for the Pi's
+energy efficiency (CPU-light, bandwidth-light).
+"""
+
+from repro.engine import Q, agg, col
+
+NAME = "Forecasting Revenue Change"
+TABLES = ("lineitem",)
+
+
+def build(db, params=None):
+    p = params or {}
+    start = p.get("date", "1994-01-01")
+    end = p.get("date_end", "1995-01-01")
+    discount = p.get("discount", 0.06)
+    quantity = p.get("quantity", 24)
+    return (
+        Q(db)
+        .scan("lineitem")
+        .filter(
+            (col("l_shipdate") >= start)
+            & (col("l_shipdate") < end)
+            & col("l_discount").between(discount - 0.011, discount + 0.011)
+            & (col("l_quantity") < quantity)
+        )
+        .aggregate(revenue=agg.sum(col("l_extendedprice") * col("l_discount")))
+    )

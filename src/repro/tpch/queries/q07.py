@@ -1,0 +1,50 @@
+"""Q7 — Volume Shipping (two nation roles via projected nation scans)."""
+
+from repro.engine import Q, agg, col
+
+from .base import revenue_expr
+
+NAME = "Volume Shipping"
+TABLES = ("supplier", "lineitem", "orders", "customer", "nation")
+
+
+def build(db, params=None):
+    p = params or {}
+    nation1 = p.get("nation1", "FRANCE")
+    nation2 = p.get("nation2", "GERMANY")
+    supp_nation = (
+        Q(db).scan("nation").project(sn_key="n_nationkey", supp_nation="n_name")
+    )
+    cust_nation = (
+        Q(db).scan("nation").project(cn_key="n_nationkey", cust_nation="n_name")
+    )
+    pair = (
+        ((col("supp_nation") == nation1) & (col("cust_nation") == nation2))
+        | ((col("supp_nation") == nation2) & (col("cust_nation") == nation1))
+    )
+    return (
+        Q(db)
+        .scan("supplier")
+        .join(
+            Q(db)
+            .scan("lineitem")
+            .filter(col("l_shipdate").between("1995-01-01", "1996-12-31")),
+            on=[("s_suppkey", "l_suppkey")],
+        )
+        .join("orders", on=[("l_orderkey", "o_orderkey")])
+        .join("customer", on=[("o_custkey", "c_custkey")])
+        .join(supp_nation, on=[("s_nationkey", "sn_key")])
+        .join(cust_nation, on=[("c_nationkey", "cn_key")])
+        .filter(pair)
+        .project(
+            supp_nation="supp_nation",
+            cust_nation="cust_nation",
+            l_year=col("l_shipdate").year(),
+            volume=revenue_expr(),
+        )
+        .aggregate(
+            by=["supp_nation", "cust_nation", "l_year"],
+            revenue=agg.sum(col("volume")),
+        )
+        .sort("supp_nation", "cust_nation", "l_year")
+    )

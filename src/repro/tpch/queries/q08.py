@@ -1,0 +1,57 @@
+"""Q8 — National Market Share (conditional aggregation over two nation roles)."""
+
+from repro.engine import Q, agg, case, col
+
+from .base import revenue_expr
+
+NAME = "National Market Share"
+TABLES = ("part", "supplier", "lineitem", "orders", "customer", "nation", "region")
+
+
+def build(db, params=None):
+    p = params or {}
+    nation = p.get("nation", "BRAZIL")
+    region = p.get("region", "AMERICA")
+    part_type = p.get("type", "ECONOMY ANODIZED STEEL")
+    cust_nation = (
+        Q(db).scan("nation").project(cn_key="n_nationkey", cn_region="n_regionkey")
+    )
+    supp_nation = (
+        Q(db).scan("nation").project(sn_key="n_nationkey", supp_nation="n_name")
+    )
+    shares = (
+        Q(db)
+        .scan("part")
+        .filter(col("p_type") == part_type)
+        .join("lineitem", on=[("p_partkey", "l_partkey")])
+        .join("supplier", on=[("l_suppkey", "s_suppkey")])
+        .join(
+            Q(db)
+            .scan("orders")
+            .filter(col("o_orderdate").between("1995-01-01", "1996-12-31")),
+            on=[("l_orderkey", "o_orderkey")],
+        )
+        .join("customer", on=[("o_custkey", "c_custkey")])
+        .join(cust_nation, on=[("c_nationkey", "cn_key")])
+        .join(
+            Q(db).scan("region").filter(col("r_name") == region),
+            on=[("cn_region", "r_regionkey")],
+        )
+        .join(supp_nation, on=[("s_nationkey", "sn_key")])
+        .project(
+            o_year=col("o_orderdate").year(),
+            volume=revenue_expr(),
+            nation_volume=case(
+                [(col("supp_nation") == nation, revenue_expr())], 0.0
+            ),
+        )
+        .aggregate(
+            by=["o_year"],
+            nation_volume=agg.sum(col("nation_volume")),
+            total_volume=agg.sum(col("volume")),
+        )
+    )
+    return shares.project(
+        o_year="o_year",
+        mkt_share=col("nation_volume") / col("total_volume"),
+    ).sort("o_year")

@@ -1,0 +1,31 @@
+"""Q9 — Product Type Profit Measure (5-way join keyed on the partsupp pair)."""
+
+from repro.engine import Q, agg, col
+
+NAME = "Product Type Profit Measure"
+TABLES = ("part", "supplier", "lineitem", "partsupp", "orders", "nation")
+
+
+def build(db, params=None):
+    p = params or {}
+    color = p.get("color", "green")
+    amount = (
+        col("l_extendedprice") * (1.0 - col("l_discount"))
+        - col("ps_supplycost") * col("l_quantity")
+    )
+    return (
+        Q(db)
+        .scan("part")
+        .filter(col("p_name").like(f"%{color}%"))
+        .join("lineitem", on=[("p_partkey", "l_partkey")])
+        .join("supplier", on=[("l_suppkey", "s_suppkey")])
+        .join(
+            "partsupp",
+            on=[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
+        )
+        .join("orders", on=[("l_orderkey", "o_orderkey")])
+        .join("nation", on=[("s_nationkey", "n_nationkey")])
+        .project(nation="n_name", o_year=col("o_orderdate").year(), amount=amount)
+        .aggregate(by=["nation", "o_year"], sum_profit=agg.sum(col("amount")))
+        .sort("nation", ("o_year", "desc"))
+    )

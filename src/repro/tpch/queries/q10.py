@@ -1,0 +1,38 @@
+"""Q10 — Returned Item Reporting."""
+
+from repro.engine import Q, agg, col
+
+from .base import revenue_expr
+
+NAME = "Returned Item Reporting"
+TABLES = ("customer", "orders", "lineitem", "nation")
+
+
+def build(db, params=None):
+    p = params or {}
+    start = p.get("date", "1993-10-01")
+    end = p.get("date_end", "1994-01-01")
+    return (
+        Q(db)
+        .scan("customer")
+        .join(
+            Q(db)
+            .scan("orders")
+            .filter((col("o_orderdate") >= start) & (col("o_orderdate") < end)),
+            on=[("c_custkey", "o_custkey")],
+        )
+        .join(
+            Q(db).scan("lineitem").filter(col("l_returnflag") == "R"),
+            on=[("o_orderkey", "l_orderkey")],
+        )
+        .join("nation", on=[("c_nationkey", "n_nationkey")])
+        .aggregate(
+            by=[
+                "c_custkey", "c_name", "c_acctbal", "c_phone",
+                "n_name", "c_address", "c_comment",
+            ],
+            revenue=agg.sum(revenue_expr()),
+        )
+        .sort(("revenue", "desc"))
+        .limit(20)
+    )

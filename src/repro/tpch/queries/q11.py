@@ -1,0 +1,41 @@
+"""Q11 — Important Stock Identification (HAVING against a scalar subquery).
+
+No lineitem — a query where the paper found the Pi most competitive
+(up to 0.5-0.7x of the servers).
+"""
+
+from repro.engine import Q, agg, col, scalar
+
+NAME = "Important Stock Identification"
+TABLES = ("partsupp", "supplier", "nation")
+
+
+def _german_partsupp(db, nation):
+    return (
+        Q(db)
+        .scan("partsupp")
+        .join("supplier", on=[("ps_suppkey", "s_suppkey")])
+        .join(
+            Q(db).scan("nation").filter(col("n_name") == nation),
+            on=[("s_nationkey", "n_nationkey")],
+        )
+    )
+
+
+def build(db, params=None):
+    p = params or {}
+    nation = p.get("nation", "GERMANY")
+    # Spec: FRACTION is 0.0001 / SF.
+    fraction = p.get("fraction", 0.0001 / p.get("sf", 1.0))
+    total = _german_partsupp(db, nation).aggregate(
+        total=agg.sum(col("ps_supplycost") * col("ps_availqty"))
+    )
+    return (
+        _german_partsupp(db, nation)
+        .aggregate(
+            by=["ps_partkey"],
+            value=agg.sum(col("ps_supplycost") * col("ps_availqty")),
+        )
+        .filter(col("value") > scalar(total) * fraction)
+        .sort(("value", "desc"))
+    )

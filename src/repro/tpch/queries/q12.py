@@ -1,0 +1,41 @@
+"""Q12 — Shipping Modes and Order Priority."""
+
+from repro.engine import Q, agg, case, col
+
+NAME = "Shipping Modes and Order Priority"
+TABLES = ("orders", "lineitem")
+
+
+def build(db, params=None):
+    p = params or {}
+    modes = p.get("modes", ["MAIL", "SHIP"])
+    start = p.get("date", "1994-01-01")
+    end = p.get("date_end", "1995-01-01")
+    high = col("o_orderpriority").isin(["1-URGENT", "2-HIGH"])
+    return (
+        Q(db)
+        .scan("orders")
+        .join(
+            Q(db)
+            .scan("lineitem")
+            .filter(
+                col("l_shipmode").isin(modes)
+                & (col("l_commitdate") < col("l_receiptdate"))
+                & (col("l_shipdate") < col("l_commitdate"))
+                & (col("l_receiptdate") >= start)
+                & (col("l_receiptdate") < end)
+            ),
+            on=[("o_orderkey", "l_orderkey")],
+        )
+        .project(
+            l_shipmode="l_shipmode",
+            high_line=case([(high, 1.0)], 0.0),
+            low_line=case([(high, 0.0)], 1.0),
+        )
+        .aggregate(
+            by=["l_shipmode"],
+            high_line_count=agg.sum(col("high_line")),
+            low_line_count=agg.sum(col("low_line")),
+        )
+        .sort("l_shipmode")
+    )

@@ -1,0 +1,30 @@
+"""Q13 — Customer Distribution (left outer join; no lineitem).
+
+In the paper's WIMPI experiments this query runs on a single node for
+every cluster size (lineitem is the only partitioned table), so its
+runtime is flat at 103.6 s in Table III.
+"""
+
+from repro.engine import Q, agg, col
+
+NAME = "Customer Distribution"
+TABLES = ("customer", "orders")
+
+
+def build(db, params=None):
+    p = params or {}
+    word1 = p.get("word1", "special")
+    word2 = p.get("word2", "requests")
+    orders = (
+        Q(db)
+        .scan("orders")
+        .filter(col("o_comment").not_like(f"%{word1}%{word2}%"))
+    )
+    return (
+        Q(db)
+        .scan("customer")
+        .join(orders, on=[("c_custkey", "o_custkey")], how="left")
+        .aggregate(by=["c_custkey"], c_count=agg.count(col("o_orderkey")))
+        .aggregate(by=["c_count"], custdist=agg.count_star())
+        .sort(("custdist", "desc"), ("c_count", "desc"))
+    )

@@ -1,0 +1,26 @@
+"""Q14 — Promotion Effect (conditional aggregation with LIKE)."""
+
+from repro.engine import Q, agg, case, col
+
+from .base import revenue_expr
+
+NAME = "Promotion Effect"
+TABLES = ("lineitem", "part")
+
+
+def build(db, params=None):
+    p = params or {}
+    start = p.get("date", "1995-09-01")
+    end = p.get("date_end", "1995-10-01")
+    sums = (
+        Q(db)
+        .scan("lineitem")
+        .filter((col("l_shipdate") >= start) & (col("l_shipdate") < end))
+        .join("part", on=[("l_partkey", "p_partkey")])
+        .project(
+            promo=case([(col("p_type").like("PROMO%"), revenue_expr())], 0.0),
+            total=revenue_expr(),
+        )
+        .aggregate(promo=agg.sum(col("promo")), total=agg.sum(col("total")))
+    )
+    return sums.project(promo_revenue=100.0 * col("promo") / col("total"))

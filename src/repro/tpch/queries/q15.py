@@ -1,0 +1,41 @@
+"""Q15 — Top Supplier (view + scalar MAX subquery)."""
+
+from repro.engine import Q, agg, col, scalar
+
+from .base import revenue_expr
+
+NAME = "Top Supplier"
+TABLES = ("supplier", "lineitem")
+
+
+def _revenue_view(db, start, end):
+    return (
+        Q(db)
+        .scan("lineitem")
+        .filter((col("l_shipdate") >= start) & (col("l_shipdate") < end))
+        .aggregate(by=["l_suppkey"], total_revenue=agg.sum(revenue_expr()))
+    )
+
+
+def build(db, params=None):
+    p = params or {}
+    start = p.get("date", "1996-01-01")
+    end = p.get("date_end", "1996-04-01")
+    view = _revenue_view(db, start, end)
+    max_revenue = _revenue_view(db, start, end).aggregate(
+        mr=agg.max(col("total_revenue"))
+    )
+    return (
+        Q(db)
+        .scan("supplier")
+        .join(view, on=[("s_suppkey", "l_suppkey")])
+        .filter(col("total_revenue") >= scalar(max_revenue))
+        .project(
+            s_suppkey="s_suppkey",
+            s_name="s_name",
+            s_address="s_address",
+            s_phone="s_phone",
+            total_revenue="total_revenue",
+        )
+        .sort("s_suppkey")
+    )

@@ -1,0 +1,41 @@
+"""Q16 — Parts/Supplier Relationship (NOT IN via anti join, COUNT DISTINCT).
+
+No lineitem — with Q11, one of the Pi's most competitive queries.
+"""
+
+from repro.engine import Q, agg, col
+
+NAME = "Parts/Supplier Relationship"
+TABLES = ("partsupp", "part", "supplier")
+
+
+def build(db, params=None):
+    p = params or {}
+    brand = p.get("brand", "Brand#45")
+    type_prefix = p.get("type", "MEDIUM POLISHED%")
+    sizes = p.get("sizes", [49, 14, 23, 45, 19, 3, 36, 9])
+    complainers = (
+        Q(db)
+        .scan("supplier")
+        .filter(col("s_comment").like("%Customer%Complaints%"))
+    )
+    return (
+        Q(db)
+        .scan("partsupp")
+        .join(
+            Q(db)
+            .scan("part")
+            .filter(
+                (col("p_brand") != brand)
+                & col("p_type").not_like(type_prefix)
+                & col("p_size").isin(sizes)
+            ),
+            on=[("ps_partkey", "p_partkey")],
+        )
+        .join(complainers, on=[("ps_suppkey", "s_suppkey")], how="anti")
+        .aggregate(
+            by=["p_brand", "p_type", "p_size"],
+            supplier_cnt=agg.count_distinct(col("ps_suppkey")),
+        )
+        .sort(("supplier_cnt", "desc"), "p_brand", "p_type", "p_size")
+    )

@@ -1,0 +1,28 @@
+"""Q17 — Small-Quantity-Order Revenue (correlated AVG via join)."""
+
+from repro.engine import Q, agg, col
+
+NAME = "Small-Quantity-Order Revenue"
+TABLES = ("lineitem", "part")
+
+
+def build(db, params=None):
+    p = params or {}
+    brand = p.get("brand", "Brand#23")
+    container = p.get("container", "MED BOX")
+    part_avg = (
+        Q(db)
+        .scan("lineitem")
+        .aggregate(by=["l_partkey"], avg_qty=agg.avg(col("l_quantity")))
+        .project(ap_partkey="l_partkey", qty_limit=0.2 * col("avg_qty"))
+    )
+    total = (
+        Q(db)
+        .scan("part")
+        .filter((col("p_brand") == brand) & (col("p_container") == container))
+        .join("lineitem", on=[("p_partkey", "l_partkey")])
+        .join(part_avg, on=[("p_partkey", "ap_partkey")])
+        .filter(col("l_quantity") < col("qty_limit"))
+        .aggregate(total=agg.sum(col("l_extendedprice")))
+    )
+    return total.project(avg_yearly=col("total") / 7.0)

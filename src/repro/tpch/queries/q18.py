@@ -1,0 +1,31 @@
+"""Q18 — Large Volume Customer (HAVING subquery via semi join)."""
+
+from repro.engine import Q, agg, col
+
+NAME = "Large Volume Customer"
+TABLES = ("customer", "orders", "lineitem")
+
+
+def build(db, params=None):
+    p = params or {}
+    quantity = p.get("quantity", 300)
+    big_orders = (
+        Q(db)
+        .scan("lineitem")
+        .aggregate(by=["l_orderkey"], total_qty=agg.sum(col("l_quantity")))
+        .filter(col("total_qty") > quantity)
+        .project(big_orderkey="l_orderkey")
+    )
+    return (
+        Q(db)
+        .scan("customer")
+        .join("orders", on=[("c_custkey", "o_custkey")])
+        .join(big_orders, on=[("o_orderkey", "big_orderkey")], how="semi")
+        .join("lineitem", on=[("o_orderkey", "l_orderkey")])
+        .aggregate(
+            by=["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+            sum_qty=agg.sum(col("l_quantity")),
+        )
+        .sort(("o_totalprice", "desc"), "o_orderdate")
+        .limit(100)
+    )

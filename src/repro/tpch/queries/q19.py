@@ -1,0 +1,48 @@
+"""Q19 — Discounted Revenue (disjunction of composite predicates)."""
+
+from repro.engine import Q, agg, col
+
+from .base import revenue_expr
+
+NAME = "Discounted Revenue"
+TABLES = ("lineitem", "part")
+
+
+def build(db, params=None):
+    p = params or {}
+    q1 = p.get("quantity1", 1)
+    q2 = p.get("quantity2", 10)
+    q3 = p.get("quantity3", 20)
+    brand1 = p.get("brand1", "Brand#12")
+    brand2 = p.get("brand2", "Brand#23")
+    brand3 = p.get("brand3", "Brand#34")
+
+    clause1 = (
+        (col("p_brand") == brand1)
+        & col("p_container").isin(["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+        & col("l_quantity").between(q1, q1 + 10)
+        & col("p_size").between(1, 5)
+    )
+    clause2 = (
+        (col("p_brand") == brand2)
+        & col("p_container").isin(["MED BAG", "MED BOX", "MED PKG", "MED PACK"])
+        & col("l_quantity").between(q2, q2 + 10)
+        & col("p_size").between(1, 10)
+    )
+    clause3 = (
+        (col("p_brand") == brand3)
+        & col("p_container").isin(["LG CASE", "LG BOX", "LG PACK", "LG PKG"])
+        & col("l_quantity").between(q3, q3 + 10)
+        & col("p_size").between(1, 15)
+    )
+    common = col("l_shipmode").isin(["AIR", "AIR REG"]) & (
+        col("l_shipinstruct") == "DELIVER IN PERSON"
+    )
+    return (
+        Q(db)
+        .scan("lineitem")
+        .filter(common)
+        .join("part", on=[("l_partkey", "p_partkey")])
+        .filter(clause1 | clause2 | clause3)
+        .aggregate(revenue=agg.sum(revenue_expr()))
+    )

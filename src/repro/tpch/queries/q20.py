@@ -1,0 +1,47 @@
+"""Q20 — Potential Part Promotion (nested IN subqueries via semi joins)."""
+
+from repro.engine import Q, agg, col
+
+NAME = "Potential Part Promotion"
+TABLES = ("supplier", "nation", "partsupp", "part", "lineitem")
+
+
+def build(db, params=None):
+    p = params or {}
+    color = p.get("color", "forest")
+    nation = p.get("nation", "CANADA")
+    start = p.get("date", "1994-01-01")
+    end = p.get("date_end", "1995-01-01")
+
+    forest_parts = Q(db).scan("part").filter(col("p_name").like(f"{color}%"))
+    shipped_qty = (
+        Q(db)
+        .scan("lineitem")
+        .filter((col("l_shipdate") >= start) & (col("l_shipdate") < end))
+        .aggregate(
+            by=["l_partkey", "l_suppkey"], half_qty=agg.sum(col("l_quantity"))
+        )
+        .project(
+            sq_partkey="l_partkey",
+            sq_suppkey="l_suppkey",
+            qty_floor=0.5 * col("half_qty"),
+        )
+    )
+    qualifying_ps = (
+        Q(db)
+        .scan("partsupp")
+        .join(forest_parts, on=[("ps_partkey", "p_partkey")], how="semi")
+        .join(shipped_qty, on=[("ps_partkey", "sq_partkey"), ("ps_suppkey", "sq_suppkey")])
+        .filter(col("ps_availqty") > col("qty_floor"))
+    )
+    return (
+        Q(db)
+        .scan("supplier")
+        .join(qualifying_ps, on=[("s_suppkey", "ps_suppkey")], how="semi")
+        .join(
+            Q(db).scan("nation").filter(col("n_name") == nation),
+            on=[("s_nationkey", "n_nationkey")],
+        )
+        .project(s_name="s_name", s_address="s_address")
+        .sort("s_name")
+    )

@@ -1,0 +1,55 @@
+"""Q21 — Suppliers Who Kept Orders Waiting.
+
+The EXISTS / NOT EXISTS pair over other suppliers' lineitems is expressed
+relationally: an order qualifies when it has >= 2 distinct suppliers
+overall but exactly 1 distinct supplier among its late lines (necessarily
+the waiting supplier itself).
+"""
+
+from repro.engine import Q, agg, col
+
+NAME = "Suppliers Who Kept Orders Waiting"
+TABLES = ("supplier", "lineitem", "orders", "nation")
+
+
+def build(db, params=None):
+    p = params or {}
+    nation = p.get("nation", "SAUDI ARABIA")
+
+    late = col("l_receiptdate") > col("l_commitdate")
+    multi_supplier_orders = (
+        Q(db)
+        .scan("lineitem")
+        .aggregate(by=["l_orderkey"], n_supp=agg.count_distinct(col("l_suppkey")))
+        .filter(col("n_supp") >= 2)
+        .project(ms_orderkey="l_orderkey")
+    )
+    single_late_supplier_orders = (
+        Q(db)
+        .scan("lineitem")
+        .filter(late)
+        .aggregate(by=["l_orderkey"], n_late=agg.count_distinct(col("l_suppkey")))
+        .filter(col("n_late") == 1)
+        .project(sl_orderkey="l_orderkey")
+    )
+    return (
+        Q(db)
+        .scan("supplier")
+        .join(
+            Q(db).scan("lineitem").filter(late),
+            on=[("s_suppkey", "l_suppkey")],
+        )
+        .join(
+            Q(db).scan("orders").filter(col("o_orderstatus") == "F"),
+            on=[("l_orderkey", "o_orderkey")],
+        )
+        .join(multi_supplier_orders, on=[("l_orderkey", "ms_orderkey")], how="semi")
+        .join(single_late_supplier_orders, on=[("l_orderkey", "sl_orderkey")], how="semi")
+        .join(
+            Q(db).scan("nation").filter(col("n_name") == nation),
+            on=[("s_nationkey", "n_nationkey")],
+        )
+        .aggregate(by=["s_name"], numwait=agg.count_star())
+        .sort(("numwait", "desc"), "s_name")
+        .limit(100)
+    )

@@ -1,0 +1,33 @@
+"""Q22 — Global Sales Opportunity (substring country codes, scalar AVG,
+NOT EXISTS via anti join; no lineitem)."""
+
+from repro.engine import Q, agg, col, scalar
+
+NAME = "Global Sales Opportunity"
+TABLES = ("customer", "orders")
+
+
+def build(db, params=None):
+    p = params or {}
+    codes = p.get("codes", ["13", "31", "23", "29", "30", "18", "17"])
+    cntrycode = col("c_phone").substring(1, 2)
+    avg_balance = (
+        Q(db)
+        .scan("customer")
+        .filter((col("c_acctbal") > 0.0) & cntrycode.isin(codes))
+        .aggregate(ab=agg.avg(col("c_acctbal")))
+    )
+    return (
+        Q(db)
+        .scan("customer")
+        .filter(cntrycode.isin(codes))
+        .filter(col("c_acctbal") > scalar(avg_balance))
+        .join("orders", on=[("c_custkey", "o_custkey")], how="anti")
+        .project(cntrycode=cntrycode, c_acctbal="c_acctbal")
+        .aggregate(
+            by=["cntrycode"],
+            numcust=agg.count_star(),
+            totacctbal=agg.sum(col("c_acctbal")),
+        )
+        .sort("cntrycode")
+    )

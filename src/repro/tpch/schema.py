@@ -1,0 +1,110 @@
+"""TPC-H table schemas (all 8 tables) and nominal cardinalities."""
+
+from __future__ import annotations
+
+from repro.engine import DATE, FLOAT64, INT64, STRING, Schema
+
+__all__ = ["TPCH_SCHEMAS", "BASE_ROWS", "rows_at_sf", "TABLE_NAMES"]
+
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": Schema.of(
+        ("r_regionkey", INT64),
+        ("r_name", STRING),
+        ("r_comment", STRING),
+    ),
+    "nation": Schema.of(
+        ("n_nationkey", INT64),
+        ("n_name", STRING),
+        ("n_regionkey", INT64),
+        ("n_comment", STRING),
+    ),
+    "supplier": Schema.of(
+        ("s_suppkey", INT64),
+        ("s_name", STRING),
+        ("s_address", STRING),
+        ("s_nationkey", INT64),
+        ("s_phone", STRING),
+        ("s_acctbal", FLOAT64),
+        ("s_comment", STRING),
+    ),
+    "part": Schema.of(
+        ("p_partkey", INT64),
+        ("p_name", STRING),
+        ("p_mfgr", STRING),
+        ("p_brand", STRING),
+        ("p_type", STRING),
+        ("p_size", INT64),
+        ("p_container", STRING),
+        ("p_retailprice", FLOAT64),
+        ("p_comment", STRING),
+    ),
+    "partsupp": Schema.of(
+        ("ps_partkey", INT64),
+        ("ps_suppkey", INT64),
+        ("ps_availqty", INT64),
+        ("ps_supplycost", FLOAT64),
+        ("ps_comment", STRING),
+    ),
+    "customer": Schema.of(
+        ("c_custkey", INT64),
+        ("c_name", STRING),
+        ("c_address", STRING),
+        ("c_nationkey", INT64),
+        ("c_phone", STRING),
+        ("c_acctbal", FLOAT64),
+        ("c_mktsegment", STRING),
+        ("c_comment", STRING),
+    ),
+    "orders": Schema.of(
+        ("o_orderkey", INT64),
+        ("o_custkey", INT64),
+        ("o_orderstatus", STRING),
+        ("o_totalprice", FLOAT64),
+        ("o_orderdate", DATE),
+        ("o_orderpriority", STRING),
+        ("o_clerk", STRING),
+        ("o_shippriority", INT64),
+        ("o_comment", STRING),
+    ),
+    "lineitem": Schema.of(
+        ("l_orderkey", INT64),
+        ("l_partkey", INT64),
+        ("l_suppkey", INT64),
+        ("l_linenumber", INT64),
+        ("l_quantity", FLOAT64),
+        ("l_extendedprice", FLOAT64),
+        ("l_discount", FLOAT64),
+        ("l_tax", FLOAT64),
+        ("l_returnflag", STRING),
+        ("l_linestatus", STRING),
+        ("l_shipdate", DATE),
+        ("l_commitdate", DATE),
+        ("l_receiptdate", DATE),
+        ("l_shipinstruct", STRING),
+        ("l_shipmode", STRING),
+        ("l_comment", STRING),
+    ),
+}
+
+TABLE_NAMES = list(TPCH_SCHEMAS)
+
+# Rows at SF 1 (lineitem is ~4 per order on average, set by dbgen).
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def rows_at_sf(table: str, scale_factor: float) -> int:
+    """Nominal row count of ``table`` at ``scale_factor`` (fixed-size
+    tables — nation, region — do not scale)."""
+    base = BASE_ROWS[table]
+    if table in ("region", "nation"):
+        return base
+    return max(1, round(base * scale_factor))

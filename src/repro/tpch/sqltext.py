@@ -1,0 +1,168 @@
+"""TPC-H queries as SQL text (for the engine's SQL front-end).
+
+The spec's queries, written in the subset our dialect supports. Queries
+whose spec formulation needs correlated subqueries, views, or EXISTS
+(Q2, Q11, Q15-Q18, Q20-Q22) have no SQL text here — the builder plans in
+:mod:`repro.tpch.queries` remain the reference implementations for those;
+``build_from_sql`` raises :class:`KeyError` for them.
+
+Each text is validated against its builder plan by
+``tests/tpch/test_sqltext.py``.
+"""
+
+from __future__ import annotations
+
+from repro.engine import Database, Q
+from repro.engine.sql import sql
+
+__all__ = ["SQL_QUERIES", "build_from_sql", "SQL_QUERY_NUMBERS"]
+
+SQL_QUERIES: dict[int, str] = {
+    1: """
+        SELECT l_returnflag, l_linestatus,
+               SUM(l_quantity) AS sum_qty,
+               SUM(l_extendedprice) AS sum_base_price,
+               SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+               SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+               AVG(l_quantity) AS avg_qty,
+               AVG(l_extendedprice) AS avg_price,
+               AVG(l_discount) AS avg_disc,
+               COUNT(*) AS count_order
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """,
+    3: """
+        SELECT l_orderkey, o_orderdate, o_shippriority,
+               SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer
+        JOIN orders ON c_custkey = o_custkey
+        JOIN lineitem ON o_orderkey = l_orderkey
+        WHERE c_mktsegment = 'BUILDING'
+          AND o_orderdate < DATE '1995-03-15'
+          AND l_shipdate > DATE '1995-03-15'
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+        ORDER BY revenue DESC, o_orderdate
+        LIMIT 10
+    """,
+    4: """
+        SELECT o_orderpriority, COUNT(*) AS order_count
+        FROM orders
+        WHERE o_orderdate >= DATE '1993-07-01'
+          AND o_orderdate < DATE '1993-07-01' + INTERVAL '3' MONTH
+          AND o_orderkey IN (
+              SELECT l_orderkey FROM lineitem
+              WHERE l_commitdate < l_receiptdate)
+        GROUP BY o_orderpriority
+        ORDER BY o_orderpriority
+    """,
+    5: """
+        SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer
+        JOIN orders ON c_custkey = o_custkey
+        JOIN lineitem ON o_orderkey = l_orderkey
+        JOIN supplier ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+        JOIN nation ON c_nationkey = n_nationkey
+        JOIN region ON n_regionkey = r_regionkey
+        WHERE r_name = 'ASIA'
+          AND o_orderdate >= DATE '1994-01-01'
+          AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+        GROUP BY n_name
+        ORDER BY revenue DESC
+    """,
+    6: """
+        SELECT SUM(l_extendedprice * l_discount) AS revenue
+        FROM lineitem
+        WHERE l_shipdate >= DATE '1994-01-01'
+          AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+          AND l_discount BETWEEN 0.049 AND 0.071
+          AND l_quantity < 24
+    """,
+    10: """
+        SELECT c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+               c_comment,
+               SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer
+        JOIN orders ON c_custkey = o_custkey
+        JOIN lineitem ON o_orderkey = l_orderkey
+        JOIN nation ON c_nationkey = n_nationkey
+        WHERE o_orderdate >= DATE '1993-10-01'
+          AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+          AND l_returnflag = 'R'
+        GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+                 c_comment
+        ORDER BY revenue DESC
+        LIMIT 20
+    """,
+    12: """
+        SELECT l_shipmode,
+               SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH')
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH')
+                        THEN 0 ELSE 1 END) AS low_line_count
+        FROM orders
+        JOIN lineitem ON o_orderkey = l_orderkey
+        WHERE l_shipmode IN ('MAIL', 'SHIP')
+          AND l_commitdate < l_receiptdate
+          AND l_shipdate < l_commitdate
+          AND l_receiptdate >= DATE '1994-01-01'
+          AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+        GROUP BY l_shipmode
+        ORDER BY l_shipmode
+    """,
+    13: """
+        SELECT c_count, COUNT(*) AS custdist
+        FROM (
+            SELECT c_custkey, COUNT(o_orderkey) AS c_count
+            FROM customer
+            LEFT JOIN (SELECT o_orderkey, o_custkey FROM orders
+                       WHERE o_comment NOT LIKE '%special%requests%') AS o
+              ON c_custkey = o_custkey
+            GROUP BY c_custkey
+        ) AS c_orders
+        GROUP BY c_count
+        ORDER BY custdist DESC, c_count DESC
+    """,
+    14: """
+        SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                                 THEN l_extendedprice * (1 - l_discount)
+                                 ELSE 0 END)
+               / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+        FROM lineitem
+        JOIN part ON l_partkey = p_partkey
+        WHERE l_shipdate >= DATE '1995-09-01'
+          AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH
+    """,
+    19: """
+        SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM lineitem
+        JOIN part ON l_partkey = p_partkey
+        WHERE l_shipmode IN ('AIR', 'AIR REG')
+          AND l_shipinstruct = 'DELIVER IN PERSON'
+          AND ((p_brand = 'Brand#12'
+                AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+                AND l_quantity BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5)
+            OR (p_brand = 'Brand#23'
+                AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+                AND l_quantity BETWEEN 10 AND 20 AND p_size BETWEEN 1 AND 10)
+            OR (p_brand = 'Brand#34'
+                AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+                AND l_quantity BETWEEN 20 AND 30 AND p_size BETWEEN 1 AND 15))
+    """,
+}
+
+SQL_QUERY_NUMBERS = tuple(sorted(SQL_QUERIES))
+
+
+def build_from_sql(db: Database, number: int) -> Q:
+    """Plan a TPC-H query from its SQL text (subset of queries only —
+    see module docstring)."""
+    try:
+        text = SQL_QUERIES[number]
+    except KeyError:
+        raise KeyError(
+            f"Q{number} has no SQL text in this dialect; use "
+            f"repro.tpch.get_query({number}).build(...) instead"
+        ) from None
+    return sql(db, text)

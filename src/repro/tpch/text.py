@@ -1,0 +1,125 @@
+"""TPC-H text distributions: names, types, containers, comment pools.
+
+The official dbgen synthesizes comments from a grammar; here comments are
+drawn from deterministic pools that preserve the properties queries
+filter on (the ``special ... requests`` phrase for Q13, the
+``Customer ... Complaints`` phrase for Q16) at the spec's frequencies.
+Pooling makes generation fast and mirrors dictionary-encoded storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "COLORS", "TYPE_SYLLABLE_1", "TYPE_SYLLABLE_2", "TYPE_SYLLABLE_3",
+    "CONTAINER_SYLLABLE_1", "CONTAINER_SYLLABLE_2", "SEGMENTS", "PRIORITIES",
+    "SHIP_MODES", "SHIP_INSTRUCTIONS", "NATIONS", "REGIONS", "NOUNS", "VERBS",
+    "ADJECTIVES", "comment_pool", "part_types", "part_containers",
+]
+
+# The spec's 92 part-name color words (P_NAME is 5 of these).
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hyacinth", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+# (name, regionkey) in nationkey order, per the spec.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NOUNS = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas",
+    "theodolites", "pinto beans", "instructions", "dependencies", "excuses",
+    "platelets", "asymptotes", "courts", "dolphins", "multipliers", "sauternes",
+    "warthogs", "frets", "dinos", "attainments", "somas", "braids", "hockey players",
+]
+VERBS = [
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost",
+    "affix", "detect", "integrate", "maintain", "nod", "was", "lose", "sublate",
+    "solve", "thrash", "promise", "engage", "hinder", "print", "x-ray", "breach",
+]
+ADJECTIVES = [
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow", "quiet",
+    "ruthless", "thin", "close", "dogged", "daring", "brave", "stealthy",
+    "permanent", "enticing", "idle", "busy", "regular", "final", "ironic",
+    "even", "bold", "silent",
+]
+
+
+def comment_pool(
+    rng: np.ndarray | np.random.Generator,
+    pool_size: int,
+    words_min: int = 4,
+    words_max: int = 9,
+    plant_phrase: str | None = None,
+    plant_fraction: float = 0.0,
+) -> np.ndarray:
+    """Build a deterministic pool of distinct comment strings.
+
+    A ``plant_phrase`` like ``"special|requests"`` embeds its parts (in
+    order, separated by filler) into ``plant_fraction`` of the pool —
+    exactly what LIKE '%special%requests%' matches.
+    """
+    comments = []
+    for i in range(pool_size):
+        n_words = int(rng.integers(words_min, words_max + 1))
+        picks = rng.integers(0, len(ADJECTIVES), size=n_words)
+        words = []
+        for j, p in enumerate(picks):
+            source = (ADJECTIVES, NOUNS, VERBS)[j % 3]
+            words.append(source[int(p) % len(source)])
+        comments.append(" ".join(words) + f" #{i}")
+    if plant_phrase and plant_fraction > 0:
+        parts = plant_phrase.split("|")
+        n_plant = max(1, round(pool_size * plant_fraction))
+        for i in range(n_plant):
+            idx = int(rng.integers(0, pool_size))
+            filler = ADJECTIVES[idx % len(ADJECTIVES)]
+            comments[idx] = f"the {parts[0]} {filler} {parts[1]} #{idx}p"
+    return np.asarray(comments, dtype=object)
+
+
+def part_types() -> list[str]:
+    """All 150 part types (syllable1 syllable2 syllable3)."""
+    return [
+        f"{a} {b} {c}"
+        for a in TYPE_SYLLABLE_1
+        for b in TYPE_SYLLABLE_2
+        for c in TYPE_SYLLABLE_3
+    ]
+
+
+def part_containers() -> list[str]:
+    """All 40 containers (syllable1 syllable2)."""
+    return [f"{a} {b}" for a in CONTAINER_SYLLABLE_1 for b in CONTAINER_SYLLABLE_2]

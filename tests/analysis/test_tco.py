@@ -1,0 +1,90 @@
+"""TCO sensitivity tests — verifying the paper's §III-A3 assertion across
+the plausible parameter space, not at one point."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.tco import TcoAssumptions, estimate_tco, tco_advantage
+
+
+class TestEstimates:
+    def test_pi_node_breakdown(self):
+        estimate = estimate_tco("pi3b+", TcoAssumptions(years=1.0, utilization=1.0))
+        assert estimate.hardware_usd == pytest.approx(47.5)
+        assert estimate.cooling_usd == 0.0
+        # 5.1 W for a year
+        assert estimate.energy_usd == pytest.approx(
+            5.1 / 1000 * 8760 * TcoAssumptions().kwh_price_usd, rel=0.01
+        )
+
+    def test_server_includes_components_and_cooling(self):
+        estimate = estimate_tco("op-e5")
+        assert estimate.hardware_usd == pytest.approx(2 * 1389 * 2.5)
+        assert estimate.cooling_usd > 0
+
+    def test_cluster_scales_linearly(self):
+        one = estimate_tco("pi3b+", n_nodes=1).total_usd
+        many = estimate_tco("pi3b+", n_nodes=24).total_usd
+        assert many == pytest.approx(24 * one)
+
+    def test_cloud_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_tco("m5.metal")
+
+
+class TestPaperClaim:
+    def test_advantage_at_paper_operating_point(self):
+        """24-node WIMPI ~1.3x slower than op-e5 at SF 10 overall: the
+        TCO advantage should be large."""
+        assert tco_advantage("op-e5", 24, performance_ratio=1.3) > 3.0
+
+    def test_claim_holds_across_parameter_grid(self):
+        """Sweep every knob over its documented range: the Pi cluster
+        must win at every corner — the paper's 'would have heavily
+        favored' assertion."""
+        grid = itertools.product(
+            (1.0, 3.0, 5.0),          # years
+            (0.05, 0.10, 0.20),       # $/kWh
+            (1.0, 2.0, 3.0),          # server components factor
+            (10.0, 15.0),             # pi peripherals
+            (0.2, 0.5, 0.8),          # cooling overhead
+            (0.1, 0.5, 1.0),          # utilization
+        )
+        for years, kwh, comp, peri, cool, util in grid:
+            assumptions = TcoAssumptions(
+                years=years, kwh_price_usd=kwh, server_components_factor=comp,
+                pi_peripherals_usd=peri, cooling_overhead=cool, utilization=util,
+            )
+            advantage = tco_advantage("op-e5", 24, 1.3, assumptions)
+            assert advantage > 1.0, (years, kwh, comp, peri, cool, util, advantage)
+
+    @given(
+        years=st.floats(1.0, 6.0),
+        kwh=st.floats(0.04, 0.30),
+        comp=st.floats(1.0, 3.0),
+        cool=st.floats(0.1, 0.9),
+        util=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_claim_holds_under_random_assumptions(self, years, kwh, comp, cool, util):
+        assumptions = TcoAssumptions(
+            years=years, kwh_price_usd=kwh, server_components_factor=comp,
+            cooling_overhead=cool, utilization=util,
+        )
+        assert tco_advantage("op-gold", 24, 1.5, assumptions) > 1.0
+
+    def test_break_even_performance_ratio_is_extreme(self):
+        """How much slower would the cluster have to be before TCO flips?
+        It takes an enormous slowdown — quantifying 'heavily favored'."""
+        assumptions = TcoAssumptions()
+        ratio = 1.0
+        while tco_advantage("op-e5", 24, ratio, assumptions) > 1.0 and ratio < 100:
+            ratio *= 1.5
+        assert ratio > 3.0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            tco_advantage("op-e5", 24, 0.0)

@@ -1,0 +1,97 @@
+"""WimPiCluster tests: Table III shapes — thrash cliff, Q13 flatness,
+network plateau, cost/energy properties."""
+
+import pytest
+
+from repro.cluster import WimPiCluster, thrash_multiplier
+from repro.tpch import CHOKEPOINTS
+
+
+@pytest.fixture(scope="module")
+def clusters(tpch_db):
+    """Clusters over the shared SF 0.01 db at three sizes."""
+    return {
+        n: WimPiCluster(n, base_sf=0.01, target_sf=10.0, db=tpch_db)
+        for n in (4, 12, 24)
+    }
+
+
+@pytest.fixture(scope="module")
+def runs(clusters):
+    return {
+        n: {q: cluster.run_query(q) for q in CHOKEPOINTS}
+        for n, cluster in clusters.items()
+    }
+
+
+class TestThrashMultiplier:
+    def test_no_penalty_below_threshold(self):
+        assert thrash_multiplier(0.5) == 1.0
+        assert thrash_multiplier(0.9) == 1.0
+
+    def test_monotone_above_threshold(self):
+        values = [thrash_multiplier(r) for r in (1.0, 1.2, 1.5, 2.0)]
+        assert values == sorted(values)
+        assert values[0] > 1.0
+
+    def test_capped(self):
+        assert thrash_multiplier(10.0) == thrash_multiplier(50.0)
+
+
+class TestTableIIIShape:
+    def test_memory_cliff_at_four_nodes(self, runs):
+        """Q1/Q3/Q5 at 4 nodes are catastrophically slower than at 12
+        (the paper's 10-100x jump)."""
+        for q in (1, 3, 5):
+            jump = runs[4][q].total_seconds / runs[12][q].total_seconds
+            assert jump > 5.0, (q, jump)
+
+    def test_pressure_decreases_with_nodes(self, runs):
+        for q in (1, 3, 5):
+            assert max(runs[4][q].node_pressure) > max(runs[24][q].node_pressure)
+
+    def test_q13_flat_across_cluster_sizes(self, runs):
+        times = [runs[n][13].total_seconds for n in (4, 12, 24)]
+        assert max(times) == pytest.approx(min(times), rel=1e-9)
+
+    def test_q13_is_single_node(self, runs):
+        assert runs[24][13].run.single_node
+
+    def test_selective_queries_hit_network_floor(self, runs):
+        """Q6/Q14 stop improving with more nodes: the sequential gather
+        latency grows with N (diminishing returns in the paper)."""
+        for q in (6, 14):
+            improvement = runs[12][q].total_seconds / runs[24][q].total_seconds
+            assert improvement < 2.0, q
+
+    def test_gather_time_grows_with_cluster(self, runs):
+        assert runs[24][6].gather_seconds > runs[4][6].gather_seconds
+
+    def test_large_cluster_beats_small_on_bound_queries(self, runs):
+        for q in (1, 3, 4, 5):
+            assert runs[24][q].total_seconds < runs[4][q].total_seconds
+
+    def test_energy_proportional_to_nodes_and_time(self, runs):
+        run = runs[12][6]
+        expected = run.total_seconds * 5.1 * 12
+        assert run.energy_joules == pytest.approx(expected)
+
+
+class TestClusterProperties:
+    def test_cost_model(self, clusters):
+        cluster = clusters[24]
+        assert cluster.total_msrp_usd == pytest.approx(840.0)  # the paper's figure
+        assert cluster.peak_power_w == pytest.approx(122.4)
+        assert cluster.hourly_usd < 0.01
+
+    def test_scale_property(self, clusters):
+        assert clusters[4].scale == pytest.approx(1000.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WimPiCluster(0)
+
+    def test_results_are_real_rows(self, runs):
+        result = runs[12][1].result
+        assert result.column_names[0] == "l_returnflag"
+        assert len(result) == 4

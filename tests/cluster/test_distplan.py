@@ -1,0 +1,66 @@
+"""Distributed rewrite tests: partial-aggregation decomposition."""
+
+import pytest
+
+from repro.cluster import NotDistributableError, split_for_partial_aggregation
+from repro.engine import Executor, Q, agg, col
+from repro.engine.plan import AggregateNode
+from repro.tpch import get_query
+
+
+class TestSplit:
+    def test_sum_becomes_sum_of_sums(self, toy_db):
+        plan = Q(toy_db).scan("t").aggregate(by=["s"], total=agg.sum(col("v")))
+        split = split_for_partial_aggregation(plan.node)
+        assert isinstance(split.local, AggregateNode)
+        local_specs = dict(split.local.aggs)
+        assert local_specs["total"].func == "sum"
+
+    def test_avg_decomposes_into_sum_and_count(self, toy_db):
+        plan = Q(toy_db).scan("t").aggregate(by=["s"], mean=agg.avg(col("v")))
+        split = split_for_partial_aggregation(plan.node)
+        names = [name for name, _ in split.local.aggs]
+        assert names == ["mean__sum", "mean__cnt"]
+
+    def test_count_distinct_not_distributable(self, toy_db):
+        plan = Q(toy_db).scan("t").aggregate(n=agg.count_distinct(col("s")))
+        with pytest.raises(NotDistributableError):
+            split_for_partial_aggregation(plan.node)
+
+    def test_non_aggregate_root_not_distributable(self, toy_db):
+        plan = Q(toy_db).scan("t").join("u", on=[("k", "k2")])
+        with pytest.raises(NotDistributableError):
+            split_for_partial_aggregation(plan.node)
+
+    def test_chain_above_aggregate_is_rebuilt(self, toy_db):
+        plan = (
+            Q(toy_db).scan("t")
+            .aggregate(by=["s"], total=agg.sum(col("v")))
+            .sort(("total", "desc")).limit(2)
+        )
+        split = split_for_partial_aggregation(plan.node)
+        # Execute partials on the full db (single "node") and finalize.
+        partial = Executor(toy_db).execute(split.local)
+        from repro.cluster import concat_frames
+        from repro.engine import Database
+
+        driver_db = Database("driver")
+        driver_db.add(concat_frames([partial.frame]))
+        final = Executor(driver_db).execute(split.build_final(driver_db), optimize=False)
+        direct = Executor(toy_db).execute(plan)
+        assert final.rows == direct.rows
+
+    def test_all_chokepoints_split_except_q13(self, tpch_db, tpch_params):
+        for number in (1, 3, 4, 5, 6, 14, 19):
+            plan = get_query(number).build(tpch_db, tpch_params)
+            split = split_for_partial_aggregation(plan.node)
+            assert split.local is not None, number
+
+    def test_having_filter_above_aggregate(self, toy_db):
+        plan = (
+            Q(toy_db).scan("t")
+            .aggregate(by=["s"], total=agg.sum(col("v")))
+            .filter(col("total") > 50.0)
+        )
+        split = split_for_partial_aggregation(plan.node)
+        assert split.local is not None

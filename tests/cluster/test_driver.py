@@ -1,0 +1,93 @@
+"""Distributed driver tests: distributed answers equal single-node
+answers for every chokepoint query."""
+
+import math
+
+import pytest
+
+from repro.cluster import Driver, concat_frames, partition_database
+from repro.engine import Column, Frame, execute
+from repro.tpch import CHOKEPOINTS, get_query
+
+
+def _normalized(rows):
+    out = []
+    for row in rows:
+        norm = []
+        for value in row:
+            if isinstance(value, float):
+                norm.append(round(value, 4))
+            else:
+                norm.append(value)
+        out.append(tuple(norm))
+    return out
+
+
+@pytest.fixture(scope="module")
+def driver(tpch_db):
+    return Driver(partition_database(tpch_db, 4))
+
+
+class TestDistributedCorrectness:
+    @pytest.mark.parametrize("number", CHOKEPOINTS)
+    def test_matches_single_node(self, tpch_db, tpch_params, driver, number):
+        single = execute(tpch_db, get_query(number).build(tpch_db, tpch_params))
+        distributed = driver.run(get_query(number), tpch_params)
+        single_rows = _normalized(single.rows)
+        distributed_rows = _normalized(distributed.result.rows)
+        assert len(single_rows) == len(distributed_rows)
+        for srow, drow in zip(single_rows, distributed_rows):
+            for s, d in zip(srow, drow):
+                if isinstance(s, float) or isinstance(d, float):
+                    assert math.isclose(float(s), float(d), rel_tol=1e-6, abs_tol=1e-6)
+                else:
+                    assert s == d
+
+    def test_q13_runs_single_node(self, driver, tpch_params):
+        run = driver.run(get_query(13), tpch_params)
+        assert run.single_node
+        assert run.partial_bytes_per_node == []
+
+    def test_q6_partials_one_row_per_node(self, driver, tpch_params):
+        run = driver.run(get_query(6), tpch_params)
+        assert not run.single_node
+        assert run.node_results_rows == [1, 1, 1, 1]
+        assert len(run.node_profiles) == 4
+
+    def test_partial_bytes_are_small(self, driver, tpch_params):
+        """Partial aggregates are tiny compared to base data — the whole
+        point of the paper's driver strategy."""
+        run = driver.run(get_query(1), tpch_params)
+        assert all(b < 10_000 for b in run.partial_bytes_per_node)
+
+    def test_non_lineitem_query_single_node(self, driver, tpch_params):
+        run = driver.run(get_query(11), tpch_params)
+        assert run.single_node
+
+    def test_one_node_cluster_bypasses_rewrite(self, tpch_db, tpch_params):
+        solo = Driver(partition_database(tpch_db, 1))
+        run = solo.run(get_query(6), tpch_params)
+        assert run.single_node
+
+
+class TestConcatFrames:
+    def test_stacks_rows(self):
+        a = Frame({"x": Column.from_ints([1, 2])})
+        b = Frame({"x": Column.from_ints([3])})
+        table = concat_frames([a, b])
+        assert table.nrows == 3
+        assert table.column("x").values.tolist() == [1, 2, 3]
+
+    def test_schema_mismatch_rejected(self):
+        a = Frame({"x": Column.from_ints([1])})
+        b = Frame({"y": Column.from_ints([1])})
+        with pytest.raises(ValueError, match="mismatch"):
+            concat_frames([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_frames([])
+
+    def test_driver_requires_nodes(self):
+        with pytest.raises(ValueError):
+            Driver([])

@@ -1,0 +1,62 @@
+"""NAM hybrid-cluster tests (§III-C1 extension)."""
+
+import pytest
+
+from repro.cluster import WimPiCluster
+from repro.cluster.nam import NamCluster
+
+
+@pytest.fixture(scope="module")
+def pair(tpch_db):
+    plain = WimPiCluster(4, base_sf=0.01, target_sf=10.0, db=tpch_db)
+    hybrid = NamCluster(4, base_sf=0.01, target_sf=10.0, db=tpch_db)
+    return plain, hybrid
+
+
+class TestOffloading:
+    def test_thrashing_fragments_offload(self, pair):
+        _, hybrid = pair
+        run = hybrid.run_query(1)  # Q1 at 4 nodes is in the thrash regime
+        assert run.offloaded
+        assert run.total_seconds < 5.0
+
+    def test_nam_eliminates_the_cliff(self, pair):
+        plain, hybrid = pair
+        for q in (1, 5):
+            base = plain.run_query(q)
+            nam = hybrid.run_query(q)
+            assert nam.total_seconds < base.total_seconds / 5, q
+
+    def test_light_fragments_stay_on_pis(self, pair):
+        _, hybrid = pair
+        run = hybrid.run_query(6)  # Q6 fits comfortably per node
+        assert not run.offloaded
+        assert run.total_seconds == pytest.approx(run.base.total_seconds)
+
+    def test_q13_single_node_offloads(self, pair):
+        _, hybrid = pair
+        run = hybrid.run_query(13)
+        assert run.offloaded_nodes == [0]
+        assert run.total_seconds < run.base.total_seconds
+
+    def test_results_identical_to_plain(self, pair):
+        plain, hybrid = pair
+        assert hybrid.run_query(1).result.rows == plain.run_query(1).result.rows
+
+
+class TestHonestAccounting:
+    def test_msrp_includes_server(self, pair):
+        plain, hybrid = pair
+        assert hybrid.total_msrp_usd == pytest.approx(
+            plain.total_msrp_usd + 2 * 1389.0
+        )
+
+    def test_power_includes_server(self, pair):
+        plain, hybrid = pair
+        assert hybrid.peak_power_w == pytest.approx(plain.peak_power_w + 190.0)
+
+    def test_custom_server_platform(self, tpch_db):
+        hybrid = NamCluster(
+            4, memory_server="op-gold", base_sf=0.01, target_sf=10.0, db=tpch_db
+        )
+        assert hybrid.memory_server.key == "op-gold"

@@ -1,0 +1,33 @@
+"""Network model tests."""
+
+import pytest
+
+from repro.cluster import NetworkModel
+
+
+class TestNetworkModel:
+    def test_default_matches_iperf(self):
+        assert NetworkModel().bandwidth_mbps == pytest.approx(220.0)
+
+    def test_transfer_time_structure(self):
+        net = NetworkModel(bandwidth_mbps=100.0, message_latency_s=0.001)
+        assert net.transfer_time(0) == pytest.approx(0.001)
+        # 1 MB at 100 Mbps = 80 ms of serialization
+        assert net.transfer_time(1_000_000) == pytest.approx(0.001 + 0.08)
+
+    def test_gather_is_sequential(self):
+        """The paper's simple Python driver collects node by node, so
+        latency accumulates linearly with cluster size — the cause of
+        Q6/Q14's diminishing returns."""
+        net = NetworkModel(message_latency_s=0.002)
+        small = net.gather_time([100.0] * 4)
+        large = net.gather_time([100.0] * 24)
+        assert large == pytest.approx(6 * small)
+
+    def test_broadcast(self):
+        net = NetworkModel(message_latency_s=0.001)
+        assert net.broadcast_time(0, 10) == pytest.approx(0.01)
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-5)

@@ -1,0 +1,96 @@
+"""Per-node memory model tests."""
+
+import pytest
+
+from repro.cluster import MemoryModel, NodeSpec, collect_scan_columns
+from repro.engine import Q, agg, col
+from repro.engine.optimizer import prune_columns
+from repro.engine.profile import OperatorWork, WorkProfile
+
+
+class TestNodeSpec:
+    def test_defaults_are_a_pi(self):
+        spec = NodeSpec()
+        assert spec.memory_bytes == 1e9
+        assert spec.platform.key == "pi3b+"
+        assert 0 < spec.available_bytes < spec.memory_bytes
+
+
+class TestScanCollection:
+    def test_collects_pruned_columns(self, tpch_db):
+        plan = prune_columns(
+            Q(tpch_db).scan("lineitem").filter(col("l_quantity") < 10)
+            .aggregate(s=agg.sum(col("l_extendedprice"))).node,
+            tpch_db,
+        )
+        cols = collect_scan_columns(plan)
+        assert cols == {"lineitem": {"l_quantity", "l_extendedprice"}}
+
+    def test_unpruned_scan_is_star(self, tpch_db):
+        cols = collect_scan_columns(Q(tpch_db).scan("lineitem").node)
+        assert cols == {"lineitem": {"*"}}
+
+    def test_join_collects_both_tables(self, tpch_db):
+        plan = prune_columns(
+            Q(tpch_db).scan("lineitem").join("part", on=[("l_partkey", "p_partkey")])
+            .aggregate(s=agg.sum(col("l_extendedprice"))).node,
+            tpch_db,
+        )
+        cols = collect_scan_columns(plan)
+        assert set(cols) == {"lineitem", "part"}
+
+
+class TestFootprint:
+    def test_numeric_column_bytes(self, tpch_db):
+        mm = MemoryModel()
+        per_row = mm.column_bytes_per_row(tpch_db, "lineitem", "l_quantity")
+        assert per_row == pytest.approx(8.0)
+
+    def test_comment_column_costs_spec_heap(self, tpch_db):
+        """o_comment must be charged its real ~49 B/row (pooling in our
+        dbgen would otherwise make Q13's footprint vanish)."""
+        mm = MemoryModel()
+        per_row = mm.column_bytes_per_row(tpch_db, "orders", "o_comment")
+        assert 50 < per_row < 56  # 4 B code + 49 B heap
+
+    def test_low_cardinality_string_is_cheap(self, tpch_db):
+        mm = MemoryModel()
+        per_row = mm.column_bytes_per_row(tpch_db, "lineitem", "l_shipmode")
+        assert per_row < 6  # hash-consed
+
+    def test_footprint_scales_with_sf(self, tpch_db):
+        mm = MemoryModel()
+        plan = prune_columns(
+            Q(tpch_db).scan("lineitem").aggregate(s=agg.sum(col("l_quantity"))).node,
+            tpch_db,
+        )
+        at_1x = mm.base_column_footprint(tpch_db, plan, 1.0)
+        at_10x = mm.base_column_footprint(tpch_db, plan, 10.0)
+        assert at_10x == pytest.approx(10 * at_1x)
+
+    def test_nation_region_do_not_scale(self, tpch_db):
+        mm = MemoryModel()
+        plan = prune_columns(
+            Q(tpch_db).scan("nation").aggregate(n=agg.count_star()).node, tpch_db
+        )
+        assert mm.base_column_footprint(tpch_db, plan, 10.0) == pytest.approx(
+            mm.base_column_footprint(tpch_db, plan, 1.0)
+        )
+
+    def test_intermediates_are_summed(self):
+        mm = MemoryModel()
+        profile = WorkProfile([
+            OperatorWork("scan", out_bytes=100),
+            OperatorWork("hashjoin", out_bytes=300),
+        ])
+        assert mm.peak_intermediate_bytes(profile) == 400
+
+    def test_pressure_ratio_positive(self, tpch_db):
+        mm = MemoryModel()
+        plan = prune_columns(
+            Q(tpch_db).scan("lineitem").aggregate(s=agg.sum(col("l_quantity"))).node,
+            tpch_db,
+        )
+        profile = WorkProfile([OperatorWork("scan", out_bytes=1e6)])
+        ratio = mm.pressure_ratio(tpch_db, plan, profile, 1000.0)
+        assert ratio > 0

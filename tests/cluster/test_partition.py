@@ -1,0 +1,51 @@
+"""Partitioning tests: disjoint cover of lineitem, replication of the rest."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import partition_database, partition_table
+
+
+class TestPartitionTable:
+    def test_disjoint_cover(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        shards = partition_table(li, 4, "l_orderkey")
+        assert sum(s.nrows for s in shards) == li.nrows
+
+    def test_order_locality(self, tpch_db):
+        """All lines of one order land on one node (the property the
+        driver's correctness depends on)."""
+        shards = partition_table(tpch_db.table("lineitem"), 6, "l_orderkey")
+        seen: dict[int, int] = {}
+        for node, shard in enumerate(shards):
+            for key in np.unique(shard.column("l_orderkey").values).tolist():
+                assert seen.setdefault(key, node) == node
+
+    def test_roughly_even(self, tpch_db):
+        shards = partition_table(tpch_db.table("lineitem"), 8, "l_orderkey")
+        sizes = [s.nrows for s in shards]
+        assert max(sizes) < 1.2 * min(sizes)
+
+    def test_single_node(self, tpch_db):
+        shards = partition_table(tpch_db.table("lineitem"), 1, "l_orderkey")
+        assert len(shards) == 1
+        assert shards[0].nrows == tpch_db.table("lineitem").nrows
+
+    def test_invalid_node_count(self, tpch_db):
+        with pytest.raises(ValueError):
+            partition_table(tpch_db.table("lineitem"), 0, "l_orderkey")
+
+
+class TestPartitionDatabase:
+    def test_non_lineitem_tables_shared(self, tpch_db):
+        node_dbs = partition_database(tpch_db, 4)
+        for node_db in node_dbs:
+            for name in tpch_db.table_names:
+                if name == "lineitem":
+                    assert node_db.table(name).nrows < tpch_db.table(name).nrows
+                else:
+                    # replicated by reference, not copied
+                    assert node_db.table(name) is tpch_db.table(name)
+
+    def test_node_count(self, tpch_db):
+        assert len(partition_database(tpch_db, 24)) == 24

@@ -1,0 +1,88 @@
+"""Reliability / failure-injection tests (paper §III-C4)."""
+
+import pytest
+
+from repro.cluster import WimPiCluster
+from repro.cluster.reliability import (
+    MemoryOutcome,
+    NodeUnresponsiveError,
+    QueryOutOfMemoryError,
+    SwapPolicy,
+    classify_pressure,
+    reliability_report,
+)
+
+
+class TestClassification:
+    def test_fits_is_ok_under_both_policies(self):
+        for policy in SwapPolicy:
+            assert classify_pressure(0, 0.8, policy).outcome == "ok"
+
+    def test_overcommit_with_swap_thrashes(self):
+        outcome = classify_pressure(0, 1.5, SwapPolicy.SWAP)
+        assert outcome.outcome == "thrash"
+        assert outcome.completes
+
+    def test_overcommit_without_swap_ooms(self):
+        outcome = classify_pressure(0, 1.5, SwapPolicy.NO_SWAP)
+        assert outcome.outcome == "oom"
+        assert not outcome.completes
+
+    def test_extreme_overcommit_with_swap_kills_node(self):
+        assert classify_pressure(0, 4.0, SwapPolicy.SWAP).outcome == "unresponsive"
+
+    def test_extreme_overcommit_without_swap_is_still_just_oom(self):
+        """The paper's fix: swap off converts node deaths into isolated
+        per-query errors."""
+        assert classify_pressure(0, 4.0, SwapPolicy.NO_SWAP).outcome == "oom"
+
+    def test_negative_pressure_rejected(self):
+        with pytest.raises(ValueError):
+            classify_pressure(0, -1.0, SwapPolicy.SWAP)
+
+    def test_report_covers_all_nodes(self):
+        report = reliability_report({1: [0.5, 1.2], 6: [0.3, 0.4]}, SwapPolicy.SWAP)
+        assert [o.outcome for o in report[1]] == ["ok", "thrash"]
+        assert all(o.outcome == "ok" for o in report[6])
+
+
+class TestClusterIntegration:
+    def test_swap_cluster_completes_thrashy_query(self, tpch_db):
+        cluster = WimPiCluster(4, base_sf=0.01, target_sf=10.0, db=tpch_db)
+        run = cluster.run_query(1)  # thrashes but completes (Table III)
+        assert run.total_seconds > 0
+
+    def test_no_swap_cluster_raises_oom(self, tpch_db):
+        cluster = WimPiCluster(
+            4, base_sf=0.01, target_sf=10.0, db=tpch_db,
+            swap_policy=SwapPolicy.NO_SWAP,
+        )
+        with pytest.raises(QueryOutOfMemoryError) as excinfo:
+            cluster.run_query(1)
+        assert excinfo.value.pressure > 1.0
+
+    def test_no_swap_cluster_still_runs_light_queries(self, tpch_db):
+        cluster = WimPiCluster(
+            4, base_sf=0.01, target_sf=10.0, db=tpch_db,
+            swap_policy=SwapPolicy.NO_SWAP,
+        )
+        run = cluster.run_query(6)  # fits per node comfortably
+        assert len(run.result) == 1
+
+    def test_more_nodes_avoid_the_oom(self, tpch_db):
+        cluster = WimPiCluster(
+            24, base_sf=0.01, target_sf=10.0, db=tpch_db,
+            swap_policy=SwapPolicy.NO_SWAP,
+        )
+        run = cluster.run_query(1)  # per-node share now fits
+        assert len(run.result) == 4
+
+    def test_compression_rescues_no_swap_cluster(self, tpch_db):
+        """Composing the two extensions: compressed base data shrinks the
+        working set below the OOM limit at 4 nodes."""
+        cluster = WimPiCluster(
+            4, base_sf=0.01, target_sf=10.0, db=tpch_db,
+            swap_policy=SwapPolicy.NO_SWAP, compress=True,
+        )
+        run = cluster.run_query(1)
+        assert len(run.result) == 4

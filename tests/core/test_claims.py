@@ -1,0 +1,49 @@
+"""Claims-registry tests: the full scorecard must pass, and the
+machinery must degrade gracefully."""
+
+import pytest
+
+from repro.core import ExperimentStudy, StudyConfig
+from repro.core.claims import CLAIMS, Claim, ClaimResult, evaluate_claims
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ExperimentStudy(StudyConfig(base_sf=0.02))
+
+
+class TestRegistry:
+    def test_fifteen_claims_registered(self):
+        assert len(CLAIMS) == 15
+        assert len({c.claim_id for c in CLAIMS}) == 15
+
+    def test_every_paper_section_represented(self):
+        sections = {c.claim_id.split("-")[0] for c in CLAIMS}
+        assert sections == {"II", "III"}
+
+    def test_all_claims_pass_on_default_study(self, study):
+        results = evaluate_claims(study)
+        failed = [r for r in results if not r.passed]
+        assert not failed, [(r.claim_id, r.detail) for r in failed]
+
+    def test_results_carry_details(self, study):
+        results = evaluate_claims(study)
+        assert all(isinstance(r, ClaimResult) and r.detail for r in results)
+
+    def test_crashing_check_reports_failure_not_exception(self, study):
+        def broken(_):
+            raise RuntimeError("boom")
+
+        results = evaluate_claims(
+            study, claims=(Claim("X-1", "broken check", broken),)
+        )
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "boom" in results[0].detail
+
+    def test_cli_validate_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate", "--base-sf", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "15/15 claims reproduced" in out

@@ -1,0 +1,69 @@
+"""Extension-experiment tests: compression study, NAM study,
+energy-proportionality study."""
+
+import pytest
+
+from repro.core.extensions import compression_study, nam_study, proportionality_study
+
+
+@pytest.fixture(scope="module")
+def compression():
+    return compression_study(base_sf=0.01, queries=(1, 6))
+
+
+class TestCompressionStudy:
+    def test_ratio_reported(self, compression):
+        assert compression["ratio"] > 2.0
+
+    def test_pi_speedups_exceed_server(self, compression):
+        by_query = {}
+        for r in compression["single_node"]:
+            by_query.setdefault(r.query, {})[r.platform] = r.speedup
+        for query, per in by_query.items():
+            assert per["pi3b+"] > per["op-e5"], query
+
+    def test_cliff_softens(self, compression):
+        cliff = compression["cliff"]
+        assert cliff["compressed"]["seconds"] < cliff["plain"]["seconds"]
+        assert cliff["compressed"]["pressure"] < cliff["plain"]["pressure"]
+
+
+class TestNamStudy:
+    @pytest.fixture(scope="class")
+    def nam(self):
+        return nam_study(base_sf=0.01, queries=(1, 13))
+
+    def test_nam_fixes_thrash_queries(self, nam):
+        for q, row in nam["queries"].items():
+            assert row["nam_seconds"] < row["plain_seconds"], q
+
+    def test_offload_counts(self, nam):
+        assert nam["queries"][1]["offloaded_nodes"] == 4
+        assert nam["queries"][13]["offloaded_nodes"] == 1
+
+    def test_cost_tradeoff_is_visible(self, nam):
+        assert nam["nam_msrp"] > nam["plain_msrp"]
+        assert nam["nam_power_w"] > nam["plain_power_w"]
+
+
+class TestProportionalityStudy:
+    @pytest.fixture(scope="class")
+    def prop(self):
+        return proportionality_study()
+
+    def test_scaling_saves_versus_always_on(self, prop):
+        assert prop["cluster_scaled_wh"] < prop["cluster_always_on_wh"]
+        assert prop["savings_vs_always_on"] > 0.3
+
+    def test_cluster_beats_server_on_bursty_load(self, prop):
+        assert prop["cluster_scaled_wh"] < prop["server_wh"]
+
+    def test_custom_trace(self):
+        flat = proportionality_study(utilization_trace=[1.0] * 4)
+        # At constant full load there is nothing to save.
+        assert flat["savings_vs_always_on"] == pytest.approx(0.0)
+
+    def test_idle_trace_near_zero_energy(self):
+        idle = proportionality_study(utilization_trace=[0.0] * 4)
+        assert idle["cluster_scaled_wh"] == pytest.approx(0.0)
+        assert idle["server_wh"] > 0  # the server cannot power off

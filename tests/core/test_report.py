@@ -1,0 +1,49 @@
+"""Full-report rendering tests."""
+
+import pytest
+
+from repro.core import ExperimentStudy, StudyConfig
+from repro.core.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    study = ExperimentStudy(StudyConfig(base_sf=0.01, cluster_sizes=(4, 24)))
+    return full_report(study)
+
+
+class TestFullReport:
+    def test_contains_every_artifact_section(self, report):
+        for section in (
+            "Table I — hardware",
+            "Fig. 2 — microbenchmarks",
+            "Table II — TPC-H SF 1",
+            "Table III — TPC-H SF 10",
+            "Fig. 4 — execution strategies",
+            "Figs. 5-7 — normalized comparisons",
+        ):
+            assert section in report, section
+
+    def test_all_platforms_listed(self, report):
+        for key in ("op-e5", "op-gold", "pi3b+", "c6g.metal"):
+            assert key in report
+
+    def test_paper_comparison_statistics_present(self, report):
+        assert "vs paper: median factor" in report
+        assert "rank corr" in report
+
+    def test_wimpi_rows_present(self, report):
+        assert "pi3b+ x4" in report and "pi3b+ x24" in report
+
+    def test_network_figure(self, report):
+        assert "220 Mbps" in report
+
+    def test_extensions_optional(self, report):
+        assert "Extensions" not in report  # default off
+
+    def test_extensions_included_when_asked(self):
+        study = ExperimentStudy(StudyConfig(base_sf=0.01, cluster_sizes=(4,)))
+        text = full_report(study, include_extensions=True)
+        assert "compression: lineitem ratio" in text
+        assert "NAM:" in text
+        assert "power gating:" in text

@@ -1,0 +1,90 @@
+"""Shape tests against the paper's Table III (SF 10, WIMPI)."""
+
+import pytest
+
+from repro.core import ExperimentStudy, StudyConfig, TABLE3_WIMPI_RUNTIMES
+from repro.core.paperdata import SF10_QUERIES
+
+
+@pytest.fixture(scope="module")
+def study():
+    return ExperimentStudy(StudyConfig(base_sf=0.02))
+
+
+@pytest.fixture(scope="module")
+def wimpi(study):
+    return study.table3()["wimpi"]
+
+
+class TestWimpiShape:
+    def test_cliff_queries_jump_10_to_100x(self, wimpi):
+        """'we observed extremely poor performance at the initial cluster
+        size of four nodes, followed by a huge jump (as much as 10-100x)
+        after doubling or tripling the number of nodes' — for Q1/Q3/Q5."""
+        jumps = {q: wimpi[4][q] / wimpi[12][q] for q in (1, 3, 5)}
+        assert all(j > 5 for j in jumps.values()), jumps
+        assert max(jumps.values()) > 10
+
+    def test_q13_exactly_flat(self, wimpi):
+        values = [wimpi[n][13] for n in (4, 8, 12, 16, 20, 24)]
+        assert max(values) == pytest.approx(min(values))
+
+    def test_q13_magnitude_near_paper(self, wimpi):
+        """Paper: 103.6 s on a single thrashing node; ours within 2x."""
+        assert 50 < wimpi[24][13] < 210
+
+    def test_q6_q14_diminishing_returns(self, wimpi):
+        """'increasing the cluster size beyond a certain point had
+        diminishing returns, since network latency becomes the
+        bottleneck'."""
+        for q in (6, 14):
+            gain_early = wimpi[4][q] / wimpi[12][q]
+            gain_late = wimpi[16][q] / wimpi[24][q]
+            assert gain_late < gain_early, q
+            assert gain_late < 1.6, q
+
+    def test_monotone_improvement_on_bound_queries(self, wimpi):
+        for q in (1, 3, 4, 5):
+            assert wimpi[24][q] < wimpi[8][q] < wimpi[4][q]
+
+    def test_24_node_runtimes_same_order_as_paper(self, wimpi):
+        """Every 24-node runtime within ~5x of the published value."""
+        for q in SF10_QUERIES:
+            ratio = wimpi[24][q] / TABLE3_WIMPI_RUNTIMES[24][q]
+            assert 0.2 < ratio < 5.0, (q, ratio)
+
+    def test_wimpi_competitive_with_servers_at_scale(self, study):
+        """'With larger cluster sizes, WIMPI can often achieve greater
+        than 0.5x the performance of the traditional servers' — require
+        at least half the queries at 24 nodes vs op-e5."""
+        data = study.table3()
+        e5 = data["servers"]["op-e5"]
+        at_24 = data["wimpi"][24]
+        competitive = [q for q in SF10_QUERIES if e5[q] / at_24[q] > 0.5]
+        assert len(competitive) >= 4, competitive
+
+    def test_wimpi_beats_a1_metal_on_scan_queries(self, study):
+        """The Graviton1 instance is the weakest comparison point; the
+        full cluster should beat it on Q1 (the paper's WIMPI beats
+        several platforms there)."""
+        data = study.table3()
+        assert data["wimpi"][24][1] < data["servers"]["a1.metal"][1]
+
+
+class TestServersSF10:
+    def test_sf10_roughly_10x_sf1(self, study):
+        table2 = study.table2()
+        servers = study.table3()["servers"]
+        for key in ("op-e5", "m5.metal"):
+            for q in (1, 6):
+                growth = servers[key][q] / table2[key][q]
+                assert 5 < growth < 15, (key, q, growth)
+
+    def test_a1_among_slowest_servers_on_q1(self, study):
+        """Paper: a1.metal is the slowest on Q1 (2.97 s), z1d next among
+        the cloud; our model may swap those two, so assert a1 is in the
+        slowest pair."""
+        servers = study.table3()["servers"]
+        q1 = {k: per[1] for k, per in servers.items()}
+        slowest_two = sorted(q1, key=q1.get, reverse=True)[:2]
+        assert "a1.metal" in slowest_two

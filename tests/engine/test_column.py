@@ -1,0 +1,147 @@
+"""Tests for Column: construction, positional ops, nulls, concat."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Column
+from repro.engine.types import BOOL, DATE, FLOAT64, INT64, STRING
+
+
+class TestConstruction:
+    def test_from_ints(self):
+        col = Column.from_ints([1, 2, 3])
+        assert col.dtype is INT64
+        assert col.values.tolist() == [1, 2, 3]
+
+    def test_from_floats(self):
+        col = Column.from_floats([1.5, 2.5])
+        assert col.dtype is FLOAT64
+
+    def test_from_bools(self):
+        col = Column.from_bools([True, False])
+        assert col.dtype is BOOL
+        assert col.values.tolist() == [True, False]
+
+    def test_from_dates_stores_days(self):
+        col = Column.from_dates(["1970-01-02", "1970-01-03"])
+        assert col.dtype is DATE
+        assert col.values.tolist() == [1, 2]
+
+    def test_from_strings_builds_sorted_dictionary(self):
+        col = Column.from_strings(["b", "a", "b"])
+        assert col.dtype is STRING
+        assert list(col.dictionary) == ["a", "b"]
+        assert col.values.tolist() == [1, 0, 1]
+
+    def test_string_requires_dictionary(self):
+        with pytest.raises(ValueError, match="dictionary"):
+            Column(STRING, np.array([0], dtype=np.int32))
+
+    def test_non_string_rejects_dictionary(self):
+        with pytest.raises(ValueError):
+            Column(INT64, np.array([1]), dictionary=np.array(["x"], dtype=object))
+
+    def test_from_string_codes(self):
+        col = Column.from_string_codes(
+            np.array([0, 1, 0], dtype=np.int32), np.array(["x", "y"], dtype=object)
+        )
+        assert col.to_list() == ["x", "y", "x"]
+
+
+class TestIntrospection:
+    def test_len(self):
+        assert len(Column.from_ints([1, 2, 3])) == 3
+
+    def test_nbytes_counts_value_array(self):
+        assert Column.from_ints([1, 2, 3]).nbytes == 24
+        assert Column.from_strings(["a", "b"]).nbytes == 8  # int32 codes
+
+    def test_dict_nbytes(self):
+        col = Column.from_strings(["abc", "de", "abc"])
+        assert col.dict_nbytes == 5
+        assert Column.from_ints([1]).dict_nbytes == 0
+
+    def test_has_nulls(self):
+        col = Column.from_ints([1, 2])
+        assert not col.has_nulls()
+        nullable = Column(INT64, np.array([1, 2]), valid=np.array([True, False]))
+        assert nullable.has_nulls()
+
+
+class TestPositional:
+    def test_take(self):
+        col = Column.from_ints([10, 20, 30])
+        assert col.take(np.array([2, 0])).values.tolist() == [30, 10]
+
+    def test_take_negative_marks_null(self):
+        col = Column.from_ints([10, 20, 30])
+        out = col.take(np.array([1, -1]))
+        assert out.valid.tolist() == [True, False]
+        assert out.to_list() == [20, None]
+
+    def test_take_preserves_existing_nulls(self):
+        col = Column(INT64, np.array([1, 2, 3]), valid=np.array([True, False, True]))
+        out = col.take(np.array([1, 2, -1]))
+        assert out.to_list() == [None, 3, None]
+
+    def test_filter(self):
+        col = Column.from_floats([1.0, 2.0, 3.0])
+        out = col.filter(np.array([True, False, True]))
+        assert out.values.tolist() == [1.0, 3.0]
+
+    def test_slice(self):
+        col = Column.from_ints(range(10))
+        assert col.slice(2, 5).values.tolist() == [2, 3, 4]
+
+    def test_take_strings_shares_dictionary(self):
+        col = Column.from_strings(["a", "b", "c"])
+        out = col.take(np.array([2, 1]))
+        assert out.dictionary is col.dictionary
+        assert out.to_list() == ["c", "b"]
+
+
+class TestDecoding:
+    def test_to_list_dates(self):
+        col = Column.from_dates(["1994-05-04"])
+        assert col.to_list()[0].isoformat() == "1994-05-04"
+
+    def test_to_list_nulls(self):
+        col = Column(FLOAT64, np.array([1.0, 2.0]), valid=np.array([False, True]))
+        assert col.to_list() == [None, 2.0]
+
+    def test_decoded_strings(self):
+        col = Column.from_strings(["x", "y", "x"])
+        assert list(col.decoded()) == ["x", "y", "x"]
+
+    def test_to_list_native_types(self):
+        assert all(isinstance(v, int) for v in Column.from_ints([1]).to_list())
+        assert all(isinstance(v, float) for v in Column.from_floats([1.0]).to_list())
+        assert all(isinstance(v, bool) for v in Column.from_bools([True]).to_list())
+
+
+class TestConcat:
+    def test_concat_ints(self):
+        out = Column.concat([Column.from_ints([1, 2]), Column.from_ints([3])])
+        assert out.values.tolist() == [1, 2, 3]
+
+    def test_concat_strings_reencodes(self):
+        out = Column.concat([
+            Column.from_strings(["b", "a"]),
+            Column.from_strings(["c", "a"]),
+        ])
+        assert out.to_list() == ["b", "a", "c", "a"]
+        assert sorted(out.dictionary) == ["a", "b", "c"]
+
+    def test_concat_mixed_validity(self):
+        a = Column(INT64, np.array([1, 2]), valid=np.array([True, False]))
+        b = Column.from_ints([3])
+        out = Column.concat([a, b])
+        assert out.to_list() == [1, None, 3]
+
+    def test_concat_type_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            Column.concat([Column.from_ints([1]), Column.from_floats([1.0])])
+
+    def test_concat_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            Column.concat([])

@@ -1,0 +1,154 @@
+"""Compression tests: losslessness, ratios, engine integration, and the
+§III-C2 bandwidth-for-cycles trade."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database, Q, Table, agg, col, execute
+from repro.engine.compression import (
+    ALL_ENCODINGS,
+    BitPackedEncoding,
+    CompressedColumn,
+    DeltaEncoding,
+    FrameOfReferenceEncoding,
+    RunLengthEncoding,
+    compress_column,
+    compress_table,
+    compression_ratio,
+)
+from repro.engine.types import FLOAT64, INT64
+
+
+class TestEncodingsRoundtrip:
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS, ids=lambda e: e.name)
+    def test_lossless_on_assorted_ints(self, encoding):
+        for values in (
+            np.array([5, 5, 5, 5], dtype=np.int64),
+            np.array([1, 2, 3, 4, 100], dtype=np.int64),
+            np.array([-7, 0, 7, -7], dtype=np.int64),
+            np.arange(1000, dtype=np.int64),
+            np.array([2**31, 2**31 + 1], dtype=np.int64),
+        ):
+            payload = encoding.encode(values)
+            decoded = encoding.decode(payload, len(values), np.dtype(np.int64))
+            assert np.array_equal(decoded, values), encoding.name
+
+    def test_bitpack_width_selection(self):
+        enc = BitPackedEncoding()
+        _, packed = enc.encode(np.array([0, 255], dtype=np.int64))
+        assert packed.dtype == np.uint8
+        _, packed = enc.encode(np.array([0, 256], dtype=np.int64))
+        assert packed.dtype == np.uint16
+
+    def test_rle_on_runs(self):
+        enc = RunLengthEncoding()
+        values = np.repeat(np.array([1, 2, 3], dtype=np.int64), 1000)
+        payload = enc.encode(values)
+        assert enc.encoded_nbytes(payload) < values.nbytes / 100
+
+    def test_delta_on_sorted(self):
+        enc = DeltaEncoding()
+        values = np.arange(0, 100_000, 3, dtype=np.int64)
+        payload = enc.encode(values)
+        assert enc.encoded_nbytes(payload) < values.nbytes / 4
+
+    def test_frame_of_reference_blocks(self):
+        enc = FrameOfReferenceEncoding()
+        values = np.concatenate([
+            np.arange(10_000, dtype=np.int64),
+            np.arange(10_000_000, 10_005_000, dtype=np.int64),
+        ])
+        payload = enc.encode(values)
+        decoded = enc.decode(payload, len(values), np.dtype(np.int64))
+        assert np.array_equal(decoded, values)
+        assert enc.encoded_nbytes(payload) < values.nbytes / 2
+
+
+class TestCompressColumn:
+    def test_ints_compress(self):
+        column = Column.from_ints([1, 2, 3] * 100)
+        out = compress_column(column)
+        assert isinstance(out, CompressedColumn)
+        assert out.nbytes < column.nbytes
+        assert np.array_equal(out.to_column().values, column.values)
+
+    def test_fixed_point_floats_compress_losslessly(self):
+        column = Column.from_floats([1.25, 2.50, 3.75] * 100)
+        out = compress_column(column)
+        assert isinstance(out, CompressedColumn)
+        assert np.allclose(out.to_column().values, column.values)
+
+    def test_irrational_floats_stay_plain(self):
+        rng = np.random.default_rng(0)
+        column = Column(FLOAT64, rng.random(100))
+        assert compress_column(column) is column
+
+    def test_strings_compress_code_array(self):
+        column = Column.from_strings(["x", "y"] * 500)
+        out = compress_column(column)
+        assert isinstance(out, CompressedColumn)
+        assert out.to_column().to_list() == column.to_list()
+
+    def test_nullable_columns_stay_plain(self):
+        column = Column(INT64, np.array([1, 2]), valid=np.array([True, False]))
+        assert compress_column(column) is column
+
+    def test_decode_ops_positive(self):
+        out = compress_column(Column.from_ints(range(1000)))
+        assert out.decode_ops > 0
+
+
+class TestEngineIntegration:
+    @pytest.fixture
+    def dbs(self, tpch_db):
+        compressed = Database("c")
+        for name in tpch_db.table_names:
+            compressed.add(compress_table(tpch_db.table(name)))
+        return tpch_db, compressed
+
+    def test_lineitem_ratio_at_least_2x(self, dbs):
+        _, compressed = dbs
+        assert compression_ratio(compressed.table("lineitem")) > 2.0
+
+    @pytest.mark.parametrize("number", [1, 6, 14, 19])
+    def test_query_results_identical(self, dbs, tpch_params, number):
+        from repro.tpch import get_query
+
+        plain_db, compressed_db = dbs
+        plain = execute(plain_db, get_query(number).build(plain_db, tpch_params))
+        packed = execute(compressed_db, get_query(number).build(compressed_db, tpch_params))
+        assert len(plain.rows) == len(packed.rows)
+        for a, b in zip(plain.rows, packed.rows):
+            for x, y in zip(a, b):
+                if isinstance(x, float):
+                    assert x == pytest.approx(y, rel=1e-9)
+                else:
+                    assert x == y
+
+    def test_compressed_scan_streams_fewer_bytes_more_ops(self, dbs, tpch_params):
+        from repro.tpch import get_query
+
+        plain_db, compressed_db = dbs
+        plain = execute(plain_db, get_query(6).build(plain_db, tpch_params))
+        packed = execute(compressed_db, get_query(6).build(compressed_db, tpch_params))
+        assert packed.profile.seq_bytes < plain.profile.seq_bytes
+        assert packed.profile.ops > plain.profile.ops
+
+    def test_compression_helps_pi_more_than_server(self, dbs, tpch_params):
+        """The paper's §III-C2 thesis: compression pays on the
+        bandwidth-starved Pi, is ~neutral on the server."""
+        from repro.hardware import PLATFORMS, PerformanceModel
+        from repro.tpch import get_query
+
+        plain_db, compressed_db = dbs
+        model = PerformanceModel()
+        plain = execute(plain_db, get_query(1).build(plain_db, tpch_params))
+        packed = execute(compressed_db, get_query(1).build(compressed_db, tpch_params))
+        speedup = {}
+        for key in ("pi3b+", "op-e5"):
+            t_plain = model.predict(plain.profile.scaled(100), PLATFORMS[key])
+            t_packed = model.predict(packed.profile.scaled(100), PLATFORMS[key])
+            speedup[key] = t_plain / t_packed
+        assert speedup["pi3b+"] > speedup["op-e5"]
+        assert speedup["pi3b+"] > 1.0
+        assert speedup["op-e5"] > 0.9  # at worst neutral

@@ -1,0 +1,110 @@
+"""Executor-level tests: scalar subqueries, profiles, frames."""
+
+import pytest
+
+from repro.engine import Frame, Q, WorkProfile, agg, col, execute, scalar
+from repro.engine.profile import OperatorWork
+
+
+class TestScalarSubquery:
+    def test_used_as_filter_threshold(self, toy_db):
+        avg_v = Q(toy_db).scan("t").aggregate(a=agg.avg(col("v")))
+        result = execute(
+            toy_db, Q(toy_db).scan("t").filter(col("v") > scalar(avg_v))
+        )
+        assert sorted(result.column("v")) == [40.0, 50.0, 60.0]
+
+    def test_subquery_profile_merged_into_parent(self, toy_db):
+        avg_v = Q(toy_db).scan("t").aggregate(a=agg.avg(col("v")))
+        with_sub = execute(
+            toy_db, Q(toy_db).scan("t").filter(col("v") > scalar(avg_v))
+        )
+        without = execute(toy_db, Q(toy_db).scan("t").filter(col("v") > 30.0))
+        assert len(with_sub.profile.operators) > len(without.profile.operators)
+
+    def test_subquery_evaluated_once(self, toy_db):
+        avg_v = Q(toy_db).scan("t").aggregate(a=agg.avg(col("v")))
+        threshold = scalar(avg_v)
+        # Reference the same subquery twice: cache must dedupe.
+        plan = Q(toy_db).scan("t").filter(
+            (col("v") > threshold) | (col("v") > threshold)
+        )
+        result = execute(toy_db, plan)
+        subquery_scans = [
+            op for op in result.profile.operators if op.operator == "aggregate"
+        ]
+        assert len(subquery_scans) == 1
+
+    def test_non_scalar_subquery_rejected(self, toy_db):
+        multi = Q(toy_db).scan("t").select("k", "v")
+        with pytest.raises(ValueError, match="1x1"):
+            execute(toy_db, Q(toy_db).scan("t").filter(col("v") > scalar(multi)))
+
+
+class TestProfiles:
+    def test_every_operator_appears(self, toy_db):
+        result = execute(
+            toy_db,
+            Q(toy_db).scan("t").filter(col("k") > 1)
+            .join("u", on=[("k", "k2")])
+            .aggregate(by=["s"], n=agg.count_star())
+            .sort("s").limit(2),
+        )
+        kinds = [op.operator for op in result.profile.operators]
+        # sort + limit fuse into the physical top-k operator
+        for expected in ("scan", "filter", "hashjoin", "aggregate", "topk"):
+            assert expected in kinds
+
+    def test_bare_sort_and_limit_stay_separate(self, toy_db):
+        sorted_only = execute(toy_db, Q(toy_db).scan("t").sort("k"))
+        assert "sort" in [op.operator for op in sorted_only.profile.operators]
+        limited_only = execute(toy_db, Q(toy_db).scan("t").limit(2))
+        assert "limit" in [op.operator for op in limited_only.profile.operators]
+
+    def test_profile_scaling(self):
+        profile = WorkProfile([OperatorWork("scan", seq_bytes=100, ops=10, tuples_in=5)])
+        scaled = profile.scaled(3.0)
+        assert scaled.seq_bytes == 300
+        assert scaled.ops == 30
+        assert scaled.tuples == 15
+        # original untouched
+        assert profile.seq_bytes == 100
+
+    def test_profile_merge(self):
+        a = WorkProfile([OperatorWork("scan", ops=1)])
+        b = WorkProfile([OperatorWork("filter", ops=2)])
+        merged = a.merged(b)
+        assert merged.ops == 3
+        assert len(merged.operators) == 2
+
+    def test_summary_keys(self):
+        summary = WorkProfile([OperatorWork("scan", ops=5)]).summary()
+        assert set(summary) == {
+            "seq_bytes", "rand_accesses", "ops", "tuples", "out_bytes", "n_operators",
+        }
+
+    def test_result_bytes_is_last_operator(self):
+        profile = WorkProfile([
+            OperatorWork("scan", out_bytes=100),
+            OperatorWork("aggregate", out_bytes=8),
+        ])
+        assert profile.result_bytes == 8
+
+
+class TestFrame:
+    def test_length_mismatch_rejected(self):
+        from repro.engine import Column
+
+        with pytest.raises(ValueError, match="rows"):
+            Frame({"a": Column.from_ints([1, 2]), "b": Column.from_ints([1])})
+
+    def test_missing_column_message(self, toy_db):
+        frame = Frame({"a": __import__("repro.engine", fromlist=["Column"]).Column.from_ints([1])})
+        with pytest.raises(KeyError, match="available"):
+            frame.column("zzz")
+
+    def test_renamed(self):
+        from repro.engine import Column
+
+        frame = Frame({"a": Column.from_ints([1])})
+        assert "b" in frame.renamed({"a": "b"})

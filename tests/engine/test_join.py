@@ -1,0 +1,157 @@
+"""Hash-join tests: all join types, duplicates, multi-key, nulls."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database, Q, Table, col, execute
+from repro.engine.types import INT64
+
+
+class TestInnerJoin:
+    def test_basic_with_duplicates(self, toy_db):
+        result = execute(
+            toy_db,
+            Q(toy_db).scan("t").join("u", on=[("k", "k2")]).sort("k", "w"),
+        )
+        assert result.column("k") == [1, 2, 2]
+        assert result.column("w") == [100.0, 200.0, 201.0]
+
+    def test_no_matches(self, toy_db):
+        db = toy_db
+        result = execute(
+            db,
+            Q(db).scan("t").filter(col("k") == 3).join("u", on=[("k", "k2")]),
+        )
+        assert len(result) == 0
+
+    def test_join_keeps_both_sides_columns(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")]))
+        assert set(result.column_names) >= {"k", "v", "k2", "w", "name"}
+
+    def test_equal_key_names_deduplicated(self):
+        db = Database()
+        db.add(Table("a", {"id": Column.from_ints([1, 2]), "x": Column.from_ints([10, 20])}))
+        db.add(Table("b", {"id": Column.from_ints([2, 3]), "y": Column.from_ints([200, 300])}))
+        result = execute(db, Q(db).scan("a").join("b", on=[("id", "id")]))
+        assert result.column_names.count("id") == 1
+        assert result.rows == [(2, 20, 200)]
+
+    def test_non_key_collision_raises(self):
+        db = Database()
+        db.add(Table("a", {"id": Column.from_ints([1]), "x": Column.from_ints([1])}))
+        db.add(Table("b", {"id2": Column.from_ints([1]), "x": Column.from_ints([2])}))
+        with pytest.raises(ValueError, match="duplicate"):
+            execute(db, Q(db).scan("a").join("b", on=[("id", "id2")]))
+
+    def test_string_keys(self):
+        db = Database()
+        db.add(Table("a", {"s": Column.from_strings(["x", "y", "z"])}))
+        db.add(Table("b", {"s2": Column.from_strings(["y", "z", "w"]),
+                           "n": Column.from_ints([1, 2, 3])}))
+        result = execute(db, Q(db).scan("a").join("b", on=[("s", "s2")]).sort("s"))
+        assert result.column("s") == ["y", "z"]
+        assert result.column("n") == [1, 2]
+
+    def test_multi_key_join(self):
+        db = Database()
+        db.add(Table("a", {
+            "p": Column.from_ints([1, 1, 2]),
+            "q": Column.from_ints([10, 20, 10]),
+        }))
+        db.add(Table("b", {
+            "p2": Column.from_ints([1, 2, 1]),
+            "q2": Column.from_ints([10, 10, 99]),
+            "tag": Column.from_strings(["m1", "m2", "m3"]),
+        }))
+        result = execute(
+            db, Q(db).scan("a").join("b", on=[("p", "p2"), ("q", "q2")]).sort("p")
+        )
+        assert result.column("tag") == ["m1", "m2"]
+
+    def test_multi_key_string_and_int(self):
+        db = Database()
+        db.add(Table("a", {
+            "i": Column.from_ints([1, 2]),
+            "s": Column.from_strings(["x", "y"]),
+        }))
+        db.add(Table("b", {
+            "i2": Column.from_ints([1, 2]),
+            "s2": Column.from_strings(["x", "z"]),
+            "v": Column.from_ints([7, 8]),
+        }))
+        result = execute(db, Q(db).scan("a").join("b", on=[("i", "i2"), ("s", "s2")]))
+        # Differently-named right key columns survive the join.
+        assert result.rows == [(1, "x", 1, "x", 7)]
+
+
+class TestLeftJoin:
+    def test_unmatched_left_rows_get_nulls(self, toy_db):
+        result = execute(
+            toy_db,
+            Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="left").sort("k"),
+        )
+        w = dict(zip(result.column("k"), result.column("w")))
+        assert w[3] is None and w[6] is None
+        assert w[1] == 100.0
+
+    def test_row_count(self, toy_db):
+        result = execute(
+            toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="left")
+        )
+        # 6 left rows, k=2 matches twice -> 7 output rows
+        assert len(result) == 7
+
+    def test_null_keys_do_not_cascade(self, toy_db):
+        # Left-joining twice: nulls from the first join must not match
+        plan = (
+            Q(toy_db).scan("t")
+            .join("u", on=[("k", "k2")], how="left")
+            .filter(col("w").is_null())
+        )
+        result = execute(toy_db, plan)
+        assert sorted(result.column("k")) == [3, 4, 5, 6]
+
+
+class TestSemiAnti:
+    def test_semi_keeps_left_columns_only(self, toy_db):
+        result = execute(
+            toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="semi")
+        )
+        assert result.column_names == ["k", "v", "s", "d"]
+        assert sorted(result.column("k")) == [1, 2]
+
+    def test_semi_no_duplicate_explosion(self, toy_db):
+        # k=2 matches two u rows but must appear once.
+        result = execute(
+            toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="semi")
+        )
+        assert len(result) == 2
+
+    def test_anti_complement(self, toy_db):
+        semi = execute(
+            toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="semi")
+        )
+        anti = execute(
+            toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="anti")
+        )
+        assert sorted(semi.column("k") + anti.column("k")) == [1, 2, 3, 4, 5, 6]
+
+    def test_unknown_join_type(self, toy_db):
+        with pytest.raises(ValueError, match="unknown join type"):
+            execute(toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="full"))
+
+
+class TestJoinProfile:
+    def test_probe_accounting(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").join("u", on=[("k", "k2")]))
+        join_work = [op for op in result.profile.operators if op.operator == "hashjoin"][0]
+        assert join_work.tuples_in == 10  # 6 left + 4 right
+        assert join_work.rand_accesses >= 6  # at least one probe per left row
+        assert join_work.out_bytes > 0
+
+    def test_join_with_subplan(self, toy_db):
+        filtered_u = Q(toy_db).scan("u").filter(col("w") > 150.0)
+        result = execute(
+            toy_db, Q(toy_db).scan("t").join(filtered_u, on=[("k", "k2")])
+        )
+        assert sorted(result.column("w")) == [200.0, 201.0]

@@ -1,0 +1,159 @@
+"""Operator-level tests: scan, filter, project, sort, limit, distinct."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Q, agg, col, execute
+
+
+class TestScan:
+    def test_scan_all_columns(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t"), optimize=False)
+        assert result.column_names == ["k", "v", "s", "d"]
+        assert len(result) == 6
+
+    def test_scan_subset(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t", ["k", "v"]))
+        assert result.column_names == ["k", "v"]
+
+    def test_scan_unknown_table(self, toy_db):
+        with pytest.raises(KeyError, match="unknown table"):
+            Q(toy_db).scan("nope")
+
+    def test_scan_records_bytes(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t", ["k"]), optimize=False)
+        scan_work = result.profile.operators[0]
+        assert scan_work.operator == "scan"
+        assert scan_work.seq_bytes == 6 * 8
+        assert scan_work.tuples_in == 6
+
+
+class TestFilter:
+    def test_basic(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").filter(col("k") > 3))
+        assert result.column("k") == [4, 5, 6]
+
+    def test_empty_result(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").filter(col("k") > 100))
+        assert len(result) == 0
+
+    def test_all_pass(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").filter(col("k") >= 1))
+        assert len(result) == 6
+
+    def test_stacked_filters_conjunction(self, toy_db):
+        both = execute(
+            toy_db,
+            Q(toy_db).scan("t").filter(col("k") > 1).filter(col("k") < 4),
+        )
+        single = execute(
+            toy_db,
+            Q(toy_db).scan("t").filter((col("k") > 1) & (col("k") < 4)),
+        )
+        assert both.rows == single.rows
+
+    def test_tuples_accounting(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").filter(col("k") > 3))
+        filter_work = [op for op in result.profile.operators if op.operator == "filter"][0]
+        assert filter_work.tuples_in == 6
+        assert filter_work.tuples_out == 3
+
+
+class TestProject:
+    def test_compute_expression(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").project(double=col("v") * 2))
+        assert result.column("double") == [20.0, 40.0, 60.0, 80.0, 100.0, 120.0]
+
+    def test_string_shorthand(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").project(key="k"))
+        assert result.column_names == ["key"]
+        assert result.column("key") == [1, 2, 3, 4, 5, 6]
+
+    def test_select_narrows(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").select("s", "k"))
+        assert result.column_names == ["s", "k"]
+
+    def test_projection_is_exact_output(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").project(a="k", b="v"))
+        assert set(result.column_names) == {"a", "b"}
+
+
+class TestSort:
+    def test_ascending_default(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").sort(("v", "desc")))
+        assert result.column("v") == [60.0, 50.0, 40.0, 30.0, 20.0, 10.0]
+
+    def test_multi_key_with_directions(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").sort("s", ("k", "desc")))
+        assert result.column("s") == ["a", "a", "a", "b", "b", "c"]
+        assert result.column("k")[:3] == [6, 3, 1]
+
+    def test_string_sort_is_lexicographic(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("u").sort("name"))
+        assert result.column("name") == sorted(["one", "two", "two-b", "seven"])
+
+    def test_date_sort(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").sort("d"))
+        dates = result.column("d")
+        assert dates == sorted(dates)
+
+    def test_invalid_direction(self, toy_db):
+        with pytest.raises(ValueError, match="asc/desc"):
+            Q(toy_db).scan("t").sort(("k", "up"))
+
+    def test_empty_input(self, toy_db):
+        result = execute(
+            toy_db, Q(toy_db).scan("t").filter(col("k") > 100).sort("k")
+        )
+        assert len(result) == 0
+
+
+class TestLimit:
+    def test_truncates(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").sort("k").limit(2))
+        assert result.column("k") == [1, 2]
+
+    def test_limit_larger_than_input(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").limit(100))
+        assert len(result) == 6
+
+    def test_limit_zero(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").limit(0))
+        assert len(result) == 0
+
+
+class TestDistinct:
+    def test_distinct_single_column(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").select("s").distinct())
+        assert sorted(result.column("s")) == ["a", "b", "c"]
+
+    def test_distinct_on_subset_keeps_first_row(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("t").distinct("s"))
+        # First occurrence of each s value in table order: k=1(a), 2(b), 4(c)
+        assert sorted(result.column("k")) == [1, 2, 4]
+
+    def test_distinct_multi_column(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("u").distinct("k2"))
+        assert sorted(result.column("k2")) == [1, 2, 7]
+
+
+class TestResult:
+    def test_rows_and_dicts(self, toy_db):
+        result = execute(toy_db, Q(toy_db).scan("u").sort("k2").limit(1))
+        assert result.rows == [(1, 100.0, "one")]
+        assert result.to_dicts() == [{"k2": 1, "w": 100.0, "name": "one"}]
+
+    def test_scalar_requires_1x1(self, toy_db):
+        good = execute(toy_db, Q(toy_db).scan("t").aggregate(n=agg.count_star()))
+        assert good.scalar() == 6
+        bad = execute(toy_db, Q(toy_db).scan("t").select("k", "v"))
+        with pytest.raises(ValueError, match="1x1"):
+            bad.scalar()
+
+    def test_empty_plan_rejected(self, toy_db):
+        with pytest.raises(ValueError, match="empty plan"):
+            execute(toy_db, Q(toy_db))
+
+    def test_builder_requires_scan_first(self, toy_db):
+        with pytest.raises(ValueError, match="scan"):
+            Q(toy_db).filter(col("k") > 1)

@@ -1,0 +1,118 @@
+"""Projection-pruning tests: the optimizer must narrow scans without
+changing results."""
+
+import pytest
+
+from repro.engine import Q, agg, col, execute
+from repro.engine.optimizer import output_columns, prune_columns
+from repro.engine.plan import ScanNode
+
+
+def _scan_columns(node):
+    out = {}
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        if isinstance(n, ScanNode):
+            out[n.table] = n.columns
+        stack.extend(n.children())
+    return out
+
+
+class TestOutputColumns:
+    def test_scan(self, toy_db):
+        node = Q(toy_db).scan("t").node
+        assert output_columns(node, toy_db) == ["k", "v", "s", "d"]
+
+    def test_project(self, toy_db):
+        node = Q(toy_db).scan("t").project(a="k", b=col("v") * 2).node
+        assert output_columns(node, toy_db) == ["a", "b"]
+
+    def test_aggregate(self, toy_db):
+        node = Q(toy_db).scan("t").aggregate(by=["s"], n=agg.count_star()).node
+        assert output_columns(node, toy_db) == ["s", "n"]
+
+    def test_join_drops_duplicate_key(self, toy_db):
+        node = Q(toy_db).scan("t").join("u", on=[("k", "k2")]).node
+        cols = output_columns(node, toy_db)
+        assert cols == ["k", "v", "s", "d", "k2", "w", "name"]
+
+    def test_semi_join_left_only(self, toy_db):
+        node = Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="semi").node
+        assert output_columns(node, toy_db) == ["k", "v", "s", "d"]
+
+
+class TestPruning:
+    def test_scan_narrowed_to_used_columns(self, toy_db):
+        plan = Q(toy_db).scan("t").filter(col("k") > 1).project(out=col("v") * 2)
+        pruned = prune_columns(plan.node, toy_db)
+        assert set(_scan_columns(pruned)["t"]) == {"k", "v"}
+
+    def test_join_sides_pruned_independently(self, toy_db):
+        plan = (
+            Q(toy_db).scan("t").join("u", on=[("k", "k2")])
+            .project(total=col("v") + col("w"))
+        )
+        pruned = prune_columns(plan.node, toy_db)
+        cols = _scan_columns(pruned)
+        assert set(cols["t"]) == {"k", "v"}
+        assert set(cols["u"]) == {"k2", "w"}
+
+    def test_semi_join_right_side_keeps_keys_only(self, toy_db):
+        plan = Q(toy_db).scan("t").join("u", on=[("k", "k2")], how="semi")
+        pruned = prune_columns(plan.node, toy_db)
+        assert set(_scan_columns(pruned)["u"]) == {"k2"}
+
+    def test_aggregate_keeps_group_and_input_columns(self, toy_db):
+        plan = Q(toy_db).scan("t").aggregate(by=["s"], total=agg.sum(col("v")))
+        pruned = prune_columns(plan.node, toy_db)
+        assert set(_scan_columns(pruned)["t"]) == {"s", "v"}
+
+    def test_sort_keys_are_kept(self, toy_db):
+        plan = Q(toy_db).scan("t").select("v").sort("v")
+        pruned = prune_columns(plan.node, toy_db)
+        assert set(_scan_columns(pruned)["t"]) == {"v"}
+
+    def test_count_star_only_reads_one_column(self, toy_db):
+        plan = Q(toy_db).scan("t").aggregate(n=agg.count_star())
+        pruned = prune_columns(plan.node, toy_db)
+        assert len(_scan_columns(pruned)["t"]) == 1
+
+
+class TestPruningPreservesSemantics:
+    @pytest.mark.parametrize("build", [
+        lambda db: Q(db).scan("t").filter(col("k") > 2).project(x=col("v")),
+        lambda db: Q(db).scan("t").join("u", on=[("k", "k2")]).project(w="w"),
+        lambda db: Q(db).scan("t").aggregate(by=["s"], t=agg.sum(col("v"))).sort("s"),
+        lambda db: Q(db).scan("t").join("u", on=[("k", "k2")], how="anti").select("k"),
+        lambda db: Q(db).scan("t").sort(("v", "desc")).limit(3).select("k"),
+    ])
+    def test_same_rows_with_and_without_optimizer(self, toy_db, build):
+        plan = build(toy_db)
+        optimized = execute(toy_db, plan, optimize=True)
+        raw = execute(toy_db, plan, optimize=False)
+        assert optimized.rows == raw.rows
+
+    def test_pruned_scan_bytes_are_lower(self, toy_db):
+        plan = Q(toy_db).scan("t").project(x="k")
+        optimized = execute(toy_db, plan, optimize=True)
+        raw = execute(toy_db, plan, optimize=False)
+        assert optimized.profile.seq_bytes < raw.profile.seq_bytes
+
+
+class TestTPCHPruning:
+    def test_q6_reads_only_four_lineitem_columns(self, tpch_db, tpch_params):
+        from repro.tpch import get_query
+
+        plan = get_query(6).build(tpch_db, tpch_params)
+        pruned = prune_columns(plan.node, tpch_db)
+        cols = _scan_columns(pruned)["lineitem"]
+        assert set(cols) == {"l_shipdate", "l_discount", "l_quantity", "l_extendedprice"}
+
+    def test_all_queries_prune_without_error(self, tpch_db, tpch_params):
+        from repro.tpch import ALL_QUERY_NUMBERS, get_query
+
+        for n in ALL_QUERY_NUMBERS:
+            plan = get_query(n).build(tpch_db, tpch_params)
+            pruned = prune_columns(plan.node, tpch_db)
+            assert pruned is not None

@@ -1,0 +1,58 @@
+"""Tests for the engine type system and date helpers."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.engine.types import (
+    BOOL, DATE, FLOAT64, INT64, STRING, date_to_days, days_to_date,
+)
+
+
+class TestDataTypes:
+    def test_widths_match_physical_layout(self):
+        assert INT64.width == 8
+        assert FLOAT64.width == 8
+        assert DATE.width == 4
+        assert STRING.width == 4  # dictionary codes
+        assert BOOL.width == 1
+
+    def test_numpy_dtypes(self):
+        assert INT64.numpy_dtype == np.dtype(np.int64)
+        assert DATE.numpy_dtype == np.dtype(np.int32)
+        assert STRING.numpy_dtype == np.dtype(np.int32)
+
+    def test_names_are_stable(self):
+        assert INT64.name == "int64"
+        assert STRING.name == "string"
+
+    def test_types_are_hashable_and_comparable(self):
+        assert len({INT64, FLOAT64, DATE, STRING, BOOL}) == 5
+        assert INT64 == INT64
+        assert INT64 != FLOAT64
+
+
+class TestDateConversion:
+    def test_epoch_is_zero(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_next_day(self):
+        assert date_to_days("1970-01-02") == 1
+
+    def test_pre_epoch_is_negative(self):
+        assert date_to_days("1969-12-31") == -1
+
+    def test_accepts_date_objects(self):
+        assert date_to_days(datetime.date(1970, 1, 11)) == 10
+
+    def test_roundtrip(self):
+        for iso in ["1992-01-01", "1995-06-17", "1998-08-02", "2000-02-29"]:
+            assert days_to_date(date_to_days(iso)).isoformat() == iso
+
+    def test_tpch_date_range_ordering(self):
+        assert date_to_days("1992-01-01") < date_to_days("1998-08-02")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            date_to_days("not-a-date")

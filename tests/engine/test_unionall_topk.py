@@ -1,0 +1,98 @@
+"""Tests for UNION ALL and the fused top-k (ORDER BY + LIMIT) path."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Column, Database, Q, Table, agg, col, execute
+from repro.engine.plan import LimitNode, SortNode
+
+
+class TestUnionAll:
+    def test_concatenates_rows(self, toy_db):
+        low = Q(toy_db).scan("t").filter(col("k") <= 2).select("k", "v")
+        high = Q(toy_db).scan("t").filter(col("k") >= 5).select("k", "v")
+        result = execute(toy_db, low.union_all(high).sort("k"))
+        assert result.column("k") == [1, 2, 5, 6]
+
+    def test_duplicates_preserved(self, toy_db):
+        half = Q(toy_db).scan("t").select("k")
+        result = execute(toy_db, half.union_all(half))
+        assert len(result) == 12
+
+    def test_schema_mismatch_rejected(self, toy_db):
+        left = Q(toy_db).scan("t").select("k")
+        right = Q(toy_db).scan("t").select("v")
+        with pytest.raises(ValueError, match="mismatch"):
+            execute(toy_db, left.union_all(right))
+
+    def test_string_columns_reencode(self, toy_db):
+        a = Q(toy_db).scan("t").filter(col("s") == "a").select("s")
+        b = Q(toy_db).scan("t").filter(col("s") == "c").select("s")
+        result = execute(toy_db, a.union_all(b))
+        assert sorted(result.column("s")) == ["a", "a", "a", "c"]
+
+    def test_aggregation_over_union(self, toy_db):
+        both = (
+            Q(toy_db).scan("t").select("k")
+            .union_all(Q(toy_db).scan("u").project(k="k2"))
+        )
+        result = execute(toy_db, both.aggregate(n=agg.count_star()))
+        assert result.scalar() == 10
+
+    def test_pruning_keeps_sides_aligned(self, toy_db):
+        both = (
+            Q(toy_db).scan("t").select("k", "v")
+            .union_all(Q(toy_db).scan("t").select("k", "v"))
+            .project(out="k")
+        )
+        result = execute(toy_db, both, optimize=True)
+        assert len(result) == 12
+
+
+class TestTopK:
+    @pytest.fixture
+    def big_db(self):
+        rng = np.random.default_rng(5)
+        db = Database()
+        db.add(Table("big", {
+            "a": Column.from_ints(rng.integers(0, 1000, 5000)),
+            "b": Column.from_ints(rng.integers(0, 10, 5000)),
+        }))
+        return db
+
+    def test_topk_equals_full_sort(self, big_db):
+        plan = Q(big_db).scan("big").sort(("a", "desc")).limit(25)
+        fused = execute(big_db, plan)
+        unfused = execute(big_db, Q(big_db).scan("big").sort(("a", "desc")))
+        assert fused.rows == unfused.rows[:25]
+
+    def test_topk_multikey_with_ties(self, big_db):
+        plan = Q(big_db).scan("big").sort("b", ("a", "desc")).limit(40)
+        fused = execute(big_db, plan)
+        unfused = execute(big_db, Q(big_db).scan("big").sort("b", ("a", "desc")))
+        assert fused.rows == unfused.rows[:40]
+
+    def test_topk_operator_used(self, big_db):
+        result = execute(big_db, Q(big_db).scan("big").sort("a").limit(10))
+        kinds = [op.operator for op in result.profile.operators]
+        assert "topk" in kinds
+
+    def test_topk_cheaper_than_full_sort(self, big_db):
+        fused = execute(big_db, Q(big_db).scan("big").sort("a").limit(10))
+        full = execute(big_db, Q(big_db).scan("big").sort("a"))
+        assert fused.profile.ops < full.profile.ops
+
+    def test_limit_zero(self, big_db):
+        assert len(execute(big_db, Q(big_db).scan("big").sort("a").limit(0))) == 0
+
+    def test_limit_exceeds_input(self, big_db):
+        result = execute(big_db, Q(big_db).scan("big").sort("a").limit(10_000))
+        assert len(result) == 5000
+
+    def test_tpch_q3_unchanged_by_fusion(self, tpch_db, tpch_params):
+        from repro.tpch import get_query
+
+        result = execute(tpch_db, get_query(3).build(tpch_db, tpch_params))
+        revenue = result.column("revenue")
+        assert revenue == sorted(revenue, reverse=True)
+        assert len(result) <= 10

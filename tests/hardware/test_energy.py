@@ -1,0 +1,80 @@
+"""Energy model tests (§III-B methodology)."""
+
+import pytest
+
+from repro.hardware import EnergyModel, get_platform
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+class TestActiveEnergy:
+    def test_paper_methodology_runtime_times_tdp(self, model):
+        e5 = get_platform("op-e5")
+        estimate = model.query_energy(e5, runtime_s=2.0)
+        assert estimate.joules == pytest.approx(2.0 * 190.0)  # dual socket
+
+    def test_pi_whole_board(self, model):
+        pi = get_platform("pi3b+")
+        assert model.query_energy(pi, 10.0).joules == pytest.approx(51.0)
+
+    def test_cluster_scales_with_nodes(self, model):
+        pi = get_platform("pi3b+")
+        assert model.active_power(pi, nodes=24) == pytest.approx(122.4)
+
+    def test_wimpi_draw_below_op_gold(self, model):
+        """The paper: 24 nodes at 5.1 W ≈ 122 W, below a single Gold
+        6150's 165 W TDP."""
+        pi = get_platform("pi3b+")
+        gold = get_platform("op-gold")
+        assert model.active_power(pi, nodes=24) < gold.tdp_w
+
+    def test_cloud_tdp_unavailable(self, model):
+        with pytest.raises(ValueError, match="TDP"):
+            model.active_power(get_platform("m5.metal"))
+
+    def test_energy_units(self, model):
+        e = model.query_energy(get_platform("pi3b+"), 3600.0)
+        assert e.watt_hours == pytest.approx(5.1)
+        assert e.electricity_cost_usd > 0
+
+
+class TestIdleAndProportionality:
+    def test_idle_below_peak(self, model):
+        for key in ("op-e5", "op-gold", "pi3b+"):
+            spec = get_platform(key)
+            assert model.idle_power(spec) < model.active_power(spec)
+
+    def test_single_node_ramp_is_linear(self, model):
+        pi = get_platform("pi3b+")
+        curve = model.proportionality_curve(pi, [0.0, 0.5, 1.0])
+        assert curve[0] == model.idle_power(pi)
+        assert curve[2] == model.active_power(pi)
+        assert curve[1] == pytest.approx((curve[0] + curve[2]) / 2)
+
+    def test_cluster_steps_with_active_nodes(self, model):
+        """Unused WIMPI nodes power off entirely — the paper's
+        fine-grained energy proportionality argument."""
+        pi = get_platform("pi3b+")
+        curve = model.proportionality_curve(pi, [0.0, 0.25, 0.5, 1.0], nodes=4)
+        assert curve == [0.0, 5.1, pytest.approx(10.2), pytest.approx(20.4)]
+
+    def test_cluster_proportionality_beats_server(self, model):
+        """At low utilization, a right-sized cluster draws a smaller
+        fraction of its peak than an idle-hungry server."""
+        pi = get_platform("pi3b+")
+        e5 = get_platform("op-e5")
+        cluster_frac = (
+            model.proportionality_curve(pi, [0.25], nodes=24)[0]
+            / model.active_power(pi, nodes=24)
+        )
+        server_frac = (
+            model.proportionality_curve(e5, [0.25])[0] / model.active_power(e5)
+        )
+        assert cluster_frac < server_frac
+
+    def test_utilization_bounds_checked(self, model):
+        with pytest.raises(ValueError):
+            model.proportionality_curve(get_platform("pi3b+"), [1.5])

@@ -1,0 +1,122 @@
+"""Performance-model unit tests: monotonicity, roofline behaviour,
+platform factors."""
+
+import pytest
+
+from repro.engine.profile import OperatorWork, WorkProfile
+from repro.hardware import (
+    CalibrationConstants, PerformanceModel, PLATFORMS, get_platform,
+)
+
+
+def profile_of(**kwargs) -> WorkProfile:
+    return WorkProfile([OperatorWork("scan", **kwargs)])
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(platform_factors={})
+
+
+class TestMonotonicity:
+    def test_more_ops_more_time(self, model):
+        pi = get_platform("pi3b+")
+        small = model.predict(profile_of(ops=1e6), pi)
+        large = model.predict(profile_of(ops=1e9), pi)
+        assert large > small
+
+    def test_more_bytes_more_time(self, model):
+        pi = get_platform("pi3b+")
+        assert model.predict(profile_of(seq_bytes=1e9), pi) > model.predict(
+            profile_of(seq_bytes=1e6), pi
+        )
+
+    def test_scaling_profile_scales_dominant_term(self, model):
+        pi = get_platform("pi3b+")
+        base = profile_of(ops=1e9, seq_bytes=1e9)
+        t1 = model.predict(base, pi)
+        t10 = model.predict(base.scaled(10), pi)
+        assert 5 < t10 / t1 < 15  # near-linear (dispatch is fixed)
+
+    def test_faster_platform_is_faster(self, model):
+        work = profile_of(ops=1e9, seq_bytes=1e8, rand_accesses=1e6)
+        t_pi = model.predict(work, get_platform("pi3b+"))
+        t_gold = model.predict(work, get_platform("op-gold"))
+        assert t_gold < t_pi
+
+    def test_more_threads_not_slower(self, model):
+        e5 = get_platform("op-e5")
+        work = profile_of(ops=1e9, seq_bytes=1e8)
+        t1 = model.predict(work, e5, threads=1)
+        t8 = model.predict(work, e5, threads=8)
+        assert t8 <= t1
+
+
+class TestRoofline:
+    def test_memory_bound_work_insensitive_to_compute(self, model):
+        pi = get_platform("pi3b+")
+        mem_heavy = profile_of(seq_bytes=1e10, ops=1.0)
+        mem_plus_ops = profile_of(seq_bytes=1e10, ops=1e6)
+        assert model.predict(mem_plus_ops, pi) == pytest.approx(
+            model.predict(mem_heavy, pi), rel=0.01
+        )
+
+    def test_breakdown_components_sum_meaningfully(self, model):
+        e5 = get_platform("op-e5")
+        breakdown = model.breakdown(profile_of(ops=1e9, seq_bytes=1e9), e5)
+        assert breakdown.total > 0
+        assert breakdown.compute > 0 and breakdown.memory > 0
+        assert breakdown.total >= breakdown.dispatch
+
+    def test_random_access_latency_hurts_pi_more(self, model):
+        """The Pi's higher DRAM latency and 4-way MLP should make random
+        work relatively costlier than on a Xeon."""
+        work_rand = profile_of(rand_accesses=1e8, out_bytes=1e9)
+        work_seq = profile_of(seq_bytes=8e8)
+        pi, e5 = get_platform("pi3b+"), get_platform("op-e5")
+        rand_ratio = model.predict(work_rand, pi) / model.predict(work_rand, e5)
+        assert rand_ratio > 1.0
+
+    def test_llc_resident_discount(self, model):
+        e5 = get_platform("op-e5")
+        small = profile_of(rand_accesses=1e8, out_bytes=1e6)   # fits in LLC
+        big = profile_of(rand_accesses=1e8, out_bytes=1e9)     # does not
+        assert model.predict(small, e5) < model.predict(big, e5)
+
+
+class TestPlatformFactors:
+    def test_factor_scales_total(self):
+        work = profile_of(ops=1e9)
+        e5 = get_platform("op-e5")
+        base = PerformanceModel(platform_factors={}).predict(work, e5)
+        doubled = PerformanceModel(platform_factors={"op-e5": 2.0}).predict(work, e5)
+        assert doubled == pytest.approx(2 * base)
+
+    def test_default_factors_cover_all_platforms(self):
+        from repro.hardware import DEFAULT_PLATFORM_FACTORS
+
+        assert set(DEFAULT_PLATFORM_FACTORS) == set(PLATFORMS)
+        # Calibration factors are corrections, not rewrites.
+        assert all(0.3 < f < 3.0 for f in DEFAULT_PLATFORM_FACTORS.values())
+
+    def test_db_parallel_cap_limits_threads(self):
+        z1d = get_platform("z1d.metal")
+        model = PerformanceModel(platform_factors={})
+        work = profile_of(ops=1e10)
+        capped = model.predict(work, z1d)
+        uncapped = model.predict(work, z1d, threads=z1d.db_parallel_cap)
+        assert capped == pytest.approx(uncapped)
+
+
+class TestConstants:
+    def test_replaced(self):
+        c = CalibrationConstants()
+        c2 = c.replaced(cycles_per_op=99.0)
+        assert c2.cycles_per_op == 99.0
+        assert c.cycles_per_op != 99.0
+
+    def test_defaults_are_frozen_sane(self):
+        c = CalibrationConstants()
+        assert c.cycles_per_op > 1
+        assert 0 <= c.serial_fraction < 1
+        assert 0 <= c.mem_serial_fraction < 1

@@ -1,0 +1,35 @@
+"""Raspberry Pi 4B extension-platform tests (§III-C1)."""
+
+import pytest
+
+from repro.engine.profile import OperatorWork, WorkProfile
+from repro.hardware import PI4_KEY, PI_KEY, PerformanceModel, get_platform
+
+
+class TestPi4Spec:
+    def test_costs_more_draws_more(self):
+        pi3, pi4 = get_platform(PI_KEY), get_platform(PI4_KEY)
+        assert pi4.msrp_usd > pi3.msrp_usd
+        assert pi4.tdp_w > pi3.tdp_w
+
+    def test_faster_cores_and_memory(self):
+        pi3, pi4 = get_platform(PI_KEY), get_platform(PI4_KEY)
+        assert pi4.core_rate("int") > pi3.core_rate("int")
+        assert pi4.mem_bw_1core_gbs > pi3.mem_bw_1core_gbs
+
+    def test_still_wimpy_next_to_a_xeon(self):
+        pi4, e5 = get_platform(PI4_KEY), get_platform("op-e5")
+        assert pi4.core_rate("int") < e5.core_rate("int")
+        assert pi4.mem_bw_all_gbs < e5.mem_bw_all_gbs / 5
+
+    def test_model_ranks_it_between_pi3_and_servers(self):
+        model = PerformanceModel()
+        work = WorkProfile([OperatorWork("scan", ops=1e9, seq_bytes=1e9)])
+        t_pi3 = model.predict(work, get_platform(PI_KEY))
+        t_pi4 = model.predict(work, get_platform(PI4_KEY))
+        t_e5 = model.predict(work, get_platform("op-e5"))
+        assert t_e5 < t_pi4 < t_pi3
+
+    def test_hourly_cost_derived_from_power(self):
+        pi4 = get_platform(PI4_KEY)
+        assert pi4.hourly_usd == pytest.approx(7.6 / 1000 * 0.0766)

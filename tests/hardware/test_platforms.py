@@ -1,0 +1,99 @@
+"""Platform catalog tests: Table I values and derived quantities."""
+
+import pytest
+
+from repro.hardware import (
+    ALL_KEYS, CLOUD, KWH_PRICE_USD, ON_PREMISES, PI_KEY, PLATFORMS, SBC,
+    get_platform,
+)
+
+
+class TestCatalogContents:
+    def test_ten_comparison_points(self):
+        assert len(ALL_KEYS) == 10
+        assert len(ON_PREMISES) == 2 and len(CLOUD) == 7 and len(SBC) == 1
+
+    def test_table1_spec_values(self):
+        e5 = get_platform("op-e5")
+        assert (e5.freq_ghz, e5.cores, e5.llc_mb) == (2.2, 10, 25.0)
+        assert e5.msrp_usd == 1389.0 and e5.tdp_w == 95.0
+        gold = get_platform("op-gold")
+        assert (gold.freq_ghz, gold.cores, gold.llc_mb) == (2.7, 18, 24.75)
+        assert gold.msrp_usd == 3358.0 and gold.tdp_w == 165.0
+        pi = get_platform(PI_KEY)
+        assert (pi.freq_ghz, pi.cores) == (1.4, 4)
+        assert pi.llc_mb == 0.512 and pi.msrp_usd == 35.0 and pi.tdp_w == 5.1
+
+    def test_cloud_hourly_prices(self):
+        expected = {
+            "c4.8xlarge": 1.591, "m4.10xlarge": 2.00, "m4.16xlarge": 3.20,
+            "z1d.metal": 4.464, "m5.metal": 4.608, "a1.metal": 0.408,
+            "c6g.metal": 2.176,
+        }
+        for key, price in expected.items():
+            assert get_platform(key).hourly_usd == price
+
+    def test_cloud_has_no_msrp_or_tdp(self):
+        for key in CLOUD:
+            spec = get_platform(key)
+            assert spec.msrp_usd is None and spec.tdp_w is None
+
+    def test_pi_hourly_cost_matches_paper(self):
+        """5.1 W at the US average kWh price is < $0.0004/hour."""
+        pi = get_platform(PI_KEY)
+        assert pi.hourly_usd == pytest.approx(5.1 / 1000 * KWH_PRICE_USD)
+        assert pi.hourly_usd < 0.0004
+
+    def test_graviton2_has_64_cores_single_socket(self):
+        c6g = get_platform("c6g.metal")
+        assert c6g.cores == 64 and c6g.sockets == 1 and c6g.smt == 1
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            get_platform("cray-1")
+
+
+class TestDerived:
+    def test_dual_socket_doubling(self):
+        e5 = get_platform("op-e5")
+        assert e5.total_cores == 20
+        assert e5.total_msrp_usd == 2 * 1389.0
+        assert e5.total_tdp_w == 190.0
+
+    def test_pi_single_board(self):
+        pi = get_platform(PI_KEY)
+        assert pi.total_cores == 4
+        assert pi.total_msrp_usd == 35.0
+        assert pi.total_tdp_w == 5.1
+
+    def test_core_rate_kinds_differ(self):
+        e5 = get_platform("op-e5")
+        assert e5.core_rate("int") > e5.core_rate("flt") > e5.core_rate("div")
+
+    def test_parallel_rate_monotone_in_threads(self):
+        gold = get_platform("op-gold")
+        rates = [gold.parallel_rate("int", t) for t in (1, 4, 18, 36)]
+        assert rates == sorted(rates)
+        assert rates[0] < rates[-1]
+
+    def test_smt_boost_only_past_physical_cores(self):
+        e5 = get_platform("op-e5")
+        at_cores = e5.parallel_rate("int", e5.total_cores, smt_boost=1.25)
+        with_smt = e5.parallel_rate("int", e5.total_cores * 2, smt_boost=1.25)
+        assert with_smt == pytest.approx(at_cores * 1.25)
+
+    def test_arm_has_no_smt(self):
+        pi = get_platform(PI_KEY)
+        assert pi.parallel_rate("int", 8) == pi.parallel_rate("int", 4)
+
+    def test_mem_bandwidth_saturation(self):
+        e5 = get_platform("op-e5")
+        assert e5.mem_bandwidth(1) == 10.0e9
+        assert e5.mem_bandwidth(e5.total_cores) == pytest.approx(48.0e9)
+        # plateau: threads beyond saturation do not increase bandwidth
+        assert e5.mem_bandwidth(40) == pytest.approx(e5.mem_bandwidth(20))
+
+    def test_pi_single_channel(self):
+        """One Pi core nearly saturates the channel (paper §II-C2)."""
+        pi = get_platform(PI_KEY)
+        assert pi.mem_bandwidth(4) / pi.mem_bandwidth(1) < 1.3

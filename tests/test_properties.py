@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for core data structures and
+invariants: join/aggregate algebra vs. naive models, sort laws, LIKE
+semantics, profile scaling, thrash monotonicity, partitioning."""
+
+import math
+import re
+from collections import defaultdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import partition_table, thrash_multiplier
+from repro.engine import Column, Database, Q, Table, agg, col, execute
+from repro.engine.expr import _like_to_regex
+from repro.engine.profile import OperatorWork, WorkProfile
+from repro.engine.types import date_to_days, days_to_date
+
+ints = st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=40)
+keys = st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=40)
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32)
+
+
+def _table(name, **columns):
+    return Table(name, columns)
+
+
+class TestColumnLaws:
+    @given(ints)
+    def test_filter_commutes_with_decode(self, values):
+        column = Column.from_ints(values)
+        mask = np.asarray([v % 2 == 0 for v in values])
+        assert column.filter(mask).to_list() == [v for v in values if v % 2 == 0]
+
+    @given(ints)
+    def test_take_identity_permutation(self, values):
+        column = Column.from_ints(values)
+        assert column.take(np.arange(len(values))).to_list() == values
+
+    @given(ints, ints)
+    def test_concat_length_and_content(self, a, b):
+        out = Column.concat([Column.from_ints(a), Column.from_ints(b)])
+        assert out.to_list() == a + b
+
+    @given(st.lists(st.sampled_from(["x", "y", "zz", "w"]), min_size=1, max_size=30))
+    def test_string_roundtrip_through_dictionary(self, values):
+        assert Column.from_strings(values).to_list() == values
+
+    @given(st.integers(min_value=-200_000, max_value=200_000))
+    def test_date_roundtrip(self, days):
+        assert date_to_days(days_to_date(days)) == days
+
+
+class TestJoinAlgebra:
+    @given(keys, keys)
+    @settings(max_examples=50, deadline=None)
+    def test_inner_join_matches_nested_loop(self, left, right):
+        db = Database()
+        db.add(_table("l", lk=Column.from_ints(left)))
+        db.add(_table("r", rk=Column.from_ints(right),
+                      rv=Column.from_ints(range(len(right)))))
+        result = execute(db, Q(db).scan("l").join("r", on=[("lk", "rk")]))
+        expected = sorted(
+            (lv, rv, i)
+            for lv in left
+            for i, rv in enumerate(right)
+            if lv == rv
+        )
+        ours = sorted(zip(result.column("lk"), result.column("rk"), result.column("rv")))
+        assert ours == expected
+
+    @given(keys, keys)
+    @settings(max_examples=50, deadline=None)
+    def test_semi_plus_anti_partition_left(self, left, right):
+        db = Database()
+        db.add(_table("l", lk=Column.from_ints(left)))
+        db.add(_table("r", rk=Column.from_ints(right)))
+        semi = execute(db, Q(db).scan("l").join("r", on=[("lk", "rk")], how="semi"))
+        anti = execute(db, Q(db).scan("l").join("r", on=[("lk", "rk")], how="anti"))
+        assert sorted(semi.column("lk") + anti.column("lk")) == sorted(left)
+        right_set = set(right)
+        assert all(v in right_set for v in semi.column("lk"))
+        assert all(v not in right_set for v in anti.column("lk"))
+
+    @given(keys, keys)
+    @settings(max_examples=50, deadline=None)
+    def test_left_join_row_count(self, left, right):
+        db = Database()
+        db.add(_table("l", lk=Column.from_ints(left)))
+        db.add(_table("r", rk=Column.from_ints(right)))
+        result = execute(db, Q(db).scan("l").join("r", on=[("lk", "rk")], how="left"))
+        from collections import Counter
+
+        right_counts = Counter(right)
+        expected = sum(max(1, right_counts[v]) for v in left)
+        assert len(result) == expected
+
+
+class TestAggregateAlgebra:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-100, 100)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_grouped_sum_count_match_naive(self, pairs):
+        groups = [g for g, _ in pairs]
+        values = [v for _, v in pairs]
+        db = Database()
+        db.add(_table("t", g=Column.from_ints(groups), v=Column.from_ints(values)))
+        result = execute(db, Q(db).scan("t").aggregate(
+            by=["g"], s=agg.sum(col("v")), n=agg.count_star()).sort("g"))
+        naive_sum = defaultdict(int)
+        naive_count = defaultdict(int)
+        for g, v in pairs:
+            naive_sum[g] += v
+            naive_count[g] += 1
+        assert result.column("g") == sorted(naive_sum)
+        assert result.column("s") == [float(naive_sum[g]) for g in sorted(naive_sum)]
+        assert result.column("n") == [naive_count[g] for g in sorted(naive_sum)]
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(-100, 100)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_min_max_bound_all_values(self, pairs):
+        db = Database()
+        db.add(_table("t", g=Column.from_ints([g for g, _ in pairs]),
+                      v=Column.from_ints([v for _, v in pairs])))
+        result = execute(db, Q(db).scan("t").aggregate(
+            by=["g"], lo=agg.min(col("v")), hi=agg.max(col("v"))).sort("g"))
+        per_group = defaultdict(list)
+        for g, v in pairs:
+            per_group[g].append(v)
+        for g, lo, hi in zip(result.column("g"), result.column("lo"), result.column("hi")):
+            assert lo == min(per_group[g])
+            assert hi == max(per_group[g])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=60),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_partial_aggregation_is_exact(self, values, n_parts):
+        """sum of per-partition sums == global sum — the algebraic fact
+        the distributed driver relies on."""
+        parts = [values[i::n_parts] for i in range(n_parts)]
+        assert sum(sum(p) for p in parts) == sum(values)
+        assert min((min(p) for p in parts if p), default=None) == min(values)
+
+
+class TestSortLaws:
+    @given(ints)
+    @settings(max_examples=50, deadline=None)
+    def test_sort_is_ordered_permutation(self, values):
+        db = Database()
+        db.add(_table("t", v=Column.from_ints(values)))
+        result = execute(db, Q(db).scan("t").sort("v"))
+        out = result.column("v")
+        assert out == sorted(values)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 100)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_multikey_sort_is_stable_lexicographic(self, pairs):
+        db = Database()
+        db.add(_table("t", a=Column.from_ints([a for a, _ in pairs]),
+                      b=Column.from_ints([b for _, b in pairs])))
+        result = execute(db, Q(db).scan("t").sort("a", ("b", "desc")))
+        out = list(zip(result.column("a"), result.column("b")))
+        assert out == sorted(pairs, key=lambda p: (p[0], -p[1]))
+
+
+class TestLikeSemantics:
+    @staticmethod
+    def _naive_like(text, pattern):
+        """Reference DP matcher for SQL LIKE."""
+        memo = {}
+
+        def match(i, j):
+            if (i, j) in memo:
+                return memo[(i, j)]
+            if j == len(pattern):
+                out = i == len(text)
+            elif pattern[j] == "%":
+                out = match(i, j + 1) or (i < len(text) and match(i + 1, j))
+            elif pattern[j] == "_":
+                out = i < len(text) and match(i + 1, j + 1)
+            else:
+                out = i < len(text) and text[i] == pattern[j] and match(i + 1, j + 1)
+            memo[(i, j)] = out
+            return out
+
+        return match(0, 0)
+
+    @given(st.text(alphabet="ab%_", min_size=0, max_size=6),
+           st.text(alphabet="ab", min_size=0, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_like_regex_matches_reference(self, pattern, text):
+        regex = _like_to_regex(pattern)
+        assert bool(regex.match(text)) == self._naive_like(text, pattern)
+
+
+class TestProfileLaws:
+    @given(st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_scaling_is_linear(self, factor, seq, ops):
+        profile = WorkProfile([OperatorWork("scan", seq_bytes=seq, ops=ops)])
+        scaled = profile.scaled(factor)
+        assert scaled.seq_bytes == pytest.approx(seq * factor)
+        assert scaled.ops == pytest.approx(ops * factor)
+
+    @given(st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+    def test_thrash_multiplier_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert thrash_multiplier(lo) <= thrash_multiplier(hi)
+        assert thrash_multiplier(lo) >= 1.0
+
+
+class TestPartitionLaws:
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=80),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_disjoint_cover(self, order_keys, n_nodes):
+        table = Table("lineitem", {
+            "l_orderkey": Column.from_ints(order_keys),
+            "x": Column.from_ints(range(len(order_keys))),
+        })
+        shards = partition_table(table, n_nodes, "l_orderkey")
+        recombined = sorted(
+            v for shard in shards for v in shard.column("x").to_list()
+        )
+        assert recombined == list(range(len(order_keys)))
+        for shard in shards:
+            assert set(np.unique(shard.column("l_orderkey").values) % n_nodes) <= {
+                shards.index(shard)
+            }

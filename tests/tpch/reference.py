@@ -1,0 +1,234 @@
+"""Independent naive reimplementations of the chokepoint queries.
+
+These deliberately avoid the engine: each works on decoded numpy arrays
+with straightforward (slow) logic, giving the test suite a second,
+structurally different path to the same answers.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+import numpy as np
+
+from repro.engine.types import date_to_days
+
+
+def _arrays(db, table, *columns):
+    tab = db.table(table)
+    return [np.asarray(tab.column(c).to_list(), dtype=object)
+            if tab.column(c).dtype.name == "string"
+            else tab.column(c).values
+            for c in columns]
+
+
+def q01(db, cutoff="1998-09-02"):
+    flag, status = _arrays(db, "lineitem", "l_returnflag", "l_linestatus")
+    li = db.table("lineitem")
+    ship = li.column("l_shipdate").values
+    qty = li.column("l_quantity").values
+    price = li.column("l_extendedprice").values
+    disc = li.column("l_discount").values
+    tax = li.column("l_tax").values
+    mask = ship <= date_to_days(cutoff)
+    groups = defaultdict(lambda: [0.0, 0.0, 0.0, 0.0, 0])
+    for i in np.flatnonzero(mask):
+        g = groups[(flag[i], status[i])]
+        g[0] += qty[i]
+        g[1] += price[i]
+        g[2] += price[i] * (1 - disc[i])
+        g[3] += price[i] * (1 - disc[i]) * (1 + tax[i])
+        g[4] += 1
+    out = []
+    for (f, s), (sq, sp, sd, sc, n) in sorted(groups.items()):
+        out.append((f, s, sq, sp, sd, sc, sq / n, sp / n, n))
+    return out
+
+
+def q06(db, start="1994-01-01", end="1995-01-01", discount=0.06, quantity=24):
+    li = db.table("lineitem")
+    ship = li.column("l_shipdate").values
+    qty = li.column("l_quantity").values
+    price = li.column("l_extendedprice").values
+    disc = li.column("l_discount").values
+    mask = (
+        (ship >= date_to_days(start))
+        & (ship < date_to_days(end))
+        & (disc >= discount - 0.011)
+        & (disc <= discount + 0.011)
+        & (qty < quantity)
+    )
+    return float((price[mask] * disc[mask]).sum())
+
+
+def q04(db, start="1993-07-01", end="1993-10-01"):
+    orders = db.table("orders")
+    li = db.table("lineitem")
+    late_orders = set(
+        li.column("l_orderkey").values[
+            li.column("l_commitdate").values < li.column("l_receiptdate").values
+        ].tolist()
+    )
+    odate = orders.column("o_orderdate").values
+    okey = orders.column("o_orderkey").values
+    prio = orders.column("o_orderpriority").to_list()
+    mask = (odate >= date_to_days(start)) & (odate < date_to_days(end))
+    counts = defaultdict(int)
+    for i in np.flatnonzero(mask):
+        if okey[i] in late_orders:
+            counts[prio[i]] += 1
+    return sorted(counts.items())
+
+
+def q13(db, word1="special", word2="requests"):
+    orders = db.table("orders")
+    pattern = re.compile(f".*{word1}.*{word2}.*")
+    keep = [not pattern.match(c) for c in orders.column("o_comment").to_list()]
+    per_customer = defaultdict(int)
+    custkeys = orders.column("o_custkey").values
+    for i, ok in enumerate(keep):
+        if ok:
+            per_customer[custkeys[i]] += 1
+    n_customers = db.table("customer").nrows
+    counts = defaultdict(int)
+    for key in db.table("customer").column("c_custkey").values.tolist():
+        counts[per_customer.get(key, 0)] += 1
+    return sorted(counts.items(), key=lambda kv: (-kv[1], -kv[0]))
+
+
+def q03(db, segment="BUILDING", date="1995-03-15"):
+    cutoff = date_to_days(date)
+    cust = db.table("customer")
+    building = {
+        key
+        for key, seg in zip(
+            cust.column("c_custkey").values.tolist(),
+            cust.column("c_mktsegment").to_list(),
+        )
+        if seg == segment
+    }
+    orders = db.table("orders")
+    order_info = {}
+    for key, custkey, odate, prio in zip(
+        orders.column("o_orderkey").values.tolist(),
+        orders.column("o_custkey").values.tolist(),
+        orders.column("o_orderdate").values.tolist(),
+        orders.column("o_shippriority").values.tolist(),
+    ):
+        if custkey in building and odate < cutoff:
+            order_info[key] = (odate, prio)
+    li = db.table("lineitem")
+    revenue = defaultdict(float)
+    for okey, ship, price, disc in zip(
+        li.column("l_orderkey").values.tolist(),
+        li.column("l_shipdate").values.tolist(),
+        li.column("l_extendedprice").values.tolist(),
+        li.column("l_discount").values.tolist(),
+    ):
+        if okey in order_info and ship > cutoff:
+            revenue[okey] += price * (1 - disc)
+    rows = [
+        (okey, order_info[okey][0], order_info[okey][1], rev)
+        for okey, rev in revenue.items()
+    ]
+    rows.sort(key=lambda r: (-r[3], r[1]))
+    return rows[:10]
+
+
+def q05(db, region="ASIA", start="1994-01-01", end="1995-01-01"):
+    nations = db.table("nation")
+    regions = db.table("region")
+    region_key = [
+        k for k, name in zip(regions.column("r_regionkey").values.tolist(),
+                             regions.column("r_name").to_list())
+        if name == region
+    ][0]
+    nation_names = {}
+    for nk, name, rk in zip(
+        nations.column("n_nationkey").values.tolist(),
+        nations.column("n_name").to_list(),
+        nations.column("n_regionkey").values.tolist(),
+    ):
+        if rk == region_key:
+            nation_names[nk] = name
+    cust_nation = dict(zip(
+        db.table("customer").column("c_custkey").values.tolist(),
+        db.table("customer").column("c_nationkey").values.tolist(),
+    ))
+    supp_nation = dict(zip(
+        db.table("supplier").column("s_suppkey").values.tolist(),
+        db.table("supplier").column("s_nationkey").values.tolist(),
+    ))
+    orders = db.table("orders")
+    lo, hi = date_to_days(start), date_to_days(end)
+    order_cust = {}
+    for okey, ckey, odate in zip(
+        orders.column("o_orderkey").values.tolist(),
+        orders.column("o_custkey").values.tolist(),
+        orders.column("o_orderdate").values.tolist(),
+    ):
+        if lo <= odate < hi:
+            order_cust[okey] = ckey
+    li = db.table("lineitem")
+    revenue = defaultdict(float)
+    for okey, skey, price, disc in zip(
+        li.column("l_orderkey").values.tolist(),
+        li.column("l_suppkey").values.tolist(),
+        li.column("l_extendedprice").values.tolist(),
+        li.column("l_discount").values.tolist(),
+    ):
+        ckey = order_cust.get(okey)
+        if ckey is None:
+            continue
+        c_nation = cust_nation[ckey]
+        if supp_nation[skey] == c_nation and c_nation in nation_names:
+            revenue[nation_names[c_nation]] += price * (1 - disc)
+    return sorted(revenue.items(), key=lambda kv: -kv[1])
+
+
+def q14(db, start="1995-09-01", end="1995-10-01"):
+    li = db.table("lineitem")
+    part = db.table("part")
+    types = part.column("p_type").to_list()
+    is_promo = np.asarray([t.startswith("PROMO") for t in types])
+    ship = li.column("l_shipdate").values
+    mask = (ship >= date_to_days(start)) & (ship < date_to_days(end))
+    price = li.column("l_extendedprice").values
+    disc = li.column("l_discount").values
+    pkeys = li.column("l_partkey").values
+    rev = price[mask] * (1 - disc[mask])
+    promo = rev[is_promo[pkeys[mask] - 1]].sum()
+    return 100.0 * float(promo) / float(rev.sum())
+
+
+def q19(db):
+    li = db.table("lineitem")
+    part = db.table("part")
+    brand = np.asarray(part.column("p_brand").to_list(), dtype=object)
+    container = np.asarray(part.column("p_container").to_list(), dtype=object)
+    size = part.column("p_size").values
+    qty = li.column("l_quantity").values
+    price = li.column("l_extendedprice").values
+    disc = li.column("l_discount").values
+    mode = np.asarray(li.column("l_shipmode").to_list(), dtype=object)
+    instruct = np.asarray(li.column("l_shipinstruct").to_list(), dtype=object)
+    pk = li.column("l_partkey").values - 1
+
+    common = np.isin(mode, ["AIR", "AIR REG"]) & (instruct == "DELIVER IN PERSON")
+    sm = {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}
+    med = {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}
+    lg = {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}
+    total = 0.0
+    for i in np.flatnonzero(common):
+        p = pk[i]
+        if (brand[p] == "Brand#12" and container[p] in sm and 1 <= qty[i] <= 11
+                and 1 <= size[p] <= 5):
+            total += price[i] * (1 - disc[i])
+        elif (brand[p] == "Brand#23" and container[p] in med and 10 <= qty[i] <= 20
+                and 1 <= size[p] <= 10):
+            total += price[i] * (1 - disc[i])
+        elif (brand[p] == "Brand#34" and container[p] in lg and 20 <= qty[i] <= 30
+                and 1 <= size[p] <= 15):
+            total += price[i] * (1 - disc[i])
+    return total

@@ -1,0 +1,229 @@
+"""dbgen tests: determinism, cardinalities, key integrity, distributions."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.engine.types import STRING
+from repro.tpch import BASE_ROWS, TPCH_SCHEMAS, generate, generate_table, rows_at_sf
+from repro.tpch.dbgen import CURRENT_DATE
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, tpch_db):
+        assert tpch_db.table("region").nrows == 5
+        assert tpch_db.table("nation").nrows == 25
+
+    def test_scaling_tables(self, tpch_db):
+        assert tpch_db.table("supplier").nrows == 100
+        assert tpch_db.table("part").nrows == 2000
+        assert tpch_db.table("partsupp").nrows == 8000
+        assert tpch_db.table("customer").nrows == 1500
+        assert tpch_db.table("orders").nrows == 15000
+
+    def test_lineitem_about_four_per_order(self, tpch_db):
+        ratio = tpch_db.table("lineitem").nrows / tpch_db.table("orders").nrows
+        assert 3.5 < ratio < 4.5
+
+    def test_rows_at_sf(self):
+        assert rows_at_sf("lineitem", 1.0) == 6_000_000
+        assert rows_at_sf("nation", 100.0) == 25
+        assert rows_at_sf("supplier", 0.001) >= 1
+
+    def test_invalid_sf(self):
+        with pytest.raises(ValueError):
+            generate(0)
+
+
+class TestSchemaConformance:
+    def test_all_tables_present(self, tpch_db):
+        assert set(tpch_db.table_names) == set(TPCH_SCHEMAS)
+
+    @pytest.mark.parametrize("table", list(TPCH_SCHEMAS))
+    def test_columns_match_schema(self, tpch_db, table):
+        schema = TPCH_SCHEMAS[table]
+        tab = tpch_db.table(table)
+        assert tab.column_names == schema.names
+        for name, dtype in schema.fields:
+            assert tab.column(name).dtype is dtype, (table, name)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(0.002, seed=7)
+        b = generate(0.002, seed=7)
+        for table in a.table_names:
+            ta, tb = a.table(table), b.table(table)
+            for name in ta.column_names:
+                assert np.array_equal(ta.column(name).values, tb.column(name).values), (table, name)
+
+    def test_different_seed_different_data(self):
+        a = generate(0.002, seed=1)
+        b = generate(0.002, seed=2)
+        assert not np.array_equal(
+            a.table("lineitem").column("l_quantity").values,
+            b.table("lineitem").column("l_quantity").values,
+        )
+
+    def test_generate_table_matches_full_generate(self):
+        full = generate(0.002, seed=9)
+        solo = generate_table("lineitem", 0.002, seed=9)
+        assert np.array_equal(
+            full.table("lineitem").column("l_orderkey").values,
+            solo.column("l_orderkey").values,
+        )
+
+
+class TestKeyIntegrity:
+    def test_primary_keys_dense(self, tpch_db):
+        for table, key in [("supplier", "s_suppkey"), ("part", "p_partkey"),
+                           ("customer", "c_custkey"), ("orders", "o_orderkey")]:
+            values = tpch_db.table(table).column(key).values
+            assert values.min() == 1
+            assert values.max() == len(values)
+            assert len(np.unique(values)) == len(values)
+
+    def test_lineitem_orderkeys_exist(self, tpch_db):
+        lkeys = tpch_db.table("lineitem").column("l_orderkey").values
+        assert lkeys.min() >= 1
+        assert lkeys.max() <= tpch_db.table("orders").nrows
+
+    def test_every_order_has_lineitems(self, tpch_db):
+        lkeys = set(np.unique(tpch_db.table("lineitem").column("l_orderkey").values).tolist())
+        assert len(lkeys) == tpch_db.table("orders").nrows
+
+    def test_partsupp_four_suppliers_per_part(self, tpch_db):
+        ps = tpch_db.table("partsupp")
+        counts = np.bincount(ps.column("ps_partkey").values)
+        assert (counts[1:] == 4).all()
+        pairs = set(zip(ps.column("ps_partkey").values.tolist(),
+                        ps.column("ps_suppkey").values.tolist()))
+        assert len(pairs) == ps.nrows  # (part, supp) pairs are unique
+
+    def test_lineitem_supplier_pairs_in_partsupp(self, tpch_db):
+        ps = tpch_db.table("partsupp")
+        pairs = set(zip(ps.column("ps_partkey").values.tolist(),
+                        ps.column("ps_suppkey").values.tolist()))
+        li = tpch_db.table("lineitem")
+        lp = zip(li.column("l_partkey").values.tolist(),
+                 li.column("l_suppkey").values.tolist())
+        assert all(pair in pairs for pair in lp)
+
+    def test_customers_divisible_by_three_have_no_orders(self, tpch_db):
+        custkeys = tpch_db.table("orders").column("o_custkey").values
+        assert (custkeys % 3 != 0).all()
+
+    def test_nation_region_mapping(self, tpch_db):
+        regions = tpch_db.table("nation").column("n_regionkey").values
+        assert regions.min() >= 0 and regions.max() <= 4
+
+
+class TestValueDistributions:
+    def test_quantity_range(self, tpch_db):
+        q = tpch_db.table("lineitem").column("l_quantity").values
+        assert q.min() >= 1 and q.max() <= 50
+
+    def test_discount_and_tax_ranges(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        assert 0 <= li.column("l_discount").values.min()
+        assert li.column("l_discount").values.max() <= 0.10 + 1e-9
+        assert li.column("l_tax").values.max() <= 0.08 + 1e-9
+
+    def test_date_derivations(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        orders = tpch_db.table("orders")
+        odate = orders.column("o_orderdate").values
+        okey_to_date = dict(zip(orders.column("o_orderkey").values.tolist(), odate.tolist()))
+        lkeys = li.column("l_orderkey").values
+        base = np.array([okey_to_date[k] for k in lkeys.tolist()])
+        ship = li.column("l_shipdate").values
+        receipt = li.column("l_receiptdate").values
+        commit = li.column("l_commitdate").values
+        assert (ship > base).all()
+        assert (ship - base <= 121).all()
+        assert (receipt > ship).all()
+        assert (receipt - ship <= 30).all()
+        assert (commit - base >= 30).all() and (commit - base <= 90).all()
+
+    def test_returnflag_consistent_with_receiptdate(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        receipt = li.column("l_receiptdate").values
+        flags = np.asarray(li.column("l_returnflag").to_list())
+        assert set(flags[receipt > CURRENT_DATE]) == {"N"}
+        assert set(flags[receipt <= CURRENT_DATE]) <= {"A", "R"}
+
+    def test_linestatus_consistent_with_shipdate(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        ship = li.column("l_shipdate").values
+        status = np.asarray(li.column("l_linestatus").to_list())
+        assert set(status[ship > CURRENT_DATE]) == {"O"}
+        assert set(status[ship <= CURRENT_DATE]) == {"F"}
+
+    def test_orderstatus_derived_from_lines(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        orders = tpch_db.table("orders")
+        status = np.asarray(li.column("l_linestatus").to_list())
+        open_count = {}
+        total_count = {}
+        for key, st in zip(li.column("l_orderkey").values.tolist(), status):
+            total_count[key] = total_count.get(key, 0) + 1
+            if st == "O":
+                open_count[key] = open_count.get(key, 0) + 1
+        o_status = orders.column("o_orderstatus").to_list()
+        for key, st in zip(orders.column("o_orderkey").values.tolist(), o_status):
+            opened = open_count.get(key, 0)
+            if opened == 0:
+                assert st == "F"
+            elif opened == total_count[key]:
+                assert st == "O"
+            else:
+                assert st == "P"
+
+    def test_totalprice_matches_lineitems(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        price = (li.column("l_extendedprice").values
+                 * (1.0 + li.column("l_tax").values)
+                 * (1.0 - li.column("l_discount").values))
+        sums = np.bincount(li.column("l_orderkey").values, weights=price,
+                           minlength=tpch_db.table("orders").nrows + 1)[1:]
+        total = tpch_db.table("orders").column("o_totalprice").values
+        assert np.allclose(total, sums, atol=0.01)
+
+    def test_brand_format(self, tpch_db):
+        brands = set(tpch_db.table("part").column("p_brand").to_list())
+        assert all(re.match(r"^Brand#[1-5][1-5]$", b) for b in brands)
+
+    def test_phone_country_code_is_nationkey_plus_10(self, tpch_db):
+        cust = tpch_db.table("customer")
+        phones = cust.column("c_phone").to_list()
+        nations = cust.column("c_nationkey").values
+        for phone, nation in zip(phones[:200], nations[:200]):
+            assert phone.startswith(f"{nation + 10}-")
+
+    def test_mktsegment_domain(self, tpch_db):
+        segments = set(tpch_db.table("customer").column("c_mktsegment").to_list())
+        assert segments <= {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+    def test_special_requests_frequency(self, tpch_db):
+        comments = tpch_db.table("orders").column("o_comment").to_list()
+        frac = sum(bool(re.search("special.*requests", c)) for c in comments) / len(comments)
+        assert 0.002 < frac < 0.03  # Q13 must exclude a small, nonzero slice
+
+    def test_complaints_suppliers_exist_but_rare(self, tpch_db):
+        comments = tpch_db.table("supplier").column("s_comment").to_list()
+        n = sum(bool(re.search("Customer.*Complaints", c)) for c in comments)
+        assert 1 <= n <= len(comments) // 10
+
+    def test_retailprice_formula(self, tpch_db):
+        part = tpch_db.table("part")
+        keys = part.column("p_partkey").values
+        expected = (90000 + (keys // 10) % 20001 + 100 * (keys % 1000)) / 100.0
+        assert np.allclose(part.column("p_retailprice").values, expected)
+
+    def test_extendedprice_is_qty_times_retail(self, tpch_db):
+        li = tpch_db.table("lineitem")
+        part = tpch_db.table("part")
+        retail = part.column("p_retailprice").values
+        expected = li.column("l_quantity").values * retail[li.column("l_partkey").values - 1]
+        assert np.allclose(li.column("l_extendedprice").values, expected, atol=0.01)

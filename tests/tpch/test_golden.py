@@ -1,0 +1,48 @@
+"""Golden-result regression pins: all 22 queries at SF 0.01, seed 42.
+
+Any behavioural drift in dbgen, the expression evaluator, an operator,
+or a query definition changes a checksum here. If a change is
+*intentional*, regenerate the file (see its header note in git history /
+the generation snippet in docs/GUIDE.md) and review the diff.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.engine import execute
+from repro.tpch import ALL_QUERY_NUMBERS, get_query
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_sf001_seed42.json").read_text()
+)
+
+
+def _numeric_sum(rows) -> float:
+    total = 0.0
+    for row in rows:
+        for value in row:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if isinstance(value, float) and math.isnan(value):
+                    continue
+                total += float(value)
+    return total
+
+
+class TestGoldenResults:
+    def test_golden_file_covers_all_queries(self):
+        assert set(GOLDEN) == {str(n) for n in ALL_QUERY_NUMBERS}
+
+    @pytest.mark.parametrize("number", ALL_QUERY_NUMBERS)
+    def test_query_matches_golden(self, tpch_db, tpch_params, number):
+        expected = GOLDEN[str(number)]
+        result = execute(tpch_db, get_query(number).build(tpch_db, tpch_params))
+        assert len(result) == expected["rows"]
+        assert result.column_names == expected["columns"]
+        assert _numeric_sum(result.rows) == pytest.approx(
+            expected["numeric_sum"], rel=1e-6, abs=0.02
+        )
+        if expected["first_row"]:
+            assert [str(v) for v in result.rows[0]] == expected["first_row"]
