@@ -8,6 +8,7 @@ against the paper (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -15,6 +16,17 @@ import pytest
 from repro.core import ExperimentStudy, StudyConfig
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", default=str(os.cpu_count() or 1),
+        help="worker threads for parallel-executor benchmarks",
+    )
+    parser.addoption(
+        "--assert-speedup", default=None,
+        help="fail the parallel smoke benchmark below this serial/parallel ratio",
+    )
 
 
 @pytest.fixture(scope="session")

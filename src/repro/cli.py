@@ -59,6 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true", help="print the plan")
     query.add_argument("--profile", action="store_true",
                        help="print the per-operator work profile")
+    query.add_argument("--workers", type=int, default=None,
+                       help="morsel-parallel worker threads (default: serial)")
 
     validate = sub.add_parser(
         "validate", help="evaluate the paper's prose claims against the reproduction"
@@ -88,6 +90,21 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--sf", type=float, default=0.01)
     sql_cmd.add_argument("--limit", type=int, default=20, help="rows to print")
     sql_cmd.add_argument("--explain", action="store_true", help="print the plan")
+    sql_cmd.add_argument("--workers", type=int, default=None,
+                         help="morsel-parallel worker threads (default: serial)")
+
+    scaling = sub.add_parser(
+        "scaling",
+        help="measure the engine's multi-worker speedup curve and the "
+             "calibrated Amdahl serial fraction it implies",
+    )
+    scaling.add_argument("--sf", type=float, default=0.05)
+    scaling.add_argument("--workers", default="1,2,4",
+                         help="comma-separated worker counts (default 1,2,4)")
+    scaling.add_argument("--queries", default="1,6",
+                         help="comma-separated TPC-H query numbers (default 1,6)")
+    scaling.add_argument("--repeats", type=int, default=3,
+                         help="timing repetitions per point (best-of)")
     return parser
 
 
@@ -97,6 +114,16 @@ def _render(value, indent: int = 0) -> str:
     from repro.core.results import to_jsonable
 
     return json.dumps(to_jsonable(value), indent=2, sort_keys=True)
+
+
+def _execute_maybe_parallel(db, plan, workers: int | None):
+    """Run a plan serially, or morsel-parallel when --workers is given."""
+    from repro.engine import ParallelExecutor, execute
+
+    if workers is None:
+        return execute(db, plan)
+    with ParallelExecutor(db, workers=workers) as executor:
+        return executor.execute(plan)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -120,7 +147,6 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "query":
-        from repro.engine import execute
         from repro.engine.explain import explain, explain_profile
         from repro.tpch import generate, get_query
 
@@ -129,7 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.explain:
             print(explain(plan, db))
             print()
-        result = execute(db, plan)
+        result = _execute_maybe_parallel(db, plan, args.workers)
         print(f"Q{args.number}: {len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)
@@ -190,7 +216,6 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if passed == len(results) else 1
 
     if args.command == "sql":
-        from repro.engine import execute
         from repro.engine.explain import explain
         from repro.engine.sql import sql as parse_sql
         from repro.tpch import generate
@@ -200,10 +225,41 @@ def main(argv: list[str] | None = None) -> int:
         if args.explain:
             print(explain(plan, db))
             print()
-        result = execute(db, plan)
+        result = _execute_maybe_parallel(db, plan, args.workers)
         print(f"{len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)
+        return 0
+
+    if args.command == "scaling":
+        from repro.hardware import (
+            PI_KEY,
+            PerformanceModel,
+            get_platform,
+            measure_parallel_scaling,
+        )
+        from repro.tpch import generate, get_query
+
+        worker_counts = [int(w) for w in args.workers.split(",")]
+        numbers = [int(q) for q in args.queries.split(",")]
+        db = generate(args.sf)
+        plans = [get_query(n).build(db, {"sf": args.sf}) for n in numbers]
+        curve = measure_parallel_scaling(
+            db, plans, worker_counts=worker_counts, repeats=args.repeats
+        )
+        print(f"measured speedup curve (SF {args.sf:g}, Q{numbers}):")
+        for n, s in curve.points:
+            print(f"  {int(n)} workers: {s:.2f}x")
+        print(f"fitted Amdahl serial fraction: {curve.serial_fraction:.4f}")
+        # Show what the calibrated curve does to the Pi prediction.
+        from repro.engine import execute as _execute
+
+        profile = _execute(db, plans[0]).profile
+        pi = get_platform(PI_KEY)
+        assumed = PerformanceModel().predict(profile, pi)
+        calibrated = PerformanceModel(scaling=curve).predict(profile, pi)
+        print(f"Pi 3B+ prediction for Q{numbers[0]} at this profile: "
+              f"{assumed:.3f}s assumed-Amdahl -> {calibrated:.3f}s calibrated")
         return 0
 
     if args.command in _EXTENSIONS:

@@ -9,11 +9,14 @@ records a hardware-independent :class:`~repro.engine.profile.WorkProfile`
 that :mod:`repro.hardware` converts into per-platform runtimes.
 """
 
+from .cache import ResultCache
 from .column import Column
 from .compression import CompressedColumn, compress_column, compress_table, compression_ratio
 from .executor import ExecContext, Executor, execute
 from .expr import Expr, case, col, lit, scalar
+from .fingerprint import plan_fingerprint
 from .frame import Frame
+from .parallel import ParallelExecutor
 from .plan import Q, agg
 from .profile import OperatorWork, WorkProfile
 from .result import Result
@@ -23,9 +26,10 @@ from .types import BOOL, DATE, FLOAT64, INT64, STRING, DataType, date_to_days, d
 
 __all__ = [
     "Column", "Database", "DataType", "ExecContext", "Executor", "Expr",
-    "Frame", "OperatorWork", "Q", "Result", "Schema", "Table", "WorkProfile",
+    "Frame", "OperatorWork", "ParallelExecutor", "Q", "Result", "ResultCache",
+    "Schema", "Table", "WorkProfile",
     "agg", "case", "col", "date_to_days", "days_to_date", "execute", "lit",
-    "scalar", "BOOL", "DATE", "FLOAT64", "INT64", "STRING",
+    "plan_fingerprint", "scalar", "BOOL", "DATE", "FLOAT64", "INT64", "STRING",
     "CompressedColumn", "compress_column", "compress_table", "compression_ratio",
     "SqlSyntaxError", "sql",
 ]

@@ -1,0 +1,95 @@
+"""Plan-fingerprint result cache with single-flight execution.
+
+Benchmark sweeps (the Fig. 3 / Table II drivers) execute the same 22
+plans over and over while varying only the modeled platform; caching the
+engine execution by :func:`~repro.engine.fingerprint.plan_fingerprint`
+makes the sweep cost one execution per distinct plan. The cache is
+*single-flight*: when several threads request the same fingerprint
+concurrently, exactly one runs the plan and the rest block on its result.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["ResultCache"]
+
+
+class _Entry:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class ResultCache:
+    """LRU cache keyed by plan fingerprint.
+
+    ``get_or_run(key, run)`` returns ``(value, was_cached)``; ``run`` is
+    invoked at most once per live key across all threads (single-flight).
+    Failed executions are evicted so a later call can retry.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_run(self, key: str, run: Callable[[], object]) -> tuple[object, bool]:
+        with self._lock:
+            entry = self._entries.get(key)
+            owner = entry is None
+            if owner:
+                entry = _Entry()
+                self._entries[key] = entry
+                self.misses += 1
+                self._evict_locked()
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+
+        if owner:
+            try:
+                entry.value = run()
+            except BaseException as exc:
+                entry.error = exc
+                with self._lock:
+                    if self._entries.get(key) is entry:
+                        del self._entries[key]
+                entry.event.set()
+                raise
+            entry.event.set()
+            return entry.value, False
+
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        return entry.value, True
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            for old_key, old in self._entries.items():
+                # Never evict in-flight entries (their owners still need
+                # the slot to publish into); capacity >= 1 guarantees the
+                # newest in-flight entry itself always fits.
+                if old.event.is_set():
+                    del self._entries[old_key]
+                    break
+            else:
+                return
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from .frame import Frame
 from .optimizer import prune_columns
 from .plan import (
@@ -43,20 +45,25 @@ class ExecContext:
         self.profile = WorkProfile()
         self.work: OperatorWork | None = None
         self._scalar_cache: dict[int, object] = {}
+        # Reentrant: a scalar subquery's plan may itself reference another
+        # scalar subquery. Morsel workers share this context, so cache
+        # fills must be serialized.
+        self._scalar_lock = threading.RLock()
 
     def scalar(self, plan) -> object:
         """Evaluate an uncorrelated scalar subquery once, merging its work
         into this query's profile."""
         key = id(plan)
-        if key not in self._scalar_cache:
-            saved = self.work
-            node = plan.node if isinstance(plan, Q) else plan
-            frame = self._executor._exec(node, self)
-            self.work = saved
-            if frame.nrows != 1 or len(frame.columns) != 1:
-                raise ValueError("scalar subquery must produce a 1x1 result")
-            self._scalar_cache[key] = next(iter(frame.columns.values())).to_list()[0]
-        return self._scalar_cache[key]
+        with self._scalar_lock:
+            if key not in self._scalar_cache:
+                saved = self.work
+                node = plan.node if isinstance(plan, Q) else plan
+                frame = self._executor._exec(node, self)
+                self.work = saved
+                if frame.nrows != 1 or len(frame.columns) != 1:
+                    raise ValueError("scalar subquery must produce a 1x1 result")
+                self._scalar_cache[key] = next(iter(frame.columns.values())).to_list()[0]
+            return self._scalar_cache[key]
 
 
 class Executor:

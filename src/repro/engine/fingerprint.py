@@ -1,0 +1,54 @@
+"""Structural plan fingerprints.
+
+A fingerprint is a stable hash of a logical plan's *structure* — node
+types, expressions, literals, aggregate specs — independent of object
+identity. Two plans built separately for the same query hash equal, so
+the :class:`~repro.engine.cache.ResultCache` can recognize the repeated
+queries of a benchmark sweep (Fig. 3 / Table II style) and skip
+re-execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from .expr import Expr
+from .operators.aggregate import AggSpec
+from .plan import PlanNode, Q
+
+__all__ = ["plan_fingerprint"]
+
+
+def _canonical(obj) -> object:
+    """Reduce a plan/expression tree to JSON-serializable structure."""
+    if isinstance(obj, Q):
+        return _canonical(obj.node)
+    if isinstance(obj, PlanNode):
+        fields = [
+            [name, _canonical(value)]
+            for name, value in sorted(vars(obj).items())
+        ]
+        return [type(obj).__name__, fields]
+    if isinstance(obj, AggSpec):
+        return ["AggSpec", obj.func, _canonical(obj.expr)]
+    if isinstance(obj, Expr):
+        fields = [
+            [name, _canonical(value)]
+            for name, value in sorted(vars(obj).items())
+            if not name.startswith("_")  # skip caches like Like._regex
+        ]
+        return [type(obj).__name__, fields]
+    if isinstance(obj, (tuple, list)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, dict):
+        return [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return repr(obj)
+
+
+def plan_fingerprint(plan: "Q | PlanNode") -> str:
+    """Hex digest uniquely identifying the plan's structure."""
+    payload = json.dumps(_canonical(plan), separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,301 @@
+"""Morsel-driven parallel plan executor.
+
+:class:`ParallelExecutor` is a drop-in for
+:class:`~repro.engine.executor.Executor` that keeps all of a wimpy
+node's cores busy (the paper's Table I point: the Pi 3B+ has four cores,
+and OLAP throughput on it lives or dies by using them). It works on
+*parallelizable segments* — maximal scan → filter/project chains over a
+base table, optionally capped by a decomposable aggregate or a fused
+top-k — executing each segment once per morsel on a shared
+``ThreadPoolExecutor`` (the numpy kernels release the GIL), then merging
+partial states with :mod:`repro.engine.merge`. Everything outside a
+segment (joins, sorts, DISTINCT, non-decomposable aggregates) runs
+serially over the merged intermediates, so *every* plan executes
+correctly; parallelism is an optimization, never a semantics change.
+
+Repeated plans are served from a plan-fingerprint
+:class:`~repro.engine.cache.ResultCache` (single-flight), which is what
+the Fig. 3 / Table II sweeps hit when they re-run the same 22 queries
+per platform.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+
+from .cache import ResultCache
+from .executor import ExecContext, Executor
+from .expr import Expr, ScalarSubquery
+from .fingerprint import plan_fingerprint
+from .frame import Frame
+from .merge import (
+    concat_frames,
+    decompose_aggregates,
+    merge_partial_aggregates,
+    merge_profiles,
+    merge_topk,
+)
+from .morsel import (
+    DEFAULT_MORSEL_ROWS,
+    MIN_PARALLEL_ROWS,
+    MorselContext,
+    morsel_ranges,
+    scan_morsel,
+    table_is_morselable,
+)
+from .operators.aggregate import execute_aggregate
+from .operators.filter import execute_filter
+from .operators.project import execute_project
+from .operators.sort import execute_topk
+from .optimizer import prune_columns
+from .plan import (
+    AggregateNode,
+    FilterNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    Q,
+    ScanNode,
+    SortNode,
+)
+from .result import Result
+
+__all__ = ["ParallelExecutor"]
+
+
+def _collect_scalar_subqueries(obj, found: list[ScalarSubquery]) -> None:
+    """Find every ScalarSubquery reachable from an expression tree."""
+    if isinstance(obj, ScalarSubquery):
+        found.append(obj)
+        return
+    if isinstance(obj, Expr):
+        for value in vars(obj).values():
+            _collect_scalar_subqueries(value, found)
+    elif isinstance(obj, (list, tuple)):
+        for value in obj:
+            _collect_scalar_subqueries(value, found)
+
+
+class _Segment:
+    """A parallelizable plan fragment: a scan chain plus an optional cap."""
+
+    __slots__ = ("kind", "chain", "node")
+
+    def __init__(self, kind: str, chain: list[PlanNode], node: PlanNode):
+        self.kind = kind  # "chain" | "aggregate" | "topk"
+        self.chain = chain  # [ScanNode, Filter/Project, ...] bottom-up
+        self.node = node  # the plan node the segment replaces
+
+
+class ParallelExecutor(Executor):
+    """Executes plans with intra-query (morsel) parallelism.
+
+    Args:
+        db: the database catalog.
+        workers: thread count (default: all host cores). ``workers=1``
+            still exercises the morsel/merge machinery, just inline.
+        morsel_rows: target rows per morsel; the effective size shrinks
+            so large scans yield at least one morsel per worker.
+        cache_size: LRU capacity of the plan-fingerprint result cache;
+            ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        db,
+        workers: int | None = None,
+        morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        cache_size: int = 64,
+        min_parallel_rows: int = MIN_PARALLEL_ROWS,
+    ):
+        super().__init__(db)
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.morsel_rows = max(1, morsel_rows)
+        self.min_parallel_rows = min_parallel_rows
+        self.cache: ResultCache | None = ResultCache(cache_size) if cache_size else None
+        self._pool: _ThreadPool | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self) -> _ThreadPool:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = _ThreadPool(
+                    max_workers=self.workers, thread_name_prefix="morsel"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- entry point ----------------------------------------------------
+
+    def execute(self, plan: "Q | PlanNode", optimize: bool = True) -> Result:
+        node = plan.node if isinstance(plan, Q) else plan
+        if node is None:
+            raise ValueError("cannot execute an empty plan")
+        if optimize:
+            node = prune_columns(node, self.db, required=None)
+
+        start = time.perf_counter()
+        if self.cache is None:
+            frame, profile = self._run(node)
+            return Result(frame, profile, wall_seconds=time.perf_counter() - start)
+        key = plan_fingerprint(node)
+        (frame, profile), was_cached = self.cache.get_or_run(
+            key, lambda: self._run(node)
+        )
+        return Result(
+            frame, profile,
+            wall_seconds=time.perf_counter() - start,
+            cached=was_cached,
+        )
+
+    def _run(self, node: PlanNode) -> tuple[Frame, "object"]:
+        ctx = ExecContext(self.db, self)
+        frame = self._exec(node, ctx)
+        return frame, ctx.profile
+
+    # -- segment detection ---------------------------------------------
+
+    def _exec(self, node: PlanNode, ctx: ExecContext) -> Frame:
+        segment = self._match_segment(node)
+        if segment is not None:
+            return self._exec_segment(segment, ctx)
+        return super()._exec(node, ctx)
+
+    def _scan_chain(self, node: PlanNode) -> list[PlanNode] | None:
+        """Bottom-up [scan, op, ...] if ``node`` is a morselable chain."""
+        ops: list[PlanNode] = []
+        current = node
+        while isinstance(current, (FilterNode, ProjectNode)):
+            ops.append(current)
+            current = current.child
+        if not isinstance(current, ScanNode):
+            return None
+        table = self.db.table(current.table)
+        columns = list(current.columns) if current.columns is not None else None
+        if not table_is_morselable(table, columns):
+            return None
+        if table.nrows < max(self.min_parallel_rows, 2):
+            return None
+        return [current] + ops[::-1]
+
+    def _match_segment(self, node: PlanNode) -> _Segment | None:
+        if isinstance(node, AggregateNode):
+            chain = self._scan_chain(node.child)
+            if chain is not None and decompose_aggregates(dict(node.aggs)) is not None:
+                return _Segment("aggregate", chain, node)
+            return None
+        if isinstance(node, LimitNode) and isinstance(node.child, SortNode):
+            chain = self._scan_chain(node.child.child)
+            if chain is not None and node.n > 0:
+                return _Segment("topk", chain, node)
+            return None
+        if isinstance(node, (FilterNode, ProjectNode)):
+            chain = self._scan_chain(node)
+            if chain is not None:
+                return _Segment("chain", chain, node)
+        # Bare scans stay serial: slicing + re-concatenating columns would
+        # copy every array for zero computational gain.
+        return None
+
+    # -- segment execution ---------------------------------------------
+
+    def _effective_morsel_rows(self, nrows: int) -> int:
+        per_worker = -(-nrows // self.workers)  # ceil div
+        return max(1, min(self.morsel_rows, per_worker))
+
+    def _exec_segment(self, segment: _Segment, ctx: ExecContext) -> Frame:
+        scan = segment.chain[0]
+        table = self.db.table(scan.table)
+        ranges = morsel_ranges(table.nrows, self._effective_morsel_rows(table.nrows))
+        if len(ranges) < 2:
+            return super()._exec(segment.node, ctx)
+
+        # Resolve scalar subqueries on the main thread so morsel workers
+        # only ever hit the warm cache — a worker re-entering the executor
+        # could otherwise deadlock the pool on itself.
+        subqueries: list[ScalarSubquery] = []
+        for op in segment.chain[1:]:
+            if isinstance(op, FilterNode):
+                _collect_scalar_subqueries(op.predicate, subqueries)
+            else:
+                _collect_scalar_subqueries([e for _, e in op.exprs], subqueries)
+        if segment.kind == "aggregate":
+            for _, spec in segment.node.aggs:
+                _collect_scalar_subqueries(spec.expr, subqueries)
+        for sub in subqueries:
+            ctx.scalar(sub.plan)
+
+        partial_aggs = None
+        if segment.kind == "aggregate":
+            partial_aggs, _ = decompose_aggregates(dict(segment.node.aggs))
+
+        def run_morsel(bounds: tuple[int, int]) -> tuple[Frame, "object"]:
+            mctx = MorselContext(self.db, ctx)
+            mctx.work = mctx.profile.new_operator("scan")
+            frame = scan_morsel(
+                table,
+                list(scan.columns) if scan.columns is not None else None,
+                bounds[0], bounds[1], mctx,
+            )
+            for op in segment.chain[1:]:
+                if isinstance(op, FilterNode):
+                    mctx.work = mctx.profile.new_operator("filter")
+                    frame = execute_filter(frame, op.predicate, mctx)
+                else:
+                    mctx.work = mctx.profile.new_operator("project")
+                    frame = execute_project(frame, dict(op.exprs), mctx)
+            if segment.kind == "aggregate":
+                mctx.work = mctx.profile.new_operator("aggregate")
+                frame = execute_aggregate(
+                    frame, list(segment.node.group_by), partial_aggs, mctx
+                )
+            elif segment.kind == "topk":
+                keys = list(segment.node.child.keys)
+                mctx.work = mctx.profile.new_operator("topk")
+                frame = execute_topk(frame, keys, segment.node.n, mctx)
+            return frame, mctx.profile
+
+        if self.workers > 1:
+            results = list(self._ensure_pool().map(run_morsel, ranges))
+        else:
+            results = [run_morsel(bounds) for bounds in ranges]
+
+        frames = [frame for frame, _ in results]
+        merged = merge_profiles([profile for _, profile in results])
+        ctx.profile.absorb(merged)
+        # Merge-phase work is charged onto the segment's last (coalesced)
+        # operator so the profile keeps the serial operator count.
+        ctx.work = ctx.profile.operators[-1] if ctx.profile.operators else None
+
+        if segment.kind == "aggregate":
+            return merge_partial_aggregates(
+                frames, list(segment.node.group_by), dict(segment.node.aggs), ctx
+            )
+        if segment.kind == "topk":
+            return merge_topk(
+                frames, list(segment.node.child.keys), segment.node.n, ctx
+            )
+        return concat_frames(frames)

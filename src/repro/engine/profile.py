@@ -11,7 +11,9 @@ substitutes for running on real Raspberry Pi / Xeon silicon.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 __all__ = ["OperatorWork", "WorkProfile"]
 
@@ -50,6 +52,15 @@ class OperatorWork:
             out_bytes=self.out_bytes * factor,
         )
 
+    def add(self, other: "OperatorWork") -> None:
+        """Accumulate another instance's counts (morsel-fragment merge)."""
+        self.seq_bytes += other.seq_bytes
+        self.rand_accesses += other.rand_accesses
+        self.ops += other.ops
+        self.tuples_in += other.tuples_in
+        self.tuples_out += other.tuples_out
+        self.out_bytes += other.out_bytes
+
 
 @dataclass
 class WorkProfile:
@@ -61,10 +72,21 @@ class WorkProfile:
 
     operators: list[OperatorWork] = field(default_factory=list)
 
+    # Guards concurrent operator-list mutation when morsel workers and the
+    # main thread touch the same profile. A single class-level lock keeps
+    # instances picklable/JSON-able; critical sections are two appends.
+    _mutate_lock: ClassVar[threading.Lock] = threading.Lock()
+
     def new_operator(self, name: str) -> OperatorWork:
         work = OperatorWork(name)
-        self.operators.append(work)
+        with WorkProfile._mutate_lock:
+            self.operators.append(work)
         return work
+
+    def absorb(self, other: "WorkProfile") -> None:
+        """Thread-safely append another profile's operators to this one."""
+        with WorkProfile._mutate_lock:
+            self.operators.extend(other.operators)
 
     # Aggregate views ---------------------------------------------------
 

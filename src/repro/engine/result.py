@@ -20,12 +20,22 @@ class Result:
             execution on the host — useful for engine regression
             tracking, *not* a paper artifact (those come from the
             hardware model).
+        cached: whether this result was served from a
+            :class:`~repro.engine.cache.ResultCache` hit instead of a
+            fresh execution.
     """
 
-    def __init__(self, frame: Frame, profile: WorkProfile, wall_seconds: float = 0.0):
+    def __init__(
+        self,
+        frame: Frame,
+        profile: WorkProfile,
+        wall_seconds: float = 0.0,
+        cached: bool = False,
+    ):
         self.frame = frame
         self.profile = profile
         self.wall_seconds = wall_seconds
+        self.cached = cached
 
     @property
     def column_names(self) -> list[str]:

@@ -10,9 +10,15 @@ from .calibration import (
     DEFAULT_CONSTANTS,
     DEFAULT_PLATFORM_FACTORS,
     fit_constants,
+    fit_serial_fraction,
 )
 from .energy import EnergyEstimate, EnergyModel
-from .perfmodel import PerformanceModel, RuntimeBreakdown
+from .perfmodel import (
+    MeasuredScaling,
+    PerformanceModel,
+    RuntimeBreakdown,
+    measure_parallel_scaling,
+)
 from .platforms import (
     ALL_KEYS,
     CLOUD,
@@ -30,7 +36,8 @@ from .platforms import (
 __all__ = [
     "ALL_KEYS", "CLOUD", "CalibrationConstants", "DEFAULT_CONSTANTS",
     "DEFAULT_PLATFORM_FACTORS", "EnergyEstimate", "EnergyModel",
-    "KWH_PRICE_USD", "ON_PREMISES", "PI_KEY", "PI4_KEY", "PLATFORMS",
-    "PerformanceModel", "PlatformSpec", "RuntimeBreakdown", "SBC",
-    "SERVER_KEYS", "fit_constants", "get_platform",
+    "KWH_PRICE_USD", "MeasuredScaling", "ON_PREMISES", "PI_KEY", "PI4_KEY",
+    "PLATFORMS", "PerformanceModel", "PlatformSpec", "RuntimeBreakdown",
+    "SBC", "SERVER_KEYS", "fit_constants", "fit_serial_fraction",
+    "get_platform", "measure_parallel_scaling",
 ]
