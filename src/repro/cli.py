@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the per-operator work profile")
     query.add_argument("--workers", type=int, default=None,
                        help="morsel-parallel worker threads (default: serial)")
+    query.add_argument("--no-skipping", action="store_true",
+                       help="ablation: disable predicate pushdown and "
+                            "zone-map data skipping")
 
     validate = sub.add_parser(
         "validate", help="evaluate the paper's prose claims against the reproduction"
@@ -92,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--explain", action="store_true", help="print the plan")
     sql_cmd.add_argument("--workers", type=int, default=None,
                          help="morsel-parallel worker threads (default: serial)")
+    sql_cmd.add_argument("--no-skipping", action="store_true",
+                         help="ablation: disable predicate pushdown and "
+                              "zone-map data skipping")
 
     scaling = sub.add_parser(
         "scaling",
@@ -116,13 +122,19 @@ def _render(value, indent: int = 0) -> str:
     return json.dumps(to_jsonable(value), indent=2, sort_keys=True)
 
 
-def _execute_maybe_parallel(db, plan, workers: int | None):
+def _optimizer_settings(no_skipping: bool):
+    from repro.engine import DEFAULT_SETTINGS, OptimizerSettings
+
+    return OptimizerSettings.disabled() if no_skipping else DEFAULT_SETTINGS
+
+
+def _execute_maybe_parallel(db, plan, workers: int | None, settings=None):
     """Run a plan serially, or morsel-parallel when --workers is given."""
     from repro.engine import ParallelExecutor, execute
 
     if workers is None:
-        return execute(db, plan)
-    with ParallelExecutor(db, workers=workers) as executor:
+        return execute(db, plan, settings=settings)
+    with ParallelExecutor(db, workers=workers, settings=settings) as executor:
         return executor.execute(plan)
 
 
@@ -152,10 +164,11 @@ def main(argv: list[str] | None = None) -> int:
 
         db = generate(args.sf)
         plan = get_query(args.number).build(db, {"sf": args.sf})
+        settings = _optimizer_settings(args.no_skipping)
         if args.explain:
-            print(explain(plan, db))
+            print(explain(plan, db, settings=settings))
             print()
-        result = _execute_maybe_parallel(db, plan, args.workers)
+        result = _execute_maybe_parallel(db, plan, args.workers, settings)
         print(f"Q{args.number}: {len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)
@@ -222,10 +235,11 @@ def main(argv: list[str] | None = None) -> int:
 
         db = generate(args.sf)
         plan = parse_sql(db, args.statement)
+        settings = _optimizer_settings(args.no_skipping)
         if args.explain:
-            print(explain(plan, db))
+            print(explain(plan, db, settings=settings))
             print()
-        result = _execute_maybe_parallel(db, plan, args.workers)
+        result = _execute_maybe_parallel(db, plan, args.workers, settings)
         print(f"{len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)

@@ -16,7 +16,9 @@ from .executor import ExecContext, Executor, execute
 from .expr import Expr, case, col, lit, scalar
 from .fingerprint import plan_fingerprint
 from .frame import Frame
+from .optimizer import DEFAULT_SETTINGS, OptimizerSettings, optimize_plan
 from .parallel import ParallelExecutor
+from .zonemap import ZONE_MAP_BLOCK_ROWS, ZoneMap, build_zone_map
 from .plan import Q, agg
 from .profile import OperatorWork, WorkProfile
 from .result import Result
@@ -32,4 +34,6 @@ __all__ = [
     "plan_fingerprint", "scalar", "BOOL", "DATE", "FLOAT64", "INT64", "STRING",
     "CompressedColumn", "compress_column", "compress_table", "compression_ratio",
     "SqlSyntaxError", "sql",
+    "DEFAULT_SETTINGS", "OptimizerSettings", "optimize_plan",
+    "ZONE_MAP_BLOCK_ROWS", "ZoneMap", "build_zone_map",
 ]

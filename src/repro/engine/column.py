@@ -92,6 +92,19 @@ class Column:
         if any(c.dtype is not dtype for c in columns):
             raise TypeError("cannot concatenate columns of differing types")
         if dtype is STRING:
+            first_dict = columns[0].dictionary
+            if all(c.dictionary is first_dict for c in columns):
+                # Fast path: slices of one source column share its
+                # dictionary, so code arrays concatenate directly.
+                codes = np.concatenate([c.values for c in columns])
+                if any(c.valid is not None for c in columns):
+                    valid = np.concatenate([
+                        c.valid if c.valid is not None else np.ones(len(c), dtype=np.bool_)
+                        for c in columns
+                    ])
+                else:
+                    valid = None
+                return cls(STRING, codes, dictionary=first_dict, valid=valid)
             decoded = np.concatenate([c.decoded() for c in columns])
             has_null = any(c.valid is not None for c in columns)
             if has_null:
@@ -132,6 +145,52 @@ class Column:
 
     def has_nulls(self) -> bool:
         return self.valid is not None and not bool(self.valid.all())
+
+    def zone_stats(self, block_rows: int) -> tuple | None:
+        """Per-block ``(mins, maxs, null_counts)`` over blocks of
+        ``block_rows`` rows (the zone-map payload; see
+        :mod:`repro.engine.zonemap`).
+
+        Statistics cover valid rows only. STRING columns report decoded
+        string min/max (dictionaries need not be sorted); nullable
+        STRING columns return ``None`` (no cheap neutral fill value).
+        """
+        n = len(self.values)
+        if n == 0:
+            empty = np.empty(0)
+            return empty, empty, np.empty(0, dtype=np.int64)
+        nblocks = -(-n // block_rows)
+        pad = nblocks * block_rows - n
+
+        if self.valid is None:
+            null_counts = np.zeros(nblocks, dtype=np.int64)
+        else:
+            padded_valid = np.concatenate([self.valid, np.ones(pad, dtype=np.bool_)])
+            null_counts = (~padded_valid).reshape(nblocks, block_rows).sum(axis=1)
+
+        if self.dtype is STRING:
+            if self.valid is not None and not bool(self.valid.all()):
+                return None
+            decoded = self.dictionary[self.values]
+            padded = np.concatenate([decoded, np.repeat(decoded[-1:], pad)])
+            blocks = padded.reshape(nblocks, block_rows)
+            return blocks.min(axis=1), blocks.max(axis=1), null_counts
+
+        values = self.values
+        if self.valid is not None:
+            if values.dtype == np.bool_:
+                return None
+            # Neutral fills keep invalid rows out of the min/max.
+            info = (np.iinfo if np.issubdtype(values.dtype, np.integer) else np.finfo)(values.dtype)
+            lo_fill = np.where(self.valid, values, info.max)
+            hi_fill = np.where(self.valid, values, info.min)
+        else:
+            lo_fill = hi_fill = values
+        lo = np.concatenate([lo_fill, np.repeat(lo_fill[-1:], pad)])
+        hi = np.concatenate([hi_fill, np.repeat(hi_fill[-1:], pad)])
+        mins = lo.reshape(nblocks, block_rows).min(axis=1)
+        maxs = hi.reshape(nblocks, block_rows).max(axis=1)
+        return mins, maxs, null_counts
 
     # ------------------------------------------------------------------
     # Positional operations (used by operators)

@@ -74,6 +74,27 @@ class Encoding:
     def encoded_nbytes(self, payload: object) -> int:
         raise NotImplementedError
 
+    def block_min_max(
+        self, payload: object, n: int, block_rows: int
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Per-block (mins, maxs) in the int64 value domain, derived from
+        the encoding metadata without a full decode. ``None`` means the
+        encoding cannot answer cheaply (caller decodes once instead)."""
+        return None
+
+
+def _block_reduce_int(values: np.ndarray, n: int, block_rows: int):
+    """Per-block min/max of a dense int array (padded with its last value)."""
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    v = values.astype(np.int64)
+    nblocks = -(-n // block_rows)
+    pad = nblocks * block_rows - n
+    padded = np.concatenate([v, np.repeat(v[-1:], pad)])
+    blocks = padded.reshape(nblocks, block_rows)
+    return blocks.min(axis=1), blocks.max(axis=1)
+
 
 class BitPackedEncoding(Encoding):
     """Shift to zero-base and store at the smallest byte-aligned width."""
@@ -94,6 +115,11 @@ class BitPackedEncoding(Encoding):
     def encoded_nbytes(self, payload):
         _, packed = payload
         return packed.nbytes + 8
+
+    def block_min_max(self, payload, n, block_rows):
+        lo, packed = payload
+        mins, maxs = _block_reduce_int(packed, n, block_rows)
+        return mins + lo, maxs + lo
 
 
 class FrameOfReferenceEncoding(Encoding):
@@ -125,6 +151,20 @@ class FrameOfReferenceEncoding(Encoding):
         refs, blocks = payload
         return sum(b.nbytes for b in blocks) + 8 * len(refs)
 
+    def block_min_max(self, payload, n, block_rows):
+        # Zone maps at the encoding's own block size fall straight out of
+        # the per-block references; other granularities decode instead.
+        if block_rows != self.block:
+            return None
+        refs, blocks = payload
+        mins = np.asarray(
+            [r + int(b.min()) for r, b in zip(refs, blocks) if len(b)], dtype=np.int64
+        )
+        maxs = np.asarray(
+            [r + int(b.max()) for r, b in zip(refs, blocks) if len(b)], dtype=np.int64
+        )
+        return mins, maxs
+
 
 class RunLengthEncoding(Encoding):
     """(value, run-length) pairs; shines on clustered/sorted columns."""
@@ -149,6 +189,25 @@ class RunLengthEncoding(Encoding):
     def encoded_nbytes(self, payload):
         run_values, lengths = payload
         return run_values.nbytes + min(lengths.nbytes, len(lengths) * 4)
+
+    def block_min_max(self, payload, n, block_rows):
+        run_values, lengths = payload
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        nblocks = -(-n // block_rows)
+        mins = np.empty(nblocks, dtype=np.int64)
+        maxs = np.empty(nblocks, dtype=np.int64)
+        values = run_values.astype(np.int64)
+        for b in range(nblocks):
+            lo_row, hi_row = b * block_rows, min((b + 1) * block_rows, n)
+            i0 = int(np.searchsorted(starts, lo_row, side="right")) - 1
+            i1 = int(np.searchsorted(starts, hi_row, side="left"))
+            span = values[i0:i1]
+            mins[b] = span.min()
+            maxs[b] = span.max()
+        return mins, maxs
 
 
 class DeltaEncoding(Encoding):
@@ -225,6 +284,36 @@ class CompressedColumn:
     def to_column(self) -> Column:
         values = self._encoding.decode(self.payload, self.n, self.dtype.numpy_dtype)
         return Column(self.dtype, values, dictionary=self.dictionary)
+
+    def zone_stats(self, block_rows: int) -> tuple | None:
+        """Per-block ``(mins, maxs, null_counts)`` — the zone-map payload.
+
+        Derived from the encoding metadata where the encoding supports it
+        (bit-packing, FoR, RLE); delta encoding decodes once (its prefix
+        sums are not block-decomposable). Compressed columns are built
+        from non-null data, so null counts are zero.
+        """
+        payload, encoding, scale = self.payload, self._encoding, None
+        if isinstance(encoding, _ScaledEncoding):
+            _, scale, payload = self.payload
+            encoding = encoding.inner
+        stats = encoding.block_min_max(payload, self.n, block_rows)
+        if stats is None:
+            return self.to_column().zone_stats(block_rows)
+        mins, maxs = stats
+        null_counts = np.zeros(len(mins), dtype=np.int64)
+        if scale is not None:
+            mins = mins / scale
+            maxs = maxs / scale
+        if self.dtype is STRING:
+            d = self.dictionary
+            if len(d) > 1 and not bool(np.all(d[:-1] <= d[1:])):
+                # Code order only mirrors string order for sorted
+                # dictionaries; otherwise decode once.
+                return self.to_column().zone_stats(block_rows)
+            mins = d[mins] if len(d) else mins
+            maxs = d[maxs] if len(d) else maxs
+        return mins, maxs, null_counts
 
 
 def compress_column(column: Column, encodings: tuple[Encoding, ...] = ALL_ENCODINGS) -> "CompressedColumn | Column":

@@ -5,7 +5,7 @@ from __future__ import annotations
 import threading
 
 from .frame import Frame
-from .optimizer import prune_columns
+from .optimizer import DEFAULT_SETTINGS, OptimizerSettings, optimize_plan
 from .plan import (
     AggregateNode,
     DistinctNode,
@@ -69,8 +69,9 @@ class ExecContext:
 class Executor:
     """Executes logical plans against a database catalog."""
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, settings: OptimizerSettings | None = None):
         self.db = db
+        self.settings = settings if settings is not None else DEFAULT_SETTINGS
 
     def execute(self, plan: "Q | PlanNode", optimize: bool = True) -> Result:
         """Run a plan and return its :class:`Result` (rows + profile)."""
@@ -78,7 +79,7 @@ class Executor:
         if node is None:
             raise ValueError("cannot execute an empty plan")
         if optimize:
-            node = prune_columns(node, self.db, required=None)
+            node = optimize_plan(node, self.db, self.settings)
         import time
 
         ctx = ExecContext(self.db, self)
@@ -93,7 +94,13 @@ class Executor:
         if isinstance(node, ScanNode):
             ctx.work = ctx.profile.new_operator("scan")
             cols = list(node.columns) if node.columns is not None else None
-            return execute_scan(self.db.table(node.table), cols, ctx)
+            return execute_scan(
+                self.db.table(node.table),
+                cols,
+                ctx,
+                predicate=node.predicate,
+                skipping=self.settings.zone_map_skipping,
+            )
         if isinstance(node, FilterNode):
             child = self._exec(node.child, ctx)
             ctx.work = ctx.profile.new_operator("filter")
@@ -141,6 +148,11 @@ class Executor:
         raise TypeError(f"unknown plan node {type(node).__name__}")
 
 
-def execute(db: Database, plan: "Q | PlanNode", optimize: bool = True) -> Result:
+def execute(
+    db: Database,
+    plan: "Q | PlanNode",
+    optimize: bool = True,
+    settings: OptimizerSettings | None = None,
+) -> Result:
     """Convenience wrapper: ``Executor(db).execute(plan)``."""
-    return Executor(db).execute(plan, optimize=optimize)
+    return Executor(db, settings).execute(plan, optimize=optimize)

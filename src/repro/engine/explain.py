@@ -8,7 +8,12 @@ given platform (e.g. Q1's scan dominance on the Pi).
 
 from __future__ import annotations
 
-from .optimizer import output_columns, prune_columns
+from .optimizer import (
+    DEFAULT_SETTINGS,
+    OptimizerSettings,
+    optimize_plan,
+    output_columns,
+)
 from .plan import (
     AggregateNode,
     DistinctNode,
@@ -31,7 +36,10 @@ __all__ = ["explain", "explain_profile"]
 def _describe(node: PlanNode) -> str:
     if isinstance(node, ScanNode):
         cols = "*" if node.columns is None else ", ".join(node.columns)
-        return f"Scan {node.table} [{cols}]"
+        base = f"Scan {node.table} [{cols}]"
+        if node.predicate is not None:
+            return f"{base} Filter ({node.predicate!r})"
+        return base
     if isinstance(node, FilterNode):
         return f"Filter ({node.predicate!r})"
     if isinstance(node, ProjectNode):
@@ -56,13 +64,22 @@ def _describe(node: PlanNode) -> str:
     return type(node).__name__
 
 
-def explain(plan: "Q | PlanNode", db: Database, optimize: bool = True) -> str:
-    """Render a plan as an indented operator tree (top operator first)."""
+def explain(
+    plan: "Q | PlanNode",
+    db: Database,
+    optimize: bool = True,
+    settings: OptimizerSettings | None = None,
+) -> str:
+    """Render a plan as an indented operator tree (top operator first).
+
+    With ``optimize`` the tree shown is the one the executor actually
+    runs under ``settings`` — pushed-down scan predicates appear on their
+    ``Scan`` line."""
     node = plan.node if isinstance(plan, Q) else plan
     if node is None:
         raise ValueError("cannot explain an empty plan")
     if optimize:
-        node = prune_columns(node, db, required=None)
+        node = optimize_plan(node, db, settings if settings is not None else DEFAULT_SETTINGS)
 
     lines: list[str] = []
 
@@ -96,4 +113,11 @@ def explain_profile(result: Result) -> str:
         f"{totals.seq_bytes / 1e6:>9.2f} {totals.rand_accesses:>12,.0f} "
         f"{totals.ops:>14,.0f} {totals.out_bytes / 1e6:>8.2f}"
     )
+    if totals.zone_probes or totals.skipped_bytes:
+        lines.append(
+            f"skipping: {totals.skipped_bytes / 1e6:.2f} MB skipped via zone maps "
+            f"({totals.blocks_skipped:,.0f} blocks skipped, "
+            f"{totals.blocks_scanned:,.0f} scanned, "
+            f"{totals.zone_probes:,.0f} probes)"
+        )
     return "\n".join(lines)

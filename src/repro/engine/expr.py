@@ -38,6 +38,7 @@ __all__ = [
     "ColRef",
     "Literal",
     "ScalarSubquery",
+    "rewrite_colrefs",
 ]
 
 
@@ -500,6 +501,54 @@ class ScalarSubquery(Expr):
 
     def references(self) -> set[str]:
         return set()
+
+
+def rewrite_colrefs(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Rebuild ``expr`` with column references renamed through ``mapping``.
+
+    Used by predicate pushdown to translate a filter through a
+    pass-through projection (``project(alias=col("x"))`` means a filter
+    on ``alias`` becomes a filter on ``x`` below the project). Names
+    absent from the mapping are kept. Scalar subqueries are shared, not
+    copied: they reference no outer columns.
+    """
+    if isinstance(expr, ColRef):
+        return ColRef(mapping.get(expr.name, expr.name))
+    if isinstance(expr, (Literal, ScalarSubquery)):
+        return expr
+    if isinstance(expr, (Arith, Cmp)):
+        return type(expr)(
+            expr.op,
+            rewrite_colrefs(expr.left, mapping),
+            rewrite_colrefs(expr.right, mapping),
+        )
+    if isinstance(expr, BoolOp):
+        return BoolOp(
+            expr.op,
+            rewrite_colrefs(expr.left, mapping),
+            rewrite_colrefs(expr.right, mapping),
+        )
+    if isinstance(expr, Not):
+        return Not(rewrite_colrefs(expr.operand, mapping))
+    if isinstance(expr, InList):
+        return InList(rewrite_colrefs(expr.operand, mapping), list(expr.values))
+    if isinstance(expr, Like):
+        return Like(rewrite_colrefs(expr.operand, mapping), expr.pattern)
+    if isinstance(expr, Substring):
+        return Substring(rewrite_colrefs(expr.operand, mapping), expr.start, expr.length)
+    if isinstance(expr, ExtractYear):
+        return ExtractYear(rewrite_colrefs(expr.operand, mapping))
+    if isinstance(expr, IsNull):
+        return IsNull(rewrite_colrefs(expr.operand, mapping), expr.negate)
+    if isinstance(expr, Case):
+        return Case(
+            [
+                (rewrite_colrefs(cond, mapping), rewrite_colrefs(value, mapping))
+                for cond, value in expr.whens
+            ],
+            rewrite_colrefs(expr.otherwise, mapping),
+        )
+    raise TypeError(f"cannot rewrite expression {type(expr).__name__}")
 
 
 def col(name: str) -> ColRef:

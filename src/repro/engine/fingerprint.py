@@ -13,6 +13,8 @@ from __future__ import annotations
 import hashlib
 import json
 
+import numpy as np
+
 from .expr import Expr
 from .operators.aggregate import AggSpec
 from .plan import PlanNode, Q
@@ -24,6 +26,17 @@ def _canonical(obj) -> object:
     """Reduce a plan/expression tree to JSON-serializable structure."""
     if isinstance(obj, Q):
         return _canonical(obj.node)
+    # Numpy scalars must hash identically to the Python values they equal:
+    # lit(np.int64(5)) and lit(5) are the same query, and a repr() like
+    # "np.int64(5)" would also vary across numpy versions.
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [_canonical(v) for v in obj.tolist()]
     if isinstance(obj, PlanNode):
         fields = [
             [name, _canonical(value)]
@@ -48,7 +61,17 @@ def _canonical(obj) -> object:
     return repr(obj)
 
 
-def plan_fingerprint(plan: "Q | PlanNode") -> str:
-    """Hex digest uniquely identifying the plan's structure."""
-    payload = json.dumps(_canonical(plan), separators=(",", ":"), sort_keys=False)
+def plan_fingerprint(plan: "Q | PlanNode", settings=None) -> str:
+    """Hex digest uniquely identifying the plan's structure.
+
+    ``settings`` (an :class:`~repro.engine.optimizer.OptimizerSettings`)
+    is mixed into the digest so results computed under different
+    optimizer configurations never alias in the result cache — an
+    ablation run with skipping disabled must not be served a cached
+    skipping result, and vice versa.
+    """
+    body = _canonical(plan)
+    if settings is not None:
+        body = [body, ["settings", settings.cache_key()]]
+    payload = json.dumps(body, separators=(",", ":"), sort_keys=False)
     return hashlib.sha256(payload.encode()).hexdigest()

@@ -11,7 +11,6 @@ threads; the per-morsel profiles are coalesced afterwards.
 
 from __future__ import annotations
 
-from .column import Column
 from .compression import CompressedColumn
 from .frame import Frame
 from .profile import WorkProfile
@@ -70,21 +69,21 @@ class MorselContext:
 
 
 def scan_morsel(
-    table: Table, columns: list[str] | None, start: int, stop: int, ctx
+    table: Table,
+    columns: list[str] | None,
+    start: int,
+    stop: int,
+    ctx,
+    predicate=None,
+    skipping: bool = True,
 ) -> Frame:
     """Materialize one morsel of a table scan (zero-copy column slices).
 
-    Work accounting mirrors :func:`~repro.engine.operators.scan.execute_scan`
-    pro-rated to the slice, so the per-morsel profiles sum to the serial
-    scan's profile.
+    Delegates to :func:`~repro.engine.operators.scan.scan_range` — the
+    exact code path the serial executor uses — so pushed-down predicates
+    and zone-map skipping behave identically per morsel, and the
+    per-morsel profiles sum to the serial scan's profile.
     """
-    names = columns if columns is not None else table.column_names
-    out: dict[str, Column] = {}
-    for name in names:
-        sliced = table.column(name).slice(start, stop)
-        ctx.work.seq_bytes += sliced.nbytes
-        out[name] = sliced
-    frame = Frame(out, stop - start)
-    ctx.work.tuples_in += frame.nrows
-    ctx.work.tuples_out += frame.nrows
-    return frame
+    from .operators.scan import scan_range
+
+    return scan_range(table, columns, start, stop, ctx, predicate, skipping)

@@ -3,38 +3,218 @@
 Handles both plain and compressed columns: a compressed column is
 streamed at its compressed size and charged its decode ops — the
 bandwidth-for-cycles trade the paper's §III-C2 proposes for SBCs.
+
+With a pushed-down predicate attached, the scan first classifies the
+zone-map blocks covering its row range (:mod:`repro.engine.zonemap`):
+
+* ``SKIP`` blocks are provably empty — their bytes are never streamed
+  (and compressed blocks are never decoded); they cost only the
+  zone-map probes, charged as ``skipped_bytes``/``zone_probes``.
+* ``TAKE`` blocks provably satisfy every conjunct — they are streamed
+  but the per-row predicate evaluation is elided.
+* ``EVAL`` blocks are streamed and evaluated vectorized, exactly like
+  the explicit filter operator the optimizer replaced.
+
+Adjacent same-kind blocks merge into runs, so an unclustered table
+degenerates to a single EVAL run — i.e. the classic scan + filter
+pipeline with no extra slicing. Work accounting splits across two
+operators ("scan" for streaming, "filter" for predicate evaluation) so
+profiles keep the operator shape of the unpushed plan.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..column import Column
 from ..compression import CompressedColumn
 from ..frame import Frame
 from ..table import Table
+from ..zonemap import (
+    BLOCK_EVAL,
+    BLOCK_SKIP,
+    BLOCK_TAKE,
+    ZONE_MAP_BLOCK_ROWS,
+    classify_blocks,
+    extract_sargable,
+    split_conjuncts,
+)
 
-__all__ = ["execute_scan"]
+__all__ = ["execute_scan", "scan_range"]
 
 
-def execute_scan(table: Table, columns: list[str] | None, ctx) -> Frame:
+def _empty_like(col) -> Column:
+    """A zero-row column of the same type — built without decoding when
+    the source is compressed (the all-blocks-skipped fast path)."""
+    if isinstance(col, CompressedColumn):
+        values = np.empty(0, dtype=col.dtype.numpy_dtype)
+        return Column(col.dtype, values, dictionary=col.dictionary)
+    return col.slice(0, 0)
+
+
+def _merge_runs(
+    codes: np.ndarray, start: int, stop: int, block_rows: int
+) -> list[tuple[int, int, int]]:
+    """Collapse per-block codes into ``(kind, lo, hi)`` row runs clipped
+    to ``[start, stop)``, merging adjacent blocks of the same kind."""
+    runs: list[tuple[int, int, int]] = []
+    b0 = start // block_rows
+    for i, kind in enumerate(codes):
+        lo = max(start, (b0 + i) * block_rows)
+        hi = min(stop, (b0 + i + 1) * block_rows)
+        if hi <= lo:
+            continue
+        if runs and runs[-1][0] == kind and runs[-1][2] == lo:
+            runs[-1] = (kind, runs[-1][1], hi)
+        else:
+            runs.append((int(kind), lo, hi))
+    return runs
+
+
+def _scan_unfiltered(
+    table: Table, names: list[str], start: int, stop: int, ctx
+) -> Frame:
+    """The predicate-free scan: stream every requested column once."""
+    full = start == 0 and stop == table.nrows
+    out: dict[str, Column] = {}
+    for name in names:
+        col = table.column(name)
+        if isinstance(col, CompressedColumn):
+            fraction = (stop - start) / max(1, len(col))
+            ctx.work.seq_bytes += col.nbytes * fraction
+            ctx.work.ops += col.decode_ops * fraction
+            plain = col.to_column()
+            out[name] = plain if full else plain.slice(start, stop)
+        else:
+            sliced = col if full else col.slice(start, stop)
+            ctx.work.seq_bytes += sliced.nbytes
+            out[name] = sliced
+    frame = Frame(out, stop - start)
+    ctx.work.tuples_in += frame.nrows
+    ctx.work.tuples_out += frame.nrows
+    return frame
+
+
+def scan_range(
+    table: Table,
+    columns: list[str] | None,
+    start: int,
+    stop: int,
+    ctx,
+    predicate=None,
+    skipping: bool = True,
+) -> Frame:
+    """Scan rows ``[start, stop)`` of ``table``, applying ``predicate``
+    (if any) with zone-map block skipping (if enabled).
+
+    ``columns`` are the output columns; predicate-only columns are
+    streamed for evaluation but dropped from the result. The serial
+    executor calls this over the full table; the parallel executor calls
+    it once per morsel — both share this exact code path.
+    """
+    out_names = columns if columns is not None else table.column_names
+    if predicate is None:
+        return _scan_unfiltered(table, out_names, start, stop, ctx)
+
+    conjuncts = split_conjuncts(predicate)
+    sargable = [s for s in (extract_sargable(c) for c in conjuncts) if s is not None]
+    all_sargable = len(sargable) == len(conjuncts)
+
+    block_rows = ZONE_MAP_BLOCK_ROWS
+    if skipping and sargable:
+        codes, probes = classify_blocks(table, sargable, start, stop, block_rows)
+    else:
+        nblocks = max(0, -(-stop // block_rows) - start // block_rows)
+        codes = np.full(nblocks, BLOCK_EVAL, dtype=np.int8)
+        probes = 0
+    if not all_sargable:
+        # TAKE only proves the sargable conjuncts; a non-sargable residue
+        # still needs per-row evaluation.
+        codes[codes == BLOCK_TAKE] = BLOCK_EVAL
+    runs = _merge_runs(codes, start, stop, block_rows)
+
+    stream_names = list(out_names)
+    for ref in sorted(predicate.references()):
+        if ref not in stream_names:
+            stream_names.append(ref)
+
+    range_rows = stop - start
+    survived = sum(hi - lo for kind, lo, hi in runs if kind != BLOCK_SKIP)
+    skipped = range_rows - survived
+    n_skip_blocks = int((codes == BLOCK_SKIP).sum())
+
+    scan_work = ctx.work
+    scan_work.zone_probes += probes
+    scan_work.blocks_skipped += n_skip_blocks
+    scan_work.blocks_scanned += len(codes) - n_skip_blocks
+
+    decoded: dict[str, Column] = {}
+    for name in stream_names:
+        col = table.column(name)
+        if isinstance(col, CompressedColumn):
+            # Whole-column encodings cannot partially decode: if any block
+            # survives we decode once, but charge streaming/decode only
+            # for the surviving fraction (a block-granular codec would
+            # touch exactly that much); fully-skipped columns are never
+            # decoded at all.
+            range_fraction = range_rows / max(1, len(col))
+            live = survived / max(1, range_rows)
+            scan_work.seq_bytes += col.nbytes * range_fraction * live
+            scan_work.skipped_bytes += col.nbytes * range_fraction * (1.0 - live)
+            if survived:
+                scan_work.ops += col.decode_ops * range_fraction * live
+                decoded[name] = col.to_column()
+        else:
+            scan_work.seq_bytes += survived * col.dtype.width
+            scan_work.skipped_bytes += skipped * col.dtype.width
+            decoded[name] = col
+    scan_work.tuples_in += survived
+    scan_work.tuples_out += survived
+
+    # Predicate evaluation is its own operator, mirroring the explicit
+    # filter the optimizer pushed down — profiles keep the same shape.
+    filter_work = ctx.profile.new_operator("filter")
+    ctx.work = filter_work
+
+    pieces: list[Frame] = []
+    for kind, lo, hi in runs:
+        if kind == BLOCK_SKIP:
+            continue
+        frame = Frame({n: decoded[n].slice(lo, hi) for n in stream_names}, hi - lo)
+        filter_work.tuples_in += frame.nrows
+        if kind == BLOCK_EVAL:
+            mask = predicate.evaluate(frame, ctx).values
+            frame = frame.filter(mask)
+            filter_work.seq_bytes += hi - lo  # the mask / candidate list
+        pieces.append(frame)
+
+    if pieces:
+        n_out = sum(p.nrows for p in pieces)
+        if len(pieces) == 1:
+            out_cols = {n: pieces[0].column(n) for n in out_names}
+        else:
+            out_cols = {
+                n: Column.concat([p.column(n) for p in pieces]) for n in out_names
+            }
+    else:
+        n_out = 0
+        out_cols = {n: _empty_like(table.column(n)) for n in out_names}
+    out_frame = Frame(out_cols, n_out)
+    filter_work.tuples_out += n_out
+    filter_work.out_bytes += out_frame.nbytes
+    return out_frame
+
+
+def execute_scan(
+    table: Table, columns: list[str] | None, ctx, predicate=None, skipping: bool = True
+) -> Frame:
     """Read ``columns`` (default: all) of ``table``.
 
     Accounting: a columnar scan streams every referenced column array
     sequentially through memory once — the dominant memory-bandwidth term
     for OLAP queries (and the reason Q1 is the Pi's worst query).
-    Compressed columns stream fewer bytes but cost decode ops.
+    Compressed columns stream fewer bytes but cost decode ops. Blocks a
+    zone map proves empty against the pushed-down predicate are charged
+    ``skipped_bytes`` (and zone probes) instead of streaming.
     """
-    names = columns if columns is not None else table.column_names
-    out: dict[str, Column] = {}
-    for name in names:
-        col = table.column(name)
-        if isinstance(col, CompressedColumn):
-            ctx.work.seq_bytes += col.nbytes
-            ctx.work.ops += col.decode_ops
-            out[name] = col.to_column()
-        else:
-            ctx.work.seq_bytes += col.nbytes
-            out[name] = col
-    frame = Frame(out, table.nrows)
-    ctx.work.tuples_in += frame.nrows
-    ctx.work.tuples_out += frame.nrows
-    return frame
+    return scan_range(table, columns, 0, table.nrows, ctx, predicate, skipping)

@@ -1,12 +1,28 @@
-"""A small optimizer: projection pruning.
+"""The optimizer: predicate pushdown and projection pruning.
 
-Pruning scan columns to what the query actually reads keeps the work
-profiles honest — a selective TPC-H query must not be charged for
-streaming the 16-column lineitem table when it touches four columns.
+Two rewrites keep the work profiles honest and open the door to data
+skipping:
+
+* **Predicate pushdown** — conjunctive filters sink below projections
+  (through pass-through aliases) and joins (to whichever side holds
+  their columns); sargable conjuncts (``col <op> literal``, ``BETWEEN``,
+  ``IN``) attach to the :class:`~repro.engine.plan.ScanNode` itself as
+  *scan predicates*, where zone maps can prove whole blocks empty and
+  skip streaming them (the paper's §III-C2 point: the cheapest byte is
+  the one never read).
+* **Projection pruning** — scans read only the columns some ancestor
+  needs; a selective TPC-H query must not be charged for streaming the
+  16-column lineitem table when it touches four columns.
+
+:class:`OptimizerSettings` gates each rewrite — the ``--no-skipping``
+CLI ablation maps to ``OptimizerSettings.disabled()``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+from .expr import ColRef, Expr, rewrite_colrefs
 from .plan import (
     AggregateNode,
     DistinctNode,
@@ -20,8 +36,173 @@ from .plan import (
     UnionAllNode,
 )
 from .table import Database
+from .zonemap import conjoin, split_conjuncts
 
-__all__ = ["output_columns", "prune_columns"]
+__all__ = [
+    "DEFAULT_SETTINGS",
+    "OptimizerSettings",
+    "optimize_plan",
+    "output_columns",
+    "prune_columns",
+    "pushdown_predicates",
+]
+
+
+@dataclass(frozen=True)
+class OptimizerSettings:
+    """Optimizer feature gates.
+
+    Attributes:
+        predicate_pushdown: sink filters toward scans and attach sargable
+            conjuncts as scan predicates.
+        zone_map_skipping: let scans consult zone maps to skip blocks a
+            scan predicate provably excludes (pushdown without skipping
+            still filters at the scan, it just streams every block).
+    """
+
+    predicate_pushdown: bool = True
+    zone_map_skipping: bool = True
+
+    @classmethod
+    def disabled(cls) -> "OptimizerSettings":
+        """The ``--no-skipping`` ablation: no pushdown, no skipping."""
+        return cls(predicate_pushdown=False, zone_map_skipping=False)
+
+    def cache_key(self) -> str:
+        """Stable tag mixed into plan fingerprints so results computed
+        under different optimizer settings never alias in the cache."""
+        return f"pd={int(self.predicate_pushdown)},zm={int(self.zone_map_skipping)}"
+
+
+DEFAULT_SETTINGS = OptimizerSettings()
+
+
+def optimize_plan(
+    node: PlanNode, db: Database, settings: OptimizerSettings = DEFAULT_SETTINGS
+) -> PlanNode:
+    """The full rewrite stack: predicate pushdown, then projection
+    pruning (in that order — pushdown moves predicates below projects,
+    pruning then sees the final column demand at every scan)."""
+    if settings.predicate_pushdown:
+        node = pushdown_predicates(node, db)
+    return prune_columns(node, db, required=None)
+
+
+def pushdown_predicates(node: PlanNode, db: Database) -> PlanNode:
+    """Sink conjunctive filter predicates as close to the scans as
+    legality allows; conjuncts that reach a scan attach to it as the
+    scan predicate (evaluated while streaming, with zone-map skipping
+    for the sargable subset)."""
+    return _push(node, [], db)
+
+
+def _wrap_residual(node: PlanNode, conjuncts: list[Expr]) -> PlanNode:
+    """Re-materialize conjuncts that could not sink past ``node``."""
+    predicate = conjoin(conjuncts)
+    return node if predicate is None else FilterNode(node, predicate)
+
+
+def _push(node: PlanNode, conjuncts: list[Expr], db: Database) -> PlanNode:
+    """Rewrite ``node`` with ``conjuncts`` (filters collected from above)
+    applied at the lowest legal position."""
+    if isinstance(node, FilterNode):
+        # Absorb the filter into the in-flight conjunct set and continue.
+        return _push(node.child, conjuncts + split_conjuncts(node.predicate), db)
+
+    if isinstance(node, ScanNode):
+        available = set(db.table(node.table).column_names)
+        local = [c for c in conjuncts if c.references() <= available]
+        rest = [c for c in conjuncts if not (c.references() <= available)]
+        predicate = node.predicate
+        if local:
+            existing = [predicate] if predicate is not None else []
+            predicate = conjoin(existing + local)
+        return _wrap_residual(
+            ScanNode(node.table, node.columns, predicate), rest
+        )
+
+    if isinstance(node, ProjectNode):
+        # A conjunct passes through when every column it reads is a bare
+        # pass-through alias (``name -> col(child_name)``); it is rewritten
+        # into child-column terms. Computed outputs block the descent.
+        passthrough = {
+            name: expr.name for name, expr in node.exprs if isinstance(expr, ColRef)
+        }
+        down: list[Expr] = []
+        keep: list[Expr] = []
+        for conjunct in conjuncts:
+            refs = conjunct.references()
+            if refs <= passthrough.keys():
+                down.append(
+                    rewrite_colrefs(conjunct, {r: passthrough[r] for r in refs})
+                )
+            else:
+                keep.append(conjunct)
+        child = _push(node.child, down, db)
+        return _wrap_residual(ProjectNode(child, node.exprs), keep)
+
+    if isinstance(node, JoinNode):
+        # Single-side conjuncts route to their side. The probe (left) side
+        # accepts them for any join type we evaluate left-driven; the
+        # build (right) side only for inner joins — filtering the right
+        # input of a left/semi/anti join changes which left rows match.
+        left_cols = set(output_columns(node.left, db))
+        right_cols = set(output_columns(node.right, db))
+        to_left: list[Expr] = []
+        to_right: list[Expr] = []
+        keep = []
+        for conjunct in conjuncts:
+            refs = conjunct.references()
+            if refs <= left_cols and node.how in ("inner", "left", "semi", "anti"):
+                to_left.append(conjunct)
+            elif refs <= right_cols and node.how == "inner":
+                to_right.append(conjunct)
+            else:
+                keep.append(conjunct)
+        return _wrap_residual(
+            JoinNode(
+                _push(node.left, to_left, db),
+                _push(node.right, to_right, db),
+                node.left_on,
+                node.right_on,
+                node.how,
+            ),
+            keep,
+        )
+
+    if isinstance(node, UnionAllNode):
+        # Filter distributes over concatenation; both sides produce the
+        # same column set.
+        return UnionAllNode(
+            _push(node.left, list(conjuncts), db),
+            _push(node.right, list(conjuncts), db),
+        )
+
+    if isinstance(node, SortNode):
+        # Filtering commutes with ordering.
+        return SortNode(_push(node.child, conjuncts, db), node.keys)
+
+    if isinstance(node, DistinctNode):
+        # Row-level predicates commute with duplicate elimination only
+        # when DISTINCT keeps whole rows; with a column subset the kept
+        # representative row could change, so stay above.
+        child = _push(node.child, [] if node.columns else conjuncts, db)
+        residual = conjuncts if node.columns else []
+        return _wrap_residual(DistinctNode(child, node.columns), residual)
+
+    if isinstance(node, (AggregateNode, LimitNode)):
+        # Barriers: a filter above an aggregate is a HAVING, a filter
+        # above a limit sees the truncated rows. Restart the descent in
+        # the subtree so nested filters still sink.
+        if isinstance(node, AggregateNode):
+            rebuilt: PlanNode = AggregateNode(
+                _push(node.child, [], db), node.group_by, node.aggs
+            )
+        else:
+            rebuilt = LimitNode(_push(node.child, [], db), node.n)
+        return _wrap_residual(rebuilt, conjuncts)
+
+    raise TypeError(f"unknown plan node {type(node).__name__}")
 
 
 def output_columns(node: PlanNode, db: Database) -> list[str]:
@@ -66,7 +247,9 @@ def prune_columns(node: PlanNode, db: Database, required: set[str] | None = None
         keep = [c for c in available if c in required]
         if not keep:  # degenerate (e.g. COUNT(*) over a bare scan)
             keep = available[:1]
-        return ScanNode(node.table, tuple(keep))
+        # A pushed-down predicate survives pruning; its columns are
+        # streamed for evaluation even when not emitted.
+        return ScanNode(node.table, tuple(keep), node.predicate)
 
     if isinstance(node, FilterNode):
         child_req = None if required is None else required | node.predicate.references()

@@ -50,7 +50,7 @@ from .operators.aggregate import execute_aggregate
 from .operators.filter import execute_filter
 from .operators.project import execute_project
 from .operators.sort import execute_topk
-from .optimizer import prune_columns
+from .optimizer import OptimizerSettings, optimize_plan
 from .plan import (
     AggregateNode,
     FilterNode,
@@ -62,6 +62,7 @@ from .plan import (
     SortNode,
 )
 from .result import Result
+from .zonemap import BLOCK_SKIP, classify_blocks, extract_sargable, split_conjuncts
 
 __all__ = ["ParallelExecutor"]
 
@@ -110,8 +111,9 @@ class ParallelExecutor(Executor):
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         cache_size: int = 64,
         min_parallel_rows: int = MIN_PARALLEL_ROWS,
+        settings: OptimizerSettings | None = None,
     ):
-        super().__init__(db)
+        super().__init__(db, settings)
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.morsel_rows = max(1, morsel_rows)
         self.min_parallel_rows = min_parallel_rows
@@ -155,13 +157,13 @@ class ParallelExecutor(Executor):
         if node is None:
             raise ValueError("cannot execute an empty plan")
         if optimize:
-            node = prune_columns(node, self.db, required=None)
+            node = optimize_plan(node, self.db, self.settings)
 
         start = time.perf_counter()
         if self.cache is None:
             frame, profile = self._run(node)
             return Result(frame, profile, wall_seconds=time.perf_counter() - start)
-        key = plan_fingerprint(node)
+        key = plan_fingerprint(node, self.settings)
         (frame, profile), was_cached = self.cache.get_or_run(
             key, lambda: self._run(node)
         )
@@ -195,7 +197,15 @@ class ParallelExecutor(Executor):
             return None
         table = self.db.table(current.table)
         columns = list(current.columns) if current.columns is not None else None
-        if not table_is_morselable(table, columns):
+        # The morselable check must cover every column the scan streams,
+        # including predicate-only columns it never emits.
+        needed = columns
+        if current.predicate is not None:
+            needed = list(table.column_names) if columns is None else list(columns)
+            for ref in sorted(current.predicate.references()):
+                if ref not in needed:
+                    needed.append(ref)
+        if not table_is_morselable(table, needed):
             return None
         if table.nrows < max(self.min_parallel_rows, 2):
             return None
@@ -216,8 +226,14 @@ class ParallelExecutor(Executor):
             chain = self._scan_chain(node)
             if chain is not None:
                 return _Segment("chain", chain, node)
-        # Bare scans stay serial: slicing + re-concatenating columns would
-        # copy every array for zero computational gain.
+        if isinstance(node, ScanNode) and node.predicate is not None:
+            # A scan with a pushed-down predicate carries real per-row
+            # work (and skipping), so it parallelizes like scan+filter.
+            chain = self._scan_chain(node)
+            if chain is not None:
+                return _Segment("chain", chain, node)
+        # Bare predicate-free scans stay serial: slicing + re-concatenating
+        # columns would copy every array for zero computational gain.
         return None
 
     # -- segment execution ---------------------------------------------
@@ -226,6 +242,48 @@ class ParallelExecutor(Executor):
         per_worker = -(-nrows // self.workers)  # ceil div
         return max(1, min(self.morsel_rows, per_worker))
 
+    def _preskip_morsels(
+        self, table, scan: ScanNode, ranges: list[tuple[int, int]]
+    ) -> tuple[list[tuple[int, int]], dict | None]:
+        """Drop morsels the zone maps prove entirely empty before they are
+        ever scheduled — skipped work should not even cost a thread handoff.
+
+        Returns the surviving ranges plus the accounting for the dropped
+        ones (zone probes spent, bytes and blocks skipped). Probes for
+        surviving morsels are charged by their workers, which re-derive
+        the block classification locally (an O(blocks) recomputation).
+        At least one range is always kept so the segment still produces a
+        well-formed (possibly empty) frame through the normal path.
+        """
+        conjuncts = split_conjuncts(scan.predicate)
+        sargable = [s for s in (extract_sargable(c) for c in conjuncts) if s is not None]
+        if not sargable:
+            return ranges, None
+        names = list(scan.columns) if scan.columns is not None else list(table.column_names)
+        for ref in sorted(scan.predicate.references()):
+            if ref not in names:
+                names.append(ref)
+        row_width = sum(table.column(n).dtype.width for n in names)
+        kept: list[tuple[int, int]] = []
+        dropped: list[tuple[int, int, int, int]] = []
+        for lo, hi in ranges:
+            codes, probes = classify_blocks(table, sargable, lo, hi)
+            if len(codes) and bool((codes == BLOCK_SKIP).all()):
+                dropped.append((lo, hi, probes, len(codes)))
+            else:
+                kept.append((lo, hi))
+        if not kept and dropped:
+            lo, hi, _, _ = dropped.pop(0)
+            kept.append((lo, hi))  # its worker re-derives the skip itself
+        if not dropped:
+            return kept, None
+        stats = {
+            "skipped_bytes": float(sum((hi - lo) * row_width for lo, hi, _, _ in dropped)),
+            "zone_probes": sum(p for _, _, p, _ in dropped),
+            "blocks_skipped": sum(b for _, _, _, b in dropped),
+        }
+        return kept, stats
+
     def _exec_segment(self, segment: _Segment, ctx: ExecContext) -> Frame:
         scan = segment.chain[0]
         table = self.db.table(scan.table)
@@ -233,10 +291,16 @@ class ParallelExecutor(Executor):
         if len(ranges) < 2:
             return super()._exec(segment.node, ctx)
 
+        pre_skip = None
+        if scan.predicate is not None and self.settings.zone_map_skipping:
+            ranges, pre_skip = self._preskip_morsels(table, scan, ranges)
+
         # Resolve scalar subqueries on the main thread so morsel workers
         # only ever hit the warm cache — a worker re-entering the executor
         # could otherwise deadlock the pool on itself.
         subqueries: list[ScalarSubquery] = []
+        if scan.predicate is not None:
+            _collect_scalar_subqueries(scan.predicate, subqueries)
         for op in segment.chain[1:]:
             if isinstance(op, FilterNode):
                 _collect_scalar_subqueries(op.predicate, subqueries)
@@ -259,6 +323,8 @@ class ParallelExecutor(Executor):
                 table,
                 list(scan.columns) if scan.columns is not None else None,
                 bounds[0], bounds[1], mctx,
+                predicate=scan.predicate,
+                skipping=self.settings.zone_map_skipping,
             )
             for op in segment.chain[1:]:
                 if isinstance(op, FilterNode):
@@ -285,6 +351,13 @@ class ParallelExecutor(Executor):
 
         frames = [frame for frame, _ in results]
         merged = merge_profiles([profile for _, profile in results])
+        if pre_skip is not None and merged.operators:
+            # Morsels dropped before scheduling charge their skip
+            # accounting onto the coalesced scan operator.
+            scan_op = merged.operators[0]
+            scan_op.skipped_bytes += pre_skip["skipped_bytes"]
+            scan_op.zone_probes += pre_skip["zone_probes"]
+            scan_op.blocks_skipped += pre_skip["blocks_skipped"]
         ctx.profile.absorb(merged)
         # Merge-phase work is charged onto the segment's last (coalesced)
         # operator so the profile keeps the serial operator count.

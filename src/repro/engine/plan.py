@@ -57,8 +57,18 @@ class PlanNode:
 
 @dataclass(frozen=True)
 class ScanNode(PlanNode):
+    """Base-table scan, optionally with a pushed-down scan predicate.
+
+    ``predicate`` holds the sargable conjuncts the optimizer attached:
+    the scan applies them while streaming and consults zone maps to skip
+    blocks they provably exclude (see :mod:`repro.engine.zonemap`).
+    ``columns`` are the *output* columns; predicate-only columns are
+    streamed for evaluation but not emitted.
+    """
+
     table: str
     columns: tuple[str, ...] | None = None
+    predicate: Expr | None = None
 
 
 @dataclass(frozen=True)

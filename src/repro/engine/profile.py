@@ -31,6 +31,11 @@ class OperatorWork:
         tuples_in: input tuples consumed.
         tuples_out: output tuples produced.
         out_bytes: bytes materialized as output.
+        skipped_bytes: bytes a zone-map-pruned scan proved it never had
+            to stream (they cost zone-map probes instead of bandwidth).
+        zone_probes: zone-map block probes performed.
+        blocks_skipped: zone-map blocks proven empty and not streamed.
+        blocks_scanned: zone-map blocks actually streamed.
     """
 
     operator: str
@@ -40,6 +45,10 @@ class OperatorWork:
     tuples_in: float = 0.0
     tuples_out: float = 0.0
     out_bytes: float = 0.0
+    skipped_bytes: float = 0.0
+    zone_probes: float = 0.0
+    blocks_skipped: float = 0.0
+    blocks_scanned: float = 0.0
 
     def scaled(self, factor: float) -> "OperatorWork":
         return OperatorWork(
@@ -50,6 +59,10 @@ class OperatorWork:
             tuples_in=self.tuples_in * factor,
             tuples_out=self.tuples_out * factor,
             out_bytes=self.out_bytes * factor,
+            skipped_bytes=self.skipped_bytes * factor,
+            zone_probes=self.zone_probes * factor,
+            blocks_skipped=self.blocks_skipped * factor,
+            blocks_scanned=self.blocks_scanned * factor,
         )
 
     def add(self, other: "OperatorWork") -> None:
@@ -60,6 +73,10 @@ class OperatorWork:
         self.tuples_in += other.tuples_in
         self.tuples_out += other.tuples_out
         self.out_bytes += other.out_bytes
+        self.skipped_bytes += other.skipped_bytes
+        self.zone_probes += other.zone_probes
+        self.blocks_skipped += other.blocks_skipped
+        self.blocks_scanned += other.blocks_scanned
 
 
 @dataclass
@@ -109,6 +126,22 @@ class WorkProfile:
     @property
     def out_bytes(self) -> float:
         return sum(op.out_bytes for op in self.operators)
+
+    @property
+    def skipped_bytes(self) -> float:
+        return sum(op.skipped_bytes for op in self.operators)
+
+    @property
+    def zone_probes(self) -> float:
+        return sum(op.zone_probes for op in self.operators)
+
+    @property
+    def blocks_skipped(self) -> float:
+        return sum(op.blocks_skipped for op in self.operators)
+
+    @property
+    def blocks_scanned(self) -> float:
+        return sum(op.blocks_scanned for op in self.operators)
 
     @property
     def result_bytes(self) -> float:

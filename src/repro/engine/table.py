@@ -62,6 +62,30 @@ class Table:
         except KeyError:
             raise KeyError(f"table {self.name!r} has no column {name!r}") from None
 
+    def zone_map(self, name: str, block_rows: int | None = None):
+        """The (lazily built, cached) zone map of a column — per-block
+        min/max/null-count statistics the scan path uses for data
+        skipping. ``None`` when the column cannot support pruning (e.g.
+        nullable strings). Tables are immutable, so a built map is valid
+        for the table's lifetime."""
+        from .zonemap import ZONE_MAP_BLOCK_ROWS, build_zone_map
+
+        block_rows = block_rows or ZONE_MAP_BLOCK_ROWS
+        cache = getattr(self, "_zone_maps", None)
+        if cache is None:
+            cache = {}
+            self._zone_maps = cache
+        key = (name, block_rows)
+        if key not in cache:
+            cache[key] = build_zone_map(self.column(name), block_rows)
+        return cache[key]
+
+    def build_zone_maps(self, block_rows: int | None = None) -> None:
+        """Eagerly build zone maps for every column (load-time hook, so
+        first-query latency excludes the one-off statistics pass)."""
+        for name in self.columns:
+            self.zone_map(name, block_rows)
+
     @property
     def nbytes(self) -> int:
         """Bytes of all value arrays plus string dictionaries (the
@@ -112,6 +136,11 @@ class Database:
     @property
     def nbytes(self) -> int:
         return sum(t.nbytes for t in self._tables.values())
+
+    def build_zone_maps(self, block_rows: int | None = None) -> None:
+        """Eagerly build zone maps for every table (load-time hook)."""
+        for table in self._tables.values():
+            table.build_zone_maps(block_rows)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Database({self.name!r}, tables={self.table_names})"

@@ -1,0 +1,274 @@
+"""Zone maps: per-block min/max/null-count statistics for data skipping.
+
+The paper's §III-C2 argument is that a wimpy node's scarce resource is
+memory bandwidth, so the highest-leverage optimization is *not reading*
+data at all. A zone map records, for every fixed-size block of a column,
+the minimum, maximum, and null count. A sargable scan predicate
+(``col <op> literal``, ``BETWEEN``, ``IN``) can then be tested against
+the block statistics: a block whose value range provably fails the
+predicate is skipped without streaming (or decoding) a single byte of
+it, at the cost of one cheap zone-map probe per block.
+
+Blocks are aligned to a fixed global grid (``ZONE_MAP_BLOCK_ROWS`` rows,
+matching the frame-of-reference encoding's block so compressed zone maps
+fall out of the encoding metadata). Morsels need not align with blocks:
+statistics of a partially-overlapped block are a conservative superset
+of the sub-range, so skip/take proofs stay sound for any row range.
+
+Three-way block classification:
+
+* ``BLOCK_SKIP`` — no row can satisfy the predicate: never streamed.
+* ``BLOCK_TAKE`` — every row provably satisfies it: streamed, but the
+  per-row predicate evaluation is elided.
+* ``BLOCK_EVAL`` — undecidable from the statistics: streamed and
+  evaluated row-at-a-time (vectorized over merged adjacent runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .expr import ColRef, Cmp, Expr, BoolOp, InList, Literal
+from .types import DATE, STRING, date_to_days
+
+__all__ = [
+    "BLOCK_EVAL",
+    "BLOCK_SKIP",
+    "BLOCK_TAKE",
+    "SargableConjunct",
+    "ZONE_MAP_BLOCK_ROWS",
+    "ZoneMap",
+    "classify_blocks",
+    "extract_sargable",
+    "split_conjuncts",
+    "conjoin",
+]
+
+# One zone-map block: matches FrameOfReferenceEncoding.block so FoR
+# zone maps come straight from the per-block references.
+ZONE_MAP_BLOCK_ROWS = 4096
+
+BLOCK_SKIP = np.int8(0)
+BLOCK_TAKE = np.int8(1)
+BLOCK_EVAL = np.int8(2)
+
+# Flipped comparison operators for ``literal <op> col`` normalization.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-block statistics of one column.
+
+    ``mins``/``maxs`` hold physical values (days for DATE columns,
+    decoded Python strings for STRING columns); ``null_counts`` counts
+    invalid rows per block. Statistics cover non-null rows only — an
+    all-null block keeps placeholder min/max and is identified by its
+    null count.
+    """
+
+    block_rows: int
+    mins: np.ndarray
+    maxs: np.ndarray
+    null_counts: np.ndarray
+    nrows: int
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.mins)
+
+    def covering_blocks(self, start: int, stop: int) -> tuple[int, int]:
+        """Indices ``[b0, b1)`` of the blocks overlapping ``[start, stop)``."""
+        b0 = start // self.block_rows
+        b1 = -(-stop // self.block_rows)
+        return b0, min(b1, self.nblocks)
+
+
+def build_zone_map(column, block_rows: int = ZONE_MAP_BLOCK_ROWS) -> "ZoneMap | None":
+    """Zone map for a plain or compressed column (``None`` when the
+    column's statistics cannot support pruning, e.g. nullable strings)."""
+    stats = column.zone_stats(block_rows)
+    if stats is None:
+        return None
+    mins, maxs, null_counts = stats
+    return ZoneMap(
+        block_rows=block_rows,
+        mins=mins,
+        maxs=maxs,
+        null_counts=null_counts,
+        nrows=len(column),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sargable-conjunct analysis
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SargableConjunct:
+    """A normalized index-friendly conjunct: ``column <op> value(s)``.
+
+    ``op`` is one of ``< <= > >= == != in``; ``values`` is a tuple of
+    Python scalars (one element except for ``in``).
+    """
+
+    column: str
+    op: str
+    values: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.op == "in":
+            return f"{self.column} IN {list(self.values)!r}"
+        return f"{self.column} {self.op} {self.values[0]!r}"
+
+
+def _python_scalar(value):
+    """Normalize numpy scalars to plain Python numbers (zone-map probes
+    and fingerprints must not depend on the numpy version's repr)."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def extract_sargable(conjunct: Expr) -> SargableConjunct | None:
+    """Normalize ``conjunct`` to a :class:`SargableConjunct`, or ``None``
+    when it is not a plain column-vs-literal comparison or IN list."""
+    if isinstance(conjunct, Cmp):
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(left, Literal) and isinstance(right, ColRef):
+            left, right, op = right, left, _FLIP[op]
+        if isinstance(left, ColRef) and isinstance(right, Literal):
+            value = _python_scalar(right.value)
+            if isinstance(value, (bool, int, float, str)):
+                return SargableConjunct(left.name, op, (value,))
+        return None
+    if isinstance(conjunct, InList) and isinstance(conjunct.operand, ColRef):
+        values = tuple(_python_scalar(v) for v in conjunct.values)
+        if values and all(isinstance(v, (bool, int, float, str)) for v in values):
+            return SargableConjunct(conjunct.operand.name, "in", values)
+    return None
+
+
+def split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a tree of AND combinators into its conjuncts."""
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    """AND-combine conjuncts back into one expression."""
+    if not conjuncts:
+        return None
+    out = conjuncts[0]
+    for term in conjuncts[1:]:
+        out = BoolOp("and", out, term)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Block classification
+# ----------------------------------------------------------------------
+
+def _coerce_for_column(value, dtype):
+    """Map a literal into the column's physical value domain."""
+    if dtype is DATE and isinstance(value, str):
+        return date_to_days(value)
+    return value
+
+
+def _as_bool(mask) -> np.ndarray:
+    """Object-array comparisons (strings) yield object results; normalize."""
+    return np.asarray(mask, dtype=np.bool_)
+
+
+def _prove(op: str, values: tuple, mins, maxs) -> tuple[np.ndarray, np.ndarray]:
+    """(provably-false, provably-true) block masks for one conjunct,
+    considering non-null rows only."""
+    if op == "in":
+        false = np.ones(len(mins), dtype=np.bool_)
+        true = np.zeros(len(mins), dtype=np.bool_)
+        for v in values:
+            false &= _as_bool(mins > v) | _as_bool(maxs < v)
+            true |= _as_bool(mins == v) & _as_bool(maxs == v)
+        return false, true
+    v = values[0]
+    if op == "<":
+        return _as_bool(mins >= v), _as_bool(maxs < v)
+    if op == "<=":
+        return _as_bool(mins > v), _as_bool(maxs <= v)
+    if op == ">":
+        return _as_bool(maxs <= v), _as_bool(mins > v)
+    if op == ">=":
+        return _as_bool(maxs < v), _as_bool(mins >= v)
+    if op == "==":
+        return (
+            _as_bool(mins > v) | _as_bool(maxs < v),
+            _as_bool(mins == v) & _as_bool(maxs == v),
+        )
+    if op == "!=":
+        return (
+            _as_bool(mins == v) & _as_bool(maxs == v),
+            _as_bool(mins > v) | _as_bool(maxs < v),
+        )
+    raise ValueError(f"unknown sargable operator {op!r}")
+
+
+def classify_blocks(
+    table, conjuncts: list[SargableConjunct], start: int, stop: int,
+    block_rows: int = ZONE_MAP_BLOCK_ROWS,
+) -> tuple[np.ndarray, int]:
+    """Classify the blocks overlapping ``[start, stop)`` against the
+    conjunct set.
+
+    Returns ``(codes, probes)``: one ``BLOCK_SKIP``/``BLOCK_TAKE``/
+    ``BLOCK_EVAL`` code per covered block (first code belongs to the
+    block containing ``start``), and the number of zone-map probes spent
+    (one per block per conjunct with an available zone map).
+    """
+    b0 = start // block_rows
+    b1 = -(-stop // block_rows)
+    nblocks = b1 - b0
+    skip = np.zeros(nblocks, dtype=np.bool_)
+    take = np.ones(nblocks, dtype=np.bool_)
+    probes = 0
+    decided = False
+    for conjunct in conjuncts:
+        zone_map = table.zone_map(conjunct.column, block_rows)
+        if zone_map is None:
+            take[:] = False
+            continue
+        mins = zone_map.mins[b0:b1]
+        maxs = zone_map.maxs[b0:b1]
+        nulls = zone_map.null_counts[b0:b1]
+        dtype = table.column(conjunct.column).dtype
+        values = tuple(_coerce_for_column(v, dtype) for v in conjunct.values)
+        if dtype is STRING and not all(isinstance(v, str) for v in values):
+            take[:] = False
+            continue
+        try:
+            false_blocks, true_blocks = _prove(conjunct.op, values, mins, maxs)
+        except TypeError:
+            # Incomparable literal/column combination (e.g. str vs int):
+            # statistics cannot decide, fall back to row evaluation.
+            take[:] = False
+            continue
+        probes += nblocks
+        decided = True
+        # NULL rows always compare false: they never un-skip a block
+        # (statistics cover non-null rows), but they do break take-proofs.
+        all_null = nulls >= np.minimum(zone_map.block_rows, zone_map.nrows - np.arange(b0, b1) * zone_map.block_rows)
+        skip |= false_blocks | all_null
+        take &= true_blocks & (nulls == 0)
+    if not decided:
+        take[:] = False
+    codes = np.full(nblocks, BLOCK_EVAL, dtype=np.int8)
+    codes[take] = BLOCK_TAKE
+    codes[skip] = BLOCK_SKIP  # skip wins over take (cannot co-occur anyway)
+    return codes, probes

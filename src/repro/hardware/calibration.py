@@ -45,6 +45,9 @@ class CalibrationConstants:
             (MonetDB does not saturate 40 threads on sub-second queries).
         mem_serial_fraction: Amdahl serial fraction for memory streaming
             (one query rarely drives a machine's full aggregate bandwidth).
+        zone_probe_ops: proxy ops charged per zone-map block probe — a
+            min/max comparison against cached statistics, so skipped
+            blocks cost cycles (a few per 4096 rows) instead of bytes.
     """
 
     cycles_per_op: float = 22.1
@@ -58,6 +61,7 @@ class CalibrationConstants:
     parallel_efficiency: float = 0.80
     serial_fraction: float = 0.02
     mem_serial_fraction: float = 0.0666
+    zone_probe_ops: float = 4.0
 
     def replaced(self, **kwargs) -> "CalibrationConstants":
         return replace(self, **kwargs)

@@ -188,7 +188,10 @@ class PerformanceModel:
             f = c.serial_fraction
             speedup = 1.0 / (f + (1.0 - f) / n_eff)
         rate = platform.core_rate("int") * speedup
-        compute = op.ops * c.cycles_per_op / rate
+        # Zone-map probes are the compute price of data skipping: bytes a
+        # scan proved skippable (op.skipped_bytes) never enter the memory
+        # term, but each block consulted costs a few proxy ops here.
+        compute = (op.ops + op.zone_probes * c.zone_probe_ops) * c.cycles_per_op / rate
 
         # Memory bandwidth: hardware saturation curve, further limited by
         # the query's own streaming parallelism.
