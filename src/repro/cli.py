@@ -87,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="attach a memory server (SIII-C1 extension)")
     cluster.add_argument("--no-swap", action="store_true",
                          help="fail with OOM instead of thrashing (SIII-C4)")
+    cluster.add_argument("--chaos", action="store_true",
+                         help="inject a seeded fault plan (OOMs, hangs, "
+                              "network drops, stragglers) and run through "
+                              "the resilient driver")
+    cluster.add_argument("--seed", type=int, default=7,
+                         help="chaos fault-plan seed (default 7; same seed "
+                              "-> same faults, same recovery, same result)")
+    cluster.add_argument("--replication", type=int, default=None,
+                         help="lineitem replication factor (buddy replicas; "
+                              "default 2 with --chaos, else 1)")
+    cluster.add_argument("--timeout-factor", type=float, default=4.0,
+                         help="abandon/speculate once a node exceeds this "
+                              "multiple of the median modeled estimate")
+    cluster.add_argument("--retries", type=int, default=2,
+                         help="transient-fault retries per node before "
+                              "failing over to a replica")
 
     sql_cmd = sub.add_parser("sql", help="run ad-hoc SQL against TPC-H data")
     sql_cmd.add_argument("statement", help="a SELECT statement")
@@ -191,27 +207,58 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "cluster":
-        from repro.cluster import SwapPolicy, WimPiCluster
+        from repro.cluster import FaultPlan, RecoveryPolicy, SwapPolicy, WimPiCluster
         from repro.cluster.nam import NamCluster
 
+        replication = args.replication
+        if replication is None:
+            replication = 2 if args.chaos else 1
+        resilient = args.chaos or replication > 1
+        if resilient and args.nam:
+            print("--chaos / --replication are not supported with --nam")
+            return 2
         cluster_cls = NamCluster if args.nam else WimPiCluster
+        kwargs = {}
+        fault_plan = None
+        if resilient:
+            if args.chaos:
+                fault_plan = FaultPlan.chaos(args.seed, args.nodes)
+            kwargs = dict(
+                replication=replication,
+                fault_plan=fault_plan,
+                recovery=RecoveryPolicy(
+                    timeout_factor=args.timeout_factor, max_retries=args.retries
+                ),
+            )
         cluster = cluster_cls(
             args.nodes,
             base_sf=args.base_sf,
             target_sf=args.target_sf,
             compress=args.compress,
             swap_policy=SwapPolicy.NO_SWAP if args.no_swap else SwapPolicy.SWAP,
+            **kwargs,
         )
         run = cluster.run_query(args.number)
         print(f"Q{args.number} on {args.nodes} nodes (SF {args.target_sf:g} modeled):")
+        if fault_plan is not None:
+            print(f"  {fault_plan.describe()}")
         print(f"  wall-clock: {run.total_seconds:.3f} s")
         if hasattr(run, "offloaded_nodes") and run.offloaded_nodes:
             print(f"  offloaded fragments: {len(run.offloaded_nodes)} -> memory server")
         base = run.base if hasattr(run, "base") else run
-        print(f"  max node pressure: {max(base.node_pressure):.2f}")
+        if base.node_pressure:
+            print(f"  max node pressure: {max(base.node_pressure):.2f}")
         print(f"  gather: {base.gather_seconds:.3f} s, merge: {base.merge_seconds:.3f} s")
-        print(f"  result rows: {len(run.result)}")
-        for row in run.result.rows[:5]:
+        if resilient:
+            print(f"  recovery overhead: {base.recovery_seconds:.3f} s "
+                  f"(coverage {base.coverage:.3f})")
+            print(base.run.report())
+        result = run.result
+        if result is None:
+            print("  result: NONE (all replicas exhausted; coverage 0)")
+            return 1
+        print(f"  result rows: {len(result)}")
+        for row in result.rows[:5]:
             print("   ", row)
         return 0
 

@@ -3,11 +3,37 @@ memory model, and the cluster facade."""
 
 from .cluster import ClusterQueryRun, WimPiCluster, thrash_multiplier
 from .nam import NamCluster, NamQueryRun
-from .distplan import NotDistributableError, SplitPlan, split_for_partial_aggregation
+from .distplan import (
+    NotDistributableError,
+    SplitPlan,
+    split_for_partial_aggregation,
+    unsound_distribution_reason,
+)
 from .driver import DistributedRun, Driver, concat_frames
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultingNode,
+    InjectedFault,
+    NodeAttempt,
+    TransientNetworkError,
+)
 from .network import NetworkModel
 from .node import MemoryModel, NodeSpec, collect_scan_columns
-from .partition import partition_database, partition_table
+from .partition import (
+    ReplicatedLayout,
+    partition_database,
+    partition_table,
+    replicate_database,
+)
+from .resilient import (
+    RecoveryEvent,
+    RecoveryLog,
+    RecoveryPolicy,
+    ResilientDriver,
+    ResilientRun,
+    ShardOutcome,
+)
 from .tailored import PI4_NODE, TailoredCluster
 from .shuffle import RepartitionedRun, repartition_database, run_repartitioned
 from .scheduler import PowerPolicy, QueryArrival, SimulationResult, WorkloadSimulator, poisson_workload
@@ -33,4 +59,8 @@ __all__ = [
     "WimPiCluster", "collect_scan_columns", "concat_frames",
     "partition_database", "partition_table", "split_for_partial_aggregation",
     "thrash_multiplier",
+    "FAULT_KINDS", "FaultPlan", "FaultingNode", "InjectedFault", "NodeAttempt",
+    "TransientNetworkError", "ReplicatedLayout", "replicate_database",
+    "RecoveryEvent", "RecoveryLog", "RecoveryPolicy", "ResilientDriver",
+    "ResilientRun", "ShardOutcome", "unsound_distribution_reason",
 ]

@@ -26,15 +26,17 @@ from repro.hardware import EnergyModel, PerformanceModel, PLATFORMS, PI_KEY
 from repro.tpch import generate, get_query
 
 from .driver import DistributedRun, Driver
+from .faults import FaultPlan
 from .network import NetworkModel
 from .node import MemoryModel, NodeSpec
-from .partition import partition_database
+from .partition import partition_database, replicate_database
 from .reliability import (
     NodeUnresponsiveError,
     QueryOutOfMemoryError,
     SwapPolicy,
     classify_pressure,
 )
+from .resilient import RecoveryLog, RecoveryPolicy, ResilientDriver, ResilientRun
 
 __all__ = ["ClusterQueryRun", "WimPiCluster", "thrash_multiplier"]
 
@@ -53,15 +55,25 @@ def thrash_multiplier(pressure_ratio: float, threshold: float = 0.90,
 
 @dataclass
 class ClusterQueryRun:
-    """A distributed execution plus its modeled wall-clock breakdown."""
+    """A distributed execution plus its modeled wall-clock breakdown.
 
-    run: DistributedRun
+    Under the resilient runtime, ``recovery_seconds`` is the modeled
+    wall-clock added to the critical path by retries, timeouts and
+    speculative re-execution, ``coverage`` is the fraction of lineitem
+    rows the answer covers (< 1.0 only after unrecoverable loss), and
+    ``recovery_log`` carries the structured recovery events.
+    """
+
+    run: DistributedRun | ResilientRun
     node_seconds: list[float]
     node_pressure: list[float]
     gather_seconds: float
     merge_seconds: float
     total_seconds: float
     energy_joules: float
+    recovery_seconds: float = 0.0
+    coverage: float = 1.0
+    recovery_log: RecoveryLog | None = None
 
     @property
     def result(self):
@@ -89,6 +101,12 @@ class WimPiCluster:
         compress: store base data compressed (§III-C2 extension).
         swap_policy: thrash on overcommit (``SWAP``, the default) or
             raise isolated OOM errors (``NO_SWAP``, §III-C4).
+        replication: lineitem replication factor. > 1 switches to the
+            resilient runtime with buddy replicas (fault recovery).
+        fault_plan: deterministic injected-fault script; implies the
+            resilient runtime.
+        recovery: retry/timeout/speculation policy for the resilient
+            runtime.
     """
 
     def __init__(
@@ -103,6 +121,9 @@ class WimPiCluster:
         db=None,
         compress: bool = False,
         swap_policy: SwapPolicy = SwapPolicy.SWAP,
+        replication: int = 1,
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
@@ -140,7 +161,26 @@ class WimPiCluster:
                         out.add(shared[name])
                 compressed_dbs.append(out)
             self.node_dbs = compressed_dbs
-        self.driver = Driver(self.node_dbs)
+        self.replication = replication
+        self.fault_plan = fault_plan
+        resilient = replication > 1 or fault_plan is not None or recovery is not None
+        if resilient:
+            if compress:
+                raise ValueError(
+                    "compress=True is not yet supported with the resilient "
+                    "runtime (replication / fault injection)"
+                )
+            self.layout = replicate_database(self.db, n_nodes, replication=replication)
+            self.driver: Driver | ResilientDriver = ResilientDriver(
+                self.layout,
+                fault_plan=fault_plan,
+                policy=recovery,
+                perf=self.perf,
+                network=self.network,
+            )
+        else:
+            self.layout = None
+            self.driver = Driver(self.node_dbs)
         self._pi = PLATFORMS[PI_KEY]
 
     @property
@@ -166,6 +206,8 @@ class WimPiCluster:
         params = dict(params or {})
         params.setdefault("sf", self.base_sf)
         run = self.driver.run(query, params)
+        if isinstance(run, ResilientRun):
+            return self._model_resilient(query, params, run)
 
         node_seconds: list[float] = []
         node_pressure: list[float] = []
@@ -231,6 +273,101 @@ class WimPiCluster:
             merge_seconds=merge,
             total_seconds=total,
             energy_joules=energy,
+        )
+
+    def _model_resilient(self, query, params: dict, run: ResilientRun) -> ClusterQueryRun:
+        """Wall-clock model for a resilient execution: per-shard compute
+        with thrash multipliers as usual, plus every recovery charge —
+        backoff waits, paid timeouts, abandoned attempts, speculative
+        copies — scaled to the target SF so Table III-style numbers stay
+        honest under faults. Modeled §III-C4 outcomes are absorbed by
+        the runtime instead of raised: injected failures already exercise
+        the failure path, and the runtime's job is to survive them."""
+        node_seconds: list[float] = []
+        base_seconds: list[float] = []
+        node_pressure: list[float] = []
+        if run.single_node:
+            gather = merge = 0.0
+            if run.covered_shards:
+                host = run.exec_nodes[0]
+                spec = self.node_spec(host)
+                profile = run.node_profiles[0].scaled(self.scale)
+                # The resilient fallback executes against the full
+                # catalog (Q15/Q20 see all of lineitem), so the host is
+                # charged the full-table footprint.
+                plan = prune_columns(query.build(self.db, params).node, self.db)
+                ratio = MemoryModel(spec).pressure_ratio(self.db, plan, profile, self.scale)
+                seconds = self.perf.predict(profile, spec.platform, spec.platform.total_cores)
+                outcome = run.shard_outcomes[0]
+                compute = seconds * thrash_multiplier(ratio)
+                base_seconds.append(compute)
+                node_seconds.append(
+                    compute
+                    + outcome.overhead_scaled_s * self.scale
+                    + outcome.overhead_fixed_s
+                )
+                node_pressure.append(ratio)
+            elif run.shard_outcomes:
+                # Nothing answered: the driver still paid for the chain
+                # of timeouts before giving up.
+                outcome = run.shard_outcomes[0]
+                node_seconds.append(
+                    outcome.overhead_scaled_s * self.scale + outcome.overhead_fixed_s
+                )
+        else:
+            assert run.local_plan is not None and self.layout is not None
+            pruned_local = prune_columns(run.local_plan, self.layout.node_dbs[0])
+            outcome_by_shard = {o.shard: o for o in run.shard_outcomes}
+            for shard, host, profile in zip(
+                run.covered_shards, run.exec_nodes, run.node_profiles
+            ):
+                spec = self.node_spec(host)
+                scaled = profile.scaled(self.scale)
+                node_db = self.layout.db_for(shard, host)
+                ratio = MemoryModel(spec).pressure_ratio(
+                    node_db, pruned_local, scaled, self.scale
+                )
+                seconds = self.perf.predict(
+                    scaled, spec.platform, spec.platform.total_cores
+                )
+                outcome = outcome_by_shard[shard]
+                compute = seconds * thrash_multiplier(ratio)
+                base_seconds.append(compute)
+                node_seconds.append(
+                    compute
+                    + outcome.overhead_scaled_s * self.scale
+                    + outcome.overhead_fixed_s
+                )
+                node_pressure.append(ratio)
+            for outcome in run.shard_outcomes:
+                if not outcome.covered:
+                    node_seconds.append(
+                        outcome.overhead_scaled_s * self.scale
+                        + outcome.overhead_fixed_s
+                    )
+            gather = self.network.gather_time(run.partial_bytes_per_node)
+            merge = (
+                self.perf.predict(run.merge_profile, self._pi, self._pi.total_cores)
+                if run.merge_profile is not None
+                else 0.0
+            )
+        slowest = max(node_seconds) if node_seconds else 0.0
+        slowest_clean = max(base_seconds) if base_seconds else 0.0
+        total = slowest + gather + merge
+        energy = total * sum(
+            self.node_spec(i).platform.tdp_w for i in range(self.n_nodes)
+        )
+        return ClusterQueryRun(
+            run=run,
+            node_seconds=node_seconds,
+            node_pressure=node_pressure,
+            gather_seconds=gather,
+            merge_seconds=merge,
+            total_seconds=total,
+            energy_joules=energy,
+            recovery_seconds=slowest - slowest_clean,
+            coverage=run.coverage,
+            recovery_log=run.recovery,
         )
 
     # ------------------------------------------------------------------

@@ -30,11 +30,55 @@ from repro.engine.plan import (
     SortNode,
 )
 
-__all__ = ["NotDistributableError", "SplitPlan", "split_for_partial_aggregation"]
+__all__ = [
+    "NotDistributableError",
+    "SplitPlan",
+    "split_for_partial_aggregation",
+    "unsound_distribution_reason",
+]
 
 
 class NotDistributableError(ValueError):
     """The plan cannot be decomposed into partial + final aggregation."""
+
+
+def unsound_distribution_reason(
+    local: PlanNode, partitioned: str = "lineitem", key: str = "l_orderkey"
+) -> str | None:
+    """Why running ``local`` per-partition would give wrong answers, or
+    ``None`` when it is sound.
+
+    The partial-aggregation split is correct only when every *nested*
+    aggregate over the partitioned table is grouped by the partition
+    key (then each group is node-local, e.g. Q18's per-order sums). A
+    nested aggregate grouped any other way — Q17's per-part AVG is the
+    canonical case — computes a per-shard value where the query means a
+    global one, and the partials silently diverge. The top-level partial
+    aggregate itself is exempt: the driver re-aggregates it.
+    """
+    from repro.engine.plan import ScanNode
+
+    def scans_partitioned(node: PlanNode) -> bool:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ScanNode) and current.table == partitioned:
+                return True
+            stack.extend(current.children())
+        return False
+
+    stack = list(local.children()) if isinstance(local, AggregateNode) else [local]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, AggregateNode) and scans_partitioned(node):
+            if key not in node.group_by:
+                group = list(node.group_by) or ["<global>"]
+                return (
+                    f"nested aggregate over {partitioned!r} grouped by {group} "
+                    f"(not the partition key {key!r}) would diverge per shard"
+                )
+        stack.extend(node.children())
+    return None
 
 
 @dataclass

@@ -24,9 +24,12 @@ def concat_frames(frames: list[Frame]) -> Table:
     if not frames:
         raise ValueError("no partial results to merge")
     names = list(frames[0].columns)
-    for frame in frames[1:]:
+    for index, frame in enumerate(frames[1:], start=1):
         if list(frame.columns) != names:
-            raise ValueError("partial results have mismatched schemas")
+            raise ValueError(
+                f"partial results have mismatched schemas: node 0 returned "
+                f"columns {names}, node {index} returned {list(frame.columns)}"
+            )
     columns = {
         name: Column.concat([frame.column(name) for frame in frames]) for name in names
     }

@@ -39,6 +39,15 @@ class NetworkModel:
             raise ValueError("payload must be non-negative")
         return self.message_latency_s + payload_bytes / self.bandwidth_bytes_per_s
 
+    def resend_time(self, resends: int = 1) -> float:
+        """Wire cost of re-issuing a request ``resends`` times after
+        transient drops: each re-send repeats the per-message round trip
+        (the payload itself never made it, so only latency is re-paid
+        until the successful attempt, which callers charge separately)."""
+        if resends < 0:
+            raise ValueError("resends must be non-negative")
+        return resends * self.message_latency_s
+
     def gather_time(self, payload_bytes_per_node: list[float]) -> float:
         """Driver-side sequential gather of partial results (the paper's
         simple Python driver collects node by node)."""

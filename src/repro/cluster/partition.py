@@ -5,15 +5,28 @@ lineitem, which is partitioned evenly on ``l_orderkey``. Partitioning on
 the order key keeps all lines of an order on one node, which is what
 makes the driver's local-join + partial-aggregate strategy correct for
 the chokepoint queries.
+
+For the resilient runtime, :func:`replicate_database` additionally
+places each lineitem shard on ``replication`` consecutive nodes (shard
+``s`` lives on nodes ``s, s+1, ..., s+r-1 mod N`` — the classic buddy
+scheme), so a lost node's shard can be recovered from its buddies
+instead of failing the query.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.engine import Database, Table
 
-__all__ = ["partition_database", "partition_table"]
+__all__ = [
+    "ReplicatedLayout",
+    "partition_database",
+    "partition_table",
+    "replicate_database",
+]
 
 
 def partition_table(table: Table, n_nodes: int, key: str) -> list[Table]:
@@ -46,3 +59,80 @@ def partition_database(
                 node_db.add(db.table(name))
         node_dbs.append(node_db)
     return node_dbs
+
+
+@dataclass
+class ReplicatedLayout:
+    """Placement map for a partitioned table with buddy replicas.
+
+    ``holders[s]`` lists the nodes storing shard ``s``, primary first.
+    Catalogs are materialized lazily by :meth:`db_for` and cached; every
+    non-partitioned table is shared by reference (replicas are
+    immutable), so extra replicas cost only the shard views themselves.
+    """
+
+    base: Database
+    shards: list[Table]
+    holders: list[list[int]]
+    replication: int
+    partitioned: str = "lineitem"
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.shards)
+
+    @property
+    def node_dbs(self) -> list[Database]:
+        """Primary catalogs — what the classic driver would see."""
+        return [self.db_for(shard, self.holders[shard][0]) for shard in range(self.n_nodes)]
+
+    @property
+    def total_rows(self) -> int:
+        return sum(shard.nrows for shard in self.shards)
+
+    def db_for(self, shard: int, node: int) -> Database:
+        """Catalog for executing ``shard``'s fragment on ``node``."""
+        if node not in self.holders[shard]:
+            raise ValueError(f"node {node} does not hold shard {shard} "
+                             f"(holders: {self.holders[shard]})")
+        key = (shard, node)
+        if key not in self._cache:
+            node_db = Database(f"{self.base.name}_shard{shard}@node{node}")
+            for name in self.base.table_names:
+                if name == self.partitioned:
+                    node_db.add(self.shards[shard])
+                else:
+                    node_db.add(self.base.table(name))
+            self._cache[key] = node_db
+        return self._cache[key]
+
+
+def replicate_database(
+    db: Database,
+    n_nodes: int,
+    replication: int = 2,
+    partitioned: str = "lineitem",
+    key: str = "l_orderkey",
+) -> ReplicatedLayout:
+    """Partition ``partitioned`` on ``key`` and place each shard on
+    ``replication`` buddy nodes. ``replication=1`` reproduces the
+    paper's single-copy layout; ``replication=n_nodes`` fully replicates
+    the table."""
+    if not 1 <= replication <= n_nodes:
+        raise ValueError(
+            f"replication factor must be between 1 and n_nodes={n_nodes}, "
+            f"got {replication}"
+        )
+    shards = partition_table(db.table(partitioned), n_nodes, key)
+    holders = [
+        [(shard + r) % n_nodes for r in range(replication)]
+        for shard in range(n_nodes)
+    ]
+    return ReplicatedLayout(
+        base=db,
+        shards=shards,
+        holders=holders,
+        replication=replication,
+        partitioned=partitioned,
+    )

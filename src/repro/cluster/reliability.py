@@ -29,9 +29,12 @@ __all__ = [
     "reliability_report",
 ]
 
-# Beyond this over-commit, a swapping node stops answering (the paper's
-# "generally unresponsive" nodes); without swap the query simply dies as
-# soon as allocation fails (just past 1.0).
+# At or beyond this over-commit, a swapping node stops answering (the
+# paper's "generally unresponsive" nodes); without swap the query simply
+# dies as soon as allocation fails (just past 1.0). Both thresholds are
+# *inclusive*: a pressure exactly at the ratio already fails — the
+# boundary working set has already exhausted what the node can give.
+# The thrash boundary stays exclusive (pressure == 1.0 still fits).
 _UNRESPONSIVE_RATIO = 3.0
 _OOM_RATIO = 1.05
 
@@ -81,13 +84,19 @@ class MemoryOutcome:
 
 
 def classify_pressure(node: int, pressure: float, policy: SwapPolicy) -> MemoryOutcome:
-    """Classify a node's fate at ``pressure`` (working set / available)."""
+    """Classify a node's fate at ``pressure`` (working set / available).
+
+    Boundary semantics are explicit and pinned by tests: pressures
+    exactly at ``_OOM_RATIO`` / ``_UNRESPONSIVE_RATIO`` classify as the
+    *failure* (``>=``), while a working set exactly filling memory
+    (pressure == 1.0) still completes without thrashing (``>``).
+    """
     if pressure < 0:
         raise ValueError("pressure must be non-negative")
     if policy is SwapPolicy.NO_SWAP:
-        outcome = "oom" if pressure > _OOM_RATIO else "ok"
+        outcome = "oom" if pressure >= _OOM_RATIO else "ok"
     else:
-        if pressure > _UNRESPONSIVE_RATIO:
+        if pressure >= _UNRESPONSIVE_RATIO:
             outcome = "unresponsive"
         elif pressure > 1.0:
             outcome = "thrash"

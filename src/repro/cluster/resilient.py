@@ -1,0 +1,662 @@
+"""Resilient distributed runtime: retries, timeouts, speculation, replicas.
+
+The classic :class:`~repro.cluster.driver.Driver` executes every node
+serially and assumes a perfect cluster. This module is the runtime the
+paper's reliability findings (§III-C4) actually call for: per-shard
+execution fans out on a thread pool, transient faults are retried with
+capped exponential backoff, unresponsive nodes are abandoned after a
+timeout derived from the :class:`~repro.hardware.PerformanceModel`
+estimate, stragglers past a latency threshold get a speculative copy on
+a buddy replica, and shards lost with their primaries are recovered
+from replicas (:func:`~repro.cluster.partition.replicate_database`).
+Only when every replica of a shard is exhausted does the driver degrade
+gracefully: it still returns an answer, but one carrying a coverage
+fraction < 1 and a per-shard outcome report instead of a crash.
+
+Two clocks are in play. *Wall clock*: execution is real (results are
+checkable bit-for-bit against single-node runs) and fast — injected
+hangs and backoff waits never sleep. *Modeled clock*: every recovery
+action — backoff waits, abandoned attempts, paid timeouts, speculative
+duplicates — is charged in PerformanceModel Pi-seconds and lands in the
+:class:`RecoveryLog`, so Table III-style wall-clock numbers stay honest
+under faults. Given the same fault plan the run is fully deterministic:
+same events, same charges, bit-identical results.
+
+Unlike the classic driver, the single-node fallback for lineitem-bearing
+queries (Q15/Q20) executes against the full catalog rather than one
+node's shard, and plans whose nested aggregates would diverge per shard
+(Q17 — see :func:`~repro.cluster.distplan.unsound_distribution_reason`)
+are detected and routed to single-node execution, so every one of the 22
+queries matches the fault-free goldens.
+"""
+
+from __future__ import annotations
+
+import statistics
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine import Database, Executor, Result, WorkProfile
+from repro.engine.plan import PlanNode
+from repro.hardware import PLATFORMS, PI_KEY, PerformanceModel
+from repro.tpch.queries import QueryDef
+
+from .distplan import (
+    NotDistributableError,
+    split_for_partial_aggregation,
+    unsound_distribution_reason,
+)
+from .driver import concat_frames
+from .faults import FaultPlan, FaultingNode, NodeAttempt, TransientNetworkError
+from .network import NetworkModel
+from .partition import ReplicatedLayout
+from .reliability import NodeUnresponsiveError, QueryOutOfMemoryError
+
+__all__ = [
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RecoveryPolicy",
+    "ResilientDriver",
+    "ResilientRun",
+    "ShardOutcome",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs for the retry / timeout / speculation machinery.
+
+    Attributes:
+        max_retries: transient-fault retries per node before failing
+            over to the next replica.
+        backoff_base_s: first retry wait (modeled seconds); doubles per
+            retry up to ``backoff_cap_s``.
+        backoff_cap_s: backoff ceiling.
+        timeout_factor: a node is abandoned (or speculated against) once
+            its modeled time exceeds this multiple of the median
+            PerformanceModel estimate across successful shards.
+        fallback_timeout_s: timeout charge when no estimate exists yet
+            (e.g. every first-wave attempt hung).
+        speculate: launch speculative copies of stragglers on replicas.
+        max_workers: thread-pool width for concurrent node dispatch.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    timeout_factor: float = 4.0
+    fallback_timeout_s: float = 5.0
+    speculate: bool = True
+    max_workers: int = 8
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("backoff_cap_s must be >= backoff_base_s")
+        if self.timeout_factor <= 1.0:
+            raise ValueError("timeout_factor must exceed 1.0")
+        if self.fallback_timeout_s <= 0:
+            raise ValueError("fallback_timeout_s must be positive")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+    def backoff_s(self, retry: int) -> float:
+        """Wait before retry number ``retry`` (0-based), capped."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** retry))
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action, with its modeled-time charge."""
+
+    kind: str  # "retry" | "oom" | "timeout" | "failover" | "speculate" | "lost"
+    shard: int
+    node: int
+    attempt: int
+    charged_s: float
+    detail: str
+
+
+@dataclass
+class RecoveryLog:
+    """Structured, deterministic record of everything the runtime did to
+    keep the query alive. Same fault plan -> same log."""
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    def record(self, kind: str, shard: int, node: int, attempt: int,
+               charged_s: float, detail: str) -> None:
+        self.events.append(RecoveryEvent(kind, shard, node, attempt, charged_s, detail))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def charged_s(self) -> float:
+        """Total modeled seconds charged to recovery actions."""
+        return sum(e.charged_s for e in self.events)
+
+    def signature(self) -> tuple:
+        """Deterministic identity of the log (for replay assertions)."""
+        return tuple((e.kind, e.shard, e.node, e.attempt) for e in self.events)
+
+    def render(self) -> str:
+        if not self.events:
+            return "recovery log: clean run, no recovery actions"
+        lines = [
+            f"recovery log: {len(self.events)} events, "
+            f"{self.charged_s:.3f} modeled s charged"
+        ]
+        for e in self.events:
+            lines.append(
+                f"  [{e.kind:<9}] shard {e.shard} node {e.node} "
+                f"attempt {e.attempt}: {e.detail} (+{e.charged_s:.3f}s)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _AttemptRecord:
+    """Chronological record of one execution attempt on one node.
+
+    ``speculative`` attempts run concurrently with the original task, so
+    their failures never extend the shard's completion chain — their
+    cost surfaces only through the adopted copy's ``speculate`` event.
+    """
+
+    node: int
+    attempt: int
+    outcome: str  # "ok" | "drop" | "oom" | "hang"
+    result: NodeAttempt | None = None
+    speculative: bool = False
+
+
+@dataclass
+class ShardOutcome:
+    """How one shard's execution ended after all recovery machinery.
+
+    Recovery overhead splits into two parts so the cluster model can
+    extrapolate honestly: ``overhead_scaled_s`` covers charges that grow
+    with data volume (abandoned attempts, paid timeouts, straggler
+    detection delays — all derived from PerformanceModel estimates) and
+    is multiplied by the SF scale; ``overhead_fixed_s`` covers true
+    wall-clock waits (retry backoff, re-sent messages), which do not.
+    """
+
+    shard: int
+    status: str  # "ok" | "recovered" | "lost"
+    winner: NodeAttempt | None
+    attempts: list[_AttemptRecord]
+    completion_s: float = 0.0  # modeled completion incl. recovery charges
+    overhead_fixed_s: float = 0.0
+    overhead_scaled_s: float = 0.0
+
+    @property
+    def covered(self) -> bool:
+        return self.winner is not None
+
+    @property
+    def overhead_s(self) -> float:
+        """Modeled time beyond the winning attempt itself (base scale)."""
+        return self.overhead_fixed_s + self.overhead_scaled_s
+
+
+@dataclass
+class ResilientRun:
+    """Outcome of one resilient distributed execution.
+
+    Duck-compatible with :class:`~repro.cluster.driver.DistributedRun`
+    where the cluster model needs it (``node_profiles``,
+    ``partial_bytes_per_node``, ``merge_profile``, ``single_node``,
+    ``local_plan``, ``node_results_rows``), plus the recovery surface:
+    ``coverage``, ``shard_outcomes``, ``recovery``, ``wasted_profile``.
+    """
+
+    query_number: int
+    n_nodes: int
+    replication: int
+    result: Result | None
+    coverage: float
+    shard_outcomes: list[ShardOutcome]
+    recovery: RecoveryLog
+    node_profiles: list[WorkProfile]
+    exec_nodes: list[int]
+    covered_shards: list[int]
+    merge_profile: WorkProfile | None
+    partial_bytes_per_node: list[float]
+    wasted_profile: WorkProfile
+    single_node: bool
+    local_plan: PlanNode | None = None
+    node_results_rows: list[int] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.coverage < 1.0
+
+    @property
+    def completion_s(self) -> float:
+        """Modeled node-phase completion: the slowest shard chain."""
+        if not self.shard_outcomes:
+            return 0.0
+        return max(o.completion_s for o in self.shard_outcomes)
+
+    def report(self) -> str:
+        """Human-readable outcome summary (the CLI's --chaos output)."""
+        lines = [
+            f"Q{self.query_number} on {self.n_nodes} nodes "
+            f"(replication {self.replication}): "
+            + ("DEGRADED" if self.degraded else "complete")
+            + f", coverage {self.coverage:.3f}"
+        ]
+        for o in self.shard_outcomes:
+            where = f"node {o.winner.node}" if o.winner else "unrecovered"
+            lines.append(
+                f"  shard {o.shard}: {o.status:<9} on {where} "
+                f"({len(o.attempts)} attempts, {o.completion_s:.3f} modeled s)"
+            )
+        lines.append(self.recovery.render())
+        return "\n".join(lines)
+
+
+class ResilientDriver:
+    """Fault-tolerant scatter/gather over a replicated layout.
+
+    Args:
+        layout: replicated data placement
+            (:func:`~repro.cluster.partition.replicate_database`).
+        fault_plan: deterministic fault script (``None`` injects nothing).
+        policy: retry/timeout/speculation knobs.
+        perf: performance model used for modeled-time charges and the
+            timeout estimates.
+        network: network model used to charge re-sent messages.
+    """
+
+    def __init__(
+        self,
+        layout: ReplicatedLayout,
+        fault_plan: FaultPlan | None = None,
+        policy: RecoveryPolicy | None = None,
+        perf: PerformanceModel | None = None,
+        network: NetworkModel | None = None,
+    ):
+        self.layout = layout
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.policy = policy or RecoveryPolicy()
+        self.perf = perf or PerformanceModel()
+        self.network = network or NetworkModel()
+        self._pi = PLATFORMS[PI_KEY]
+        self._nodes = {
+            node: FaultingNode(node, self.fault_plan, self.perf, self._pi)
+            for node in range(layout.n_nodes)
+        }
+
+    @property
+    def n_nodes(self) -> int:
+        return self.layout.n_nodes
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        query: QueryDef,
+        params: dict | None = None,
+        force_distribute: bool = False,
+    ) -> ResilientRun:
+        """Run ``query`` with fault recovery; mirrors the classic
+        driver's distribution rules, plus a soundness check that routes
+        per-shard-divergent plans (Q17) to single-node execution."""
+        params = params or {}
+        if self.n_nodes == 1 or (not query.uses_lineitem and not force_distribute):
+            return self._run_single_node(query, params)
+        plan = query.build(self.layout.node_dbs[0], params)
+        try:
+            split = split_for_partial_aggregation(plan.node)
+        except NotDistributableError:
+            return self._run_single_node(query, params)
+        if unsound_distribution_reason(split.local, self.layout.partitioned) is not None:
+            return self._run_single_node(query, params)
+        return self._run_distributed(query, split)
+
+    # Shard execution ---------------------------------------------------
+
+    def _attempt_chain(
+        self, shard: int, node: int, plan: PlanNode, db: Database
+    ) -> tuple[list[_AttemptRecord], NodeAttempt | None]:
+        """All attempts on one node for one shard: transient faults are
+        retried up to ``max_retries`` times; sticky faults end the chain."""
+        records: list[_AttemptRecord] = []
+        for attempt in range(self.policy.max_retries + 1):
+            try:
+                result = self._nodes[node].execute(db, plan, shard=shard, attempt=attempt)
+            except TransientNetworkError:
+                records.append(_AttemptRecord(node, attempt, "drop"))
+                continue
+            except QueryOutOfMemoryError:
+                records.append(_AttemptRecord(node, attempt, "oom"))
+                return records, None
+            except NodeUnresponsiveError:
+                records.append(_AttemptRecord(node, attempt, "hang"))
+                return records, None
+            records.append(_AttemptRecord(node, attempt, "ok", result))
+            return records, result
+        return records, None
+
+    def _run_shard(self, shard: int, plan: PlanNode) -> ShardOutcome:
+        """Execute one shard, failing over along its replica holders."""
+        records: list[_AttemptRecord] = []
+        for node in self.layout.holders[shard]:
+            chain, winner = self._attempt_chain(
+                shard, node, plan, self.layout.db_for(shard, node)
+            )
+            records.extend(chain)
+            if winner is not None:
+                status = "ok" if node == self.layout.holders[shard][0] else "recovered"
+                return ShardOutcome(shard, status, winner, records)
+        return ShardOutcome(shard, "lost", None, records)
+
+    def _speculate(
+        self, outcome: ShardOutcome, plan: PlanNode, threshold_s: float
+    ) -> tuple[ShardOutcome, list[NodeAttempt]]:
+        """Launch a speculative copy of a straggling shard on the next
+        healthy replica; adopt it if the modeled finish is earlier."""
+        shard = outcome.shard
+        assert outcome.winner is not None
+        tried = {r.node for r in outcome.attempts}
+        backup = next(
+            (
+                node
+                for node in self.layout.holders[shard]
+                if node not in tried and node not in self.fault_plan.dead_nodes
+            ),
+            None,
+        )
+        if backup is None:
+            return outcome, []
+        chain, spec = self._attempt_chain(
+            shard, backup, plan, self.layout.db_for(shard, backup)
+        )
+        for rec in chain:
+            rec.speculative = True
+        outcome.attempts.extend(chain)
+        if spec is None:
+            return outcome, []
+        spec_finish = threshold_s + self._chain_charge_s(chain, threshold_s) + spec.simulated_s
+        if spec_finish < outcome.winner.simulated_s:
+            wasted = [outcome.winner]
+            outcome.winner = spec
+            outcome.status = "recovered"
+            return outcome, wasted
+        return outcome, [spec]
+
+    # Modeled-time charging --------------------------------------------
+
+    def _chain_charge_s(self, records: list[_AttemptRecord], est_s: float) -> float:
+        """Modeled seconds spent on the *failed* attempts of a chain."""
+        total = 0.0
+        for rec in records:
+            if rec.outcome == "drop":
+                total += self.policy.backoff_s(rec.attempt) + self.network.resend_time()
+            elif rec.outcome == "oom":
+                total += est_s
+            elif rec.outcome == "hang":
+                total += self.policy.timeout_factor * est_s
+        return total
+
+    def _spec_fixed_s(self, outcome: ShardOutcome) -> float:
+        """Backoff/message waits spent inside a speculative chain."""
+        return sum(
+            self.policy.backoff_s(rec.attempt) + self.network.resend_time()
+            for rec in outcome.attempts
+            if rec.speculative and rec.outcome == "drop"
+        )
+
+    def _charge(
+        self,
+        outcomes: list[ShardOutcome],
+        speculated: dict[int, float],
+        log: RecoveryLog,
+        median_est_s: float | None,
+    ) -> None:
+        """Walk every shard's attempt history in deterministic order,
+        recording recovery events and computing modeled completions.
+        Estimate-derived charges accrue to ``overhead_scaled_s`` (they
+        grow with data volume); backoff waits to ``overhead_fixed_s``."""
+        est = median_est_s if median_est_s is not None else self.policy.fallback_timeout_s
+        timeout_s = self.policy.timeout_factor * est
+        for outcome in outcomes:
+            fixed = scaled = 0.0
+            prev_node: int | None = None
+            for rec in outcome.attempts:
+                if rec.speculative:
+                    continue
+                if prev_node is not None and rec.node != prev_node:
+                    log.record(
+                        "failover", outcome.shard, rec.node, rec.attempt, 0.0,
+                        f"shard {outcome.shard} failed over node {prev_node} -> {rec.node}",
+                    )
+                prev_node = rec.node
+                if rec.outcome == "drop":
+                    wait = self.policy.backoff_s(rec.attempt)
+                    charged = wait + self.network.resend_time()
+                    fixed += charged
+                    log.record(
+                        "retry", outcome.shard, rec.node, rec.attempt, charged,
+                        f"transient network drop; backing off {wait:.3f}s",
+                    )
+                elif rec.outcome == "oom":
+                    scaled += est
+                    log.record(
+                        "oom", outcome.shard, rec.node, rec.attempt, est,
+                        "query OOM (swap off); abandoning node's attempt",
+                    )
+                elif rec.outcome == "hang":
+                    scaled += timeout_s
+                    log.record(
+                        "timeout", outcome.shard, rec.node, rec.attempt, timeout_s,
+                        f"node unresponsive; abandoned after modeled "
+                        f"{timeout_s:.3f}s timeout "
+                        f"({self.policy.timeout_factor:.1f}x estimate)",
+                    )
+                # "ok" attempts are charged below: the winner's own time
+                # (or the speculative completion) ends the chain.
+            winner_s = 0.0
+            if outcome.winner is None:
+                log.record(
+                    "lost", outcome.shard, -1, len(outcome.attempts), 0.0,
+                    f"shard {outcome.shard}: all "
+                    f"{len(self.layout.holders[outcome.shard])} replicas exhausted",
+                )
+            elif outcome.shard in speculated:
+                # Detection waited until the straggler threshold; the
+                # adopted copy then ran (plus any of its own backoffs).
+                threshold_s = speculated[outcome.shard]
+                spec_fixed = self._spec_fixed_s(outcome)
+                scaled += threshold_s
+                fixed += spec_fixed
+                winner_s = outcome.winner.simulated_s
+                log.record(
+                    "speculate", outcome.shard, outcome.winner.node,
+                    outcome.winner.attempt,
+                    threshold_s + spec_fixed + winner_s,
+                    f"straggler past {threshold_s:.3f}s threshold; speculative "
+                    f"copy on node {outcome.winner.node} finished at modeled "
+                    f"{threshold_s + spec_fixed + winner_s:.3f}s",
+                )
+            else:
+                winner_s = outcome.winner.simulated_s
+            outcome.overhead_fixed_s = fixed
+            outcome.overhead_scaled_s = scaled
+            outcome.completion_s = fixed + scaled + winner_s
+
+    # Top-level paths ---------------------------------------------------
+
+    def _run_distributed(self, query: QueryDef, split) -> ResilientRun:
+        layout, policy = self.layout, self.policy
+        with ThreadPoolExecutor(
+            max_workers=min(policy.max_workers, layout.n_nodes)
+        ) as pool:
+            outcomes = list(pool.map(
+                lambda s: self._run_shard(s, split.local), range(layout.n_nodes)
+            ))
+
+        # Timeout / straggler threshold from the PerformanceModel
+        # estimates of the successful attempts (median is robust to the
+        # stragglers themselves).
+        estimates = [o.winner.estimate_s for o in outcomes if o.winner is not None]
+        median_est = statistics.median(estimates) if estimates else None
+        threshold_s = policy.timeout_factor * (
+            median_est if median_est is not None else policy.fallback_timeout_s
+        )
+
+        wasted: list[NodeAttempt] = []
+        speculated: dict[int, float] = {}
+        if policy.speculate and median_est is not None:
+            stragglers = [
+                o for o in outcomes
+                if o.winner is not None and o.winner.simulated_s > threshold_s
+            ]
+            for outcome in stragglers:  # deterministic shard order
+                before = outcome.winner
+                outcome, extra = self._speculate(outcome, split.local, threshold_s)
+                wasted.extend(extra)
+                if outcome.winner is not before:
+                    speculated[outcome.shard] = threshold_s
+
+        log = RecoveryLog()
+        self._charge(outcomes, speculated, log, median_est)
+
+        covered = [o for o in outcomes if o.covered]
+        coverage = (
+            sum(layout.shards[o.shard].nrows for o in covered) / layout.total_rows
+            if layout.total_rows
+            else (1.0 if covered else 0.0)
+        )
+        frames = [o.winner.frame for o in covered]
+        profiles = [o.winner.profile for o in covered]
+        result = merge_profile = None
+        partial_bytes = [float(f.nbytes) for f in frames]
+        rows = [f.nrows for f in frames]
+        if frames:
+            partials_db = Database("driver")
+            partials_db.add(concat_frames(frames))
+            result = Executor(partials_db).execute(
+                split.build_final(partials_db), optimize=False
+            )
+            merge_profile = result.profile
+        return ResilientRun(
+            query_number=query.number,
+            n_nodes=layout.n_nodes,
+            replication=layout.replication,
+            result=result,
+            coverage=coverage,
+            shard_outcomes=outcomes,
+            recovery=log,
+            node_profiles=profiles,
+            exec_nodes=[o.winner.node for o in covered],
+            covered_shards=[o.shard for o in covered],
+            merge_profile=merge_profile,
+            partial_bytes_per_node=partial_bytes,
+            wasted_profile=WorkProfile.merged_all([w.profile for w in wasted]),
+            single_node=False,
+            local_plan=split.local,
+            node_results_rows=rows,
+        )
+
+    def _run_single_node(self, query: QueryDef, params: dict) -> ResilientRun:
+        """Single-node fallback with failover: every table the query
+        needs is either replicated or (for the lineitem-bearing
+        non-distributable Q15/Q20) taken from the full base catalog, so
+        any healthy node can host the query; sticky-dead candidates are
+        skipped with a recovery event."""
+        layout, policy = self.layout, self.policy
+        # The full base catalog equals a node catalog for every
+        # replicated table; unlike the classic driver this also gives
+        # lineitem-bearing fallback queries the whole table.
+        db = layout.base
+        plan = query.build(db, params)
+        records: list[_AttemptRecord] = []
+        winner: NodeAttempt | None = None
+        for node in range(layout.n_nodes):
+            chain, winner = self._attempt_chain(0, node, plan.node, db)
+            records.extend(chain)
+            if winner is not None:
+                break
+        outcome = ShardOutcome(
+            shard=0,
+            status=(
+                "lost" if winner is None
+                else ("ok" if records and records[0].node == winner.node else "recovered")
+            ),
+            winner=winner,
+            attempts=records,
+        )
+
+        wasted: list[NodeAttempt] = []
+        speculated: dict[int, float] = {}
+        threshold_s = None
+        if winner is not None and policy.speculate and winner.slowdown > 1.0:
+            threshold_s = policy.timeout_factor * winner.estimate_s
+            outcome, wasted = self._speculate_single(outcome, plan.node, db, threshold_s)
+            if outcome.winner is not winner:
+                speculated[0] = threshold_s
+            winner = outcome.winner
+
+        log = RecoveryLog()
+        est = winner.estimate_s if winner is not None else None
+        self._charge([outcome], speculated, log, est)
+
+        result = winner_profile = None
+        if winner is not None:
+            # Re-running through Executor would duplicate work; the
+            # attempt already carries the full result.
+            result = Result(frame=winner.frame, profile=winner.profile)
+            winner_profile = winner.profile
+        return ResilientRun(
+            query_number=query.number,
+            n_nodes=layout.n_nodes,
+            replication=layout.replication,
+            result=result,
+            coverage=1.0 if winner is not None else 0.0,
+            shard_outcomes=[outcome],
+            recovery=log,
+            node_profiles=[winner_profile] if winner_profile is not None else [],
+            exec_nodes=[winner.node] if winner is not None else [],
+            covered_shards=[0] if winner is not None else [],
+            merge_profile=None,
+            partial_bytes_per_node=[],
+            wasted_profile=WorkProfile.merged_all([w.profile for w in wasted]),
+            single_node=True,
+        )
+
+    def _speculate_single(
+        self, outcome: ShardOutcome, plan: PlanNode, db: Database, threshold_s: float
+    ) -> tuple[ShardOutcome, list[NodeAttempt]]:
+        """Speculation for the single-node path: any healthy, untried
+        node can host the replicated-table query."""
+        assert outcome.winner is not None
+        tried = {r.node for r in outcome.attempts}
+        backup = next(
+            (
+                node for node in range(self.layout.n_nodes)
+                if node not in tried and node not in self.fault_plan.dead_nodes
+            ),
+            None,
+        )
+        if backup is None:
+            return outcome, []
+        chain, spec = self._attempt_chain(0, backup, plan, db)
+        for rec in chain:
+            rec.speculative = True
+        outcome.attempts.extend(chain)
+        if spec is None:
+            return outcome, []
+        spec_finish = threshold_s + spec.simulated_s
+        if spec_finish < outcome.winner.simulated_s:
+            wasted = [outcome.winner]
+            outcome.winner = spec
+            outcome.status = "recovered"
+            return outcome, wasted
+        return outcome, [spec]

@@ -56,6 +56,16 @@ class PowerPolicy:
     boot_s: float = 20.0
     boot_power_fraction: float = 0.8
 
+    def __post_init__(self):
+        if self.gate_after_idle_s is not None and self.gate_after_idle_s <= 0:
+            raise ValueError(
+                "gate_after_idle_s must be positive (or None to disable gating)"
+            )
+        if self.boot_s < 0:
+            raise ValueError("boot_s must be non-negative")
+        if not 0.0 <= self.boot_power_fraction <= 1.0:
+            raise ValueError("boot_power_fraction must be within [0, 1]")
+
 
 @dataclass
 class SimulationResult:
@@ -87,8 +97,10 @@ class WorkloadSimulator:
     """
 
     def __init__(self, active_w: float, idle_w: float, policy: PowerPolicy):
-        if active_w <= 0 or idle_w < 0:
-            raise ValueError("power draws must be positive")
+        if active_w <= 0:
+            raise ValueError("active power must be positive")
+        if idle_w < 0:
+            raise ValueError("idle power must be non-negative")
         self.active_w = active_w
         self.idle_w = idle_w
         self.policy = policy

@@ -38,6 +38,7 @@ from .cluster import thrash_multiplier
 from .driver import Driver
 from .network import NetworkModel
 from .node import MemoryModel, NodeSpec, collect_scan_columns
+from .partition import partition_table
 
 __all__ = ["RepartitionedRun", "repartition_database", "run_repartitioned"]
 
@@ -49,13 +50,10 @@ def repartition_database(
     column; replicate the rest. Co-partitioned keys (same modulus) make
     equi-joins on those keys node-local."""
     node_dbs = []
-    shards: dict[str, list] = {}
-    for table_name, key in partition_keys.items():
-        table = db.table(table_name)
-        keys = table.column(key).values
-        shards[table_name] = [
-            table.select_rows(keys % n_nodes == node) for node in range(n_nodes)
-        ]
+    shards: dict[str, list] = {
+        table_name: partition_table(db.table(table_name), n_nodes, key)
+        for table_name, key in partition_keys.items()
+    }
     for node in range(n_nodes):
         node_db = Database(f"{db.name}_shuffle{node}")
         for name in db.table_names:

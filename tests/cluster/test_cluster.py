@@ -3,7 +3,7 @@ network plateau, cost/energy properties."""
 
 import pytest
 
-from repro.cluster import WimPiCluster, thrash_multiplier
+from repro.cluster import FaultPlan, InjectedFault, WimPiCluster, thrash_multiplier
 from repro.tpch import CHOKEPOINTS
 
 
@@ -95,3 +95,54 @@ class TestClusterProperties:
         result = runs[12][1].result
         assert result.column_names[0] == "l_returnflag"
         assert len(result) == 4
+
+
+class TestChaosCluster:
+    """The resilient runtime wired through the Table III model."""
+
+    @pytest.fixture(scope="class")
+    def chaos_cluster(self, tpch_db):
+        plan = FaultPlan((
+            InjectedFault("oom", 1),
+            InjectedFault("straggler", 3, slowdown=40.0),
+        ))
+        return WimPiCluster(
+            4, base_sf=0.01, target_sf=10.0, db=tpch_db,
+            replication=2, fault_plan=plan,
+        )
+
+    def test_recovers_and_matches_clean_results(self, chaos_cluster, runs):
+        run = chaos_cluster.run_query(1)
+        assert run.coverage == 1.0
+        assert run.result.rows == runs[4][1].result.rows
+
+    def test_recovery_charges_inflate_runtime(self, chaos_cluster, tpch_db):
+        clean = WimPiCluster(
+            4, base_sf=0.01, target_sf=10.0, db=tpch_db, replication=2,
+        )
+        chaos_run = chaos_cluster.run_query(6)
+        clean_run = clean.run_query(6)
+        assert chaos_run.recovery_seconds > 0
+        assert chaos_run.total_seconds > clean_run.total_seconds
+        assert clean_run.recovery_seconds == 0.0
+
+    def test_recovery_log_surfaces(self, chaos_cluster):
+        run = chaos_cluster.run_query(6)
+        assert run.recovery_log is not None
+        assert run.recovery_log.count("failover") >= 1
+
+    def test_replication_without_faults_is_clean(self, tpch_db, runs):
+        cluster = WimPiCluster(
+            4, base_sf=0.01, target_sf=10.0, db=tpch_db, replication=2,
+        )
+        run = cluster.run_query(3)
+        assert run.coverage == 1.0
+        assert run.recovery_log.events == []
+        assert run.result.rows == runs[4][3].result.rows
+
+    def test_compression_incompatible_with_resilient_runtime(self, tpch_db):
+        with pytest.raises(ValueError, match="compress"):
+            WimPiCluster(
+                4, base_sf=0.01, target_sf=10.0, db=tpch_db,
+                replication=2, compress=True,
+            )

@@ -84,6 +84,19 @@ class TestConcatFrames:
         with pytest.raises(ValueError, match="mismatch"):
             concat_frames([a, b])
 
+    def test_schema_mismatch_names_offender(self):
+        """The error pinpoints which node diverged and how — both column
+        lists, so a mixed-schema gather is debuggable from the message."""
+        a = Frame({"x": Column.from_ints([1])})
+        b = Frame({"x": Column.from_ints([2])})
+        c = Frame({"x": Column.from_ints([3]), "y": Column.from_ints([4])})
+        with pytest.raises(ValueError) as excinfo:
+            concat_frames([a, b, c])
+        message = str(excinfo.value)
+        assert "node 2" in message
+        assert "['x']" in message
+        assert "['x', 'y']" in message
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             concat_frames([])

@@ -31,3 +31,13 @@ class TestNetworkModel:
     def test_negative_payload(self):
         with pytest.raises(ValueError):
             NetworkModel().transfer_time(-5)
+
+    def test_resend_time_scales_with_retries(self):
+        net = NetworkModel(message_latency_s=0.002)
+        assert net.resend_time() == pytest.approx(0.002)
+        assert net.resend_time(3) == pytest.approx(0.006)
+        assert net.resend_time(0) == 0.0
+
+    def test_resend_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NetworkModel().resend_time(-1)

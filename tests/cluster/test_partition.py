@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster import partition_database, partition_table
+from repro.cluster import partition_database, partition_table, replicate_database
 
 
 class TestPartitionTable:
@@ -49,3 +49,53 @@ class TestPartitionDatabase:
 
     def test_node_count(self, tpch_db):
         assert len(partition_database(tpch_db, 24)) == 24
+
+
+class TestReplicatedLayout:
+    def test_buddy_holders(self, tpch_db):
+        layout = replicate_database(tpch_db, 4, replication=2)
+        assert layout.holders == [[0, 1], [1, 2], [2, 3], [3, 0]]
+
+    def test_replication_one_matches_paper_layout(self, tpch_db):
+        """replication=1 is the paper's single-copy placement: every
+        shard lives only on its own node."""
+        layout = replicate_database(tpch_db, 4, replication=1)
+        assert layout.holders == [[0], [1], [2], [3]]
+        classic = partition_database(tpch_db, 4)
+        for node, node_db in enumerate(layout.node_dbs):
+            assert (
+                node_db.table("lineitem").nrows
+                == classic[node].table("lineitem").nrows
+            )
+
+    def test_shards_cover_lineitem(self, tpch_db):
+        layout = replicate_database(tpch_db, 6, replication=3)
+        assert layout.total_rows == tpch_db.table("lineitem").nrows
+
+    def test_db_for_serves_replicas(self, tpch_db):
+        layout = replicate_database(tpch_db, 4, replication=2)
+        primary = layout.db_for(1, 1)
+        buddy = layout.db_for(1, 2)
+        assert primary.table("lineitem") is buddy.table("lineitem")
+        # Replicated tables are shared by reference with the base catalog.
+        assert primary.table("nation") is tpch_db.table("nation")
+
+    def test_db_for_rejects_non_holder(self, tpch_db):
+        layout = replicate_database(tpch_db, 4, replication=2)
+        with pytest.raises(ValueError, match="does not hold"):
+            layout.db_for(0, 3)
+
+    def test_db_for_caches(self, tpch_db):
+        layout = replicate_database(tpch_db, 4, replication=2)
+        assert layout.db_for(2, 3) is layout.db_for(2, 3)
+
+    def test_replication_bounds(self, tpch_db):
+        with pytest.raises(ValueError, match="replication factor"):
+            replicate_database(tpch_db, 4, replication=0)
+        with pytest.raises(ValueError, match="replication factor"):
+            replicate_database(tpch_db, 4, replication=5)
+
+    def test_full_replication(self, tpch_db):
+        layout = replicate_database(tpch_db, 3, replication=3)
+        for shard in range(3):
+            assert sorted(layout.holders[shard]) == [0, 1, 2]

@@ -40,6 +40,21 @@ class TestClassification:
         with pytest.raises(ValueError):
             classify_pressure(0, -1.0, SwapPolicy.SWAP)
 
+    def test_oom_boundary_is_inclusive(self):
+        """Exactly at the OOM ratio the allocation has already failed."""
+        assert classify_pressure(0, 1.05, SwapPolicy.NO_SWAP).outcome == "oom"
+        assert classify_pressure(0, 1.0499999, SwapPolicy.NO_SWAP).outcome == "ok"
+
+    def test_unresponsive_boundary_is_inclusive(self):
+        assert classify_pressure(0, 3.0, SwapPolicy.SWAP).outcome == "unresponsive"
+        assert classify_pressure(0, 2.9999999, SwapPolicy.SWAP).outcome == "thrash"
+
+    def test_exactly_full_memory_still_fits(self):
+        """pressure == 1.0 completes cleanly under both policies: the
+        thrash boundary is exclusive."""
+        for policy in SwapPolicy:
+            assert classify_pressure(0, 1.0, policy).outcome == "ok"
+
     def test_report_covers_all_nodes(self):
         report = reliability_report({1: [0.5, 1.2], 6: [0.3, 0.4]}, SwapPolicy.SWAP)
         assert [o.outcome for o in report[1]] == ["ok", "thrash"]

@@ -106,3 +106,33 @@ class TestPaperArgument:
             poisson_workload(0, 10)
         with pytest.raises(ValueError):
             WorkloadSimulator(-1.0, 2.0, PowerPolicy())
+
+
+class TestValidation:
+    def test_zero_active_power_rejected(self):
+        with pytest.raises(ValueError, match="active power must be positive"):
+            WorkloadSimulator(0.0, 2.0, PowerPolicy())
+
+    def test_negative_idle_power_rejected(self):
+        with pytest.raises(ValueError, match="idle power must be non-negative"):
+            WorkloadSimulator(10.0, -0.1, PowerPolicy())
+
+    def test_zero_idle_power_allowed(self):
+        """An ideal fully-proportional machine draws nothing at idle."""
+        sim = WorkloadSimulator(10.0, 0.0, PowerPolicy(gate_after_idle_s=None))
+        result = sim.run(_trace((0, 5), (100, 5)))
+        assert result.energy_wh == pytest.approx(10 * 10 / 3600)
+
+    def test_power_policy_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="gate_after_idle_s"):
+            PowerPolicy(gate_after_idle_s=0.0)
+        with pytest.raises(ValueError, match="boot_s"):
+            PowerPolicy(boot_s=-1.0)
+        with pytest.raises(ValueError, match="boot_power_fraction"):
+            PowerPolicy(boot_power_fraction=1.5)
+        with pytest.raises(ValueError, match="boot_power_fraction"):
+            PowerPolicy(boot_power_fraction=-0.1)
+
+    def test_power_policy_accepts_edges(self):
+        PowerPolicy(gate_after_idle_s=None, boot_s=0.0, boot_power_fraction=0.0)
+        PowerPolicy(boot_power_fraction=1.0)
