@@ -64,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-skipping", action="store_true",
                        help="ablation: disable predicate pushdown and "
                             "zone-map data skipping")
+    query.add_argument("--no-latemat", action="store_true",
+                       help="ablation: disable late materialization "
+                            "(selection-vector execution)")
 
     validate = sub.add_parser(
         "validate", help="evaluate the paper's prose claims against the reproduction"
@@ -114,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--no-skipping", action="store_true",
                          help="ablation: disable predicate pushdown and "
                               "zone-map data skipping")
+    sql_cmd.add_argument("--no-latemat", action="store_true",
+                         help="ablation: disable late materialization "
+                              "(selection-vector execution)")
 
     scaling = sub.add_parser(
         "scaling",
@@ -138,10 +144,13 @@ def _render(value, indent: int = 0) -> str:
     return json.dumps(to_jsonable(value), indent=2, sort_keys=True)
 
 
-def _optimizer_settings(no_skipping: bool):
+def _optimizer_settings(no_skipping: bool, no_latemat: bool = False):
     from repro.engine import DEFAULT_SETTINGS, OptimizerSettings
 
-    return OptimizerSettings.disabled() if no_skipping else DEFAULT_SETTINGS
+    settings = OptimizerSettings.disabled() if no_skipping else DEFAULT_SETTINGS
+    if no_latemat:
+        settings = settings.without_latemat()
+    return settings
 
 
 def _execute_maybe_parallel(db, plan, workers: int | None, settings=None):
@@ -180,7 +189,7 @@ def main(argv: list[str] | None = None) -> int:
 
         db = generate(args.sf)
         plan = get_query(args.number).build(db, {"sf": args.sf})
-        settings = _optimizer_settings(args.no_skipping)
+        settings = _optimizer_settings(args.no_skipping, args.no_latemat)
         if args.explain:
             print(explain(plan, db, settings=settings))
             print()
@@ -282,7 +291,7 @@ def main(argv: list[str] | None = None) -> int:
 
         db = generate(args.sf)
         plan = parse_sql(db, args.statement)
-        settings = _optimizer_settings(args.no_skipping)
+        settings = _optimizer_settings(args.no_skipping, args.no_latemat)
         if args.explain:
             print(explain(plan, db, settings=settings))
             print()

@@ -117,9 +117,12 @@ class MemoryModel:
         Full column-at-a-time materialization keeps each operator's
         output (and join hash structures) alive until its consumer
         finishes, so the resident set is close to the *sum* of
-        materializations, not the largest one.
+        materializations, not the largest one. The cluster study models
+        MonetDB's eager pipeline, so intermediates our engine avoided
+        rewriting via selection vectors (``saved_bytes``) still count
+        toward the modeled resident set.
         """
-        return sum(op.out_bytes for op in profile.operators)
+        return sum(op.out_bytes + op.saved_bytes for op in profile.operators)
 
     def pressure_ratio(
         self, db: Database, plan: PlanNode, profile: WorkProfile, scale: float

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.engine import Database, Result, WorkProfile, execute
+from repro.engine import DEFAULT_SETTINGS, Database, Result, WorkProfile, execute
 from repro.tpch import generate, get_query
 
 __all__ = ["ProfiledQuery", "TPCHProfiler"]
@@ -36,11 +36,21 @@ class TPCHProfiler:
             enough that per-query selectivities are stable, small enough
             to run in seconds).
         seed: dbgen seed.
+        settings: optimizer settings the profiling runs use. Defaults to
+            the eager (no late-materialization) pipeline: the paper
+            profiles MonetDB, which fully materializes every
+            intermediate, so fidelity artifacts (Tables II/III, Figs.
+            3-7) are modeled from eager work counts. Pass
+            ``DEFAULT_SETTINGS`` to study the selection-vector engine
+            instead.
     """
 
-    def __init__(self, base_sf: float = 0.05, seed: int = 42):
+    def __init__(self, base_sf: float = 0.05, seed: int = 42, settings=None):
         self.base_sf = base_sf
         self.seed = seed
+        self.settings = (
+            settings if settings is not None else DEFAULT_SETTINGS.without_latemat()
+        )
         self._db: Database | None = None
         self._cache: dict[tuple[int, float], ProfiledQuery] = {}
 
@@ -57,7 +67,7 @@ class TPCHProfiler:
         if key not in self._cache:
             query = get_query(number)
             plan = query.build(self.db, {"sf": self.base_sf})
-            result = execute(self.db, plan)
+            result = execute(self.db, plan, settings=self.settings)
             scaled = result.profile.scaled(target_sf / self.base_sf)
             self._cache[key] = ProfiledQuery(
                 number=number,

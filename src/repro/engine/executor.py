@@ -62,7 +62,8 @@ class ExecContext:
                 self.work = saved
                 if frame.nrows != 1 or len(frame.columns) != 1:
                     raise ValueError("scalar subquery must produce a 1x1 result")
-                self._scalar_cache[key] = next(iter(frame.columns.values())).to_list()[0]
+                name = next(iter(frame.columns))
+                self._scalar_cache[key] = frame.column(name).to_list()[0]
             return self._scalar_cache[key]
 
 
@@ -85,6 +86,12 @@ class Executor:
         ctx = ExecContext(self.db, self)
         start = time.perf_counter()
         frame = self._exec(node, ctx)
+        if frame.is_late:
+            # The result boundary is the last pipeline breaker: gather the
+            # surviving rows and charge it to the final operator.
+            frame = frame.dense(
+                ctx.profile.operators[-1] if ctx.profile.operators else None
+            )
         elapsed = time.perf_counter() - start
         return Result(frame, ctx.profile, wall_seconds=elapsed)
 
@@ -100,11 +107,15 @@ class Executor:
                 ctx,
                 predicate=node.predicate,
                 skipping=self.settings.zone_map_skipping,
+                late=self.settings.late_materialization,
             )
         if isinstance(node, FilterNode):
             child = self._exec(node.child, ctx)
             ctx.work = ctx.profile.new_operator("filter")
-            return execute_filter(child, node.predicate, ctx)
+            return execute_filter(
+                child, node.predicate, ctx,
+                late=self.settings.late_materialization,
+            )
         if isinstance(node, ProjectNode):
             child = self._exec(node.child, ctx)
             ctx.work = ctx.profile.new_operator("project")

@@ -8,6 +8,7 @@ given platform (e.g. Q1's scan dominance on the Pi).
 
 from __future__ import annotations
 
+from .expr import ColRef
 from .optimizer import (
     DEFAULT_SETTINGS,
     OptimizerSettings,
@@ -64,6 +65,32 @@ def _describe(node: PlanNode) -> str:
     return type(node).__name__
 
 
+def _produces_late(node: PlanNode) -> bool:
+    """Whether this operator's output rides a selection vector (under
+    late materialization) instead of materialized columns."""
+    if isinstance(node, ScanNode):
+        return node.predicate is not None
+    if isinstance(node, FilterNode):
+        return True
+    if isinstance(node, ProjectNode):
+        # Pass-through projections keep the selection; computed
+        # expressions materialize their inputs.
+        return all(isinstance(e, ColRef) for _, e in node.exprs) and _produces_late(
+            node.child
+        )
+    if isinstance(node, LimitNode):
+        return _produces_late(node.child)
+    return False
+
+
+def _late_tag(node: PlanNode) -> str:
+    if _produces_late(node):
+        return "  [late: selection vector]"
+    if any(_produces_late(child) for child in node.children()):
+        return "  [materialize]"
+    return ""
+
+
 def explain(
     plan: "Q | PlanNode",
     db: Database,
@@ -78,13 +105,16 @@ def explain(
     node = plan.node if isinstance(plan, Q) else plan
     if node is None:
         raise ValueError("cannot explain an empty plan")
+    effective = settings if settings is not None else DEFAULT_SETTINGS
     if optimize:
-        node = optimize_plan(node, db, settings if settings is not None else DEFAULT_SETTINGS)
+        node = optimize_plan(node, db, effective)
 
     lines: list[str] = []
+    annotate_late = effective.late_materialization
 
     def walk(current: PlanNode, depth: int) -> None:
-        lines.append("  " * depth + "-> " + _describe(current))
+        tag = _late_tag(current) if annotate_late else ""
+        lines.append("  " * depth + "-> " + _describe(current) + tag)
         for child in current.children():
             walk(child, depth + 1)
 
@@ -119,5 +149,11 @@ def explain_profile(result: Result) -> str:
             f"({totals.blocks_skipped:,.0f} blocks skipped, "
             f"{totals.blocks_scanned:,.0f} scanned, "
             f"{totals.zone_probes:,.0f} probes)"
+        )
+    if totals.gather_bytes or totals.saved_bytes:
+        lines.append(
+            f"late materialization: {totals.gather_bytes / 1e6:.2f} MB gathered "
+            f"at pipeline breakers, {totals.saved_bytes / 1e6:.2f} MB of eager "
+            f"intermediate rewrites avoided"
         )
     return "\n".join(lines)

@@ -264,6 +264,10 @@ class Cmp(Expr):
         lcol = self.left.evaluate(frame, ctx)
         rcol = self.right.evaluate(frame, ctx)
         if lcol.dtype is STRING and rcol.dtype is STRING:
+            if lcol.dictionary is rcol.dictionary and self.op in ("==", "!="):
+                # Shared dictionary: equal strings have equal codes, so
+                # compare the int32 codes without decoding either side.
+                return self._masked(lcol, ufunc(lcol.values, rcol.values), rcol)
             mask = ufunc(lcol.decoded().astype(str), rcol.decoded().astype(str))
             ctx.work.rand_accesses += frame.nrows  # dictionary gathers
             return self._masked(lcol, mask, rcol)

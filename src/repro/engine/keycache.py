@@ -1,0 +1,177 @@
+"""Process-wide join-key factorization cache and key-combination helpers.
+
+Joins and group-bys repeatedly factorize the same key arrays: every
+execution of Q3 re-runs ``np.unique`` over ``orders.o_orderkey``, every
+probe of the same build side re-sorts the same encoded keys. For
+immutable tables (the engine's :class:`~repro.engine.table.Table` is
+immutable, and unfiltered scans return the table-owned arrays zero-copy)
+the factorization is a pure function of the backing array's identity, so
+``(table id, column set, version)`` collapses to "the same ndarray
+object" — which this cache keys on directly. Holding a strong reference
+to the keyed array guarantees its ``id()`` cannot be recycled while the
+entry lives, making identity checks sound.
+
+The cache is process-wide and thread-safe (morsel workers share it), and
+bounded both by entry count and by total cached bytes so transient
+per-query arrays cannot pin unbounded memory. Eviction is FIFO — the
+stable table-owned arrays that benefit re-enter on the next execution.
+
+Also hosted here (shared by join, aggregate, and distinct):
+:func:`combine_codes`, the overflow-safe mixed-radix code combiner. The
+naive ``combined * card + codes`` scheme silently wraps int64 once the
+product of key cardinalities reaches 2**63; this version detects that in
+exact Python integers and falls back to lexicographic factorization,
+which orders groups identically (mixed-radix mixing of per-column ranks
+*is* the lexicographic order) at the cost of one ``lexsort``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["KeyCache", "combine_codes", "key_cache"]
+
+_INT64_LIMIT = 2**63
+
+
+def combine_codes(code_arrays: "list[np.ndarray]", cards: "list[int]") -> np.ndarray:
+    """Mix per-column factorization codes into one int64 key per row.
+
+    ``code_arrays[i]`` holds dense codes in ``[0, cards[i])`` for column
+    ``i``. The combined key preserves lexicographic order of the code
+    tuples (most-significant column first), so ``np.unique`` over it
+    yields groups in the same order either path produces.
+    """
+    if not code_arrays:
+        raise ValueError("need at least one code array")
+    if len(code_arrays) == 1:
+        return np.asarray(code_arrays[0], dtype=np.int64)
+    product = 1
+    for card in cards:
+        product *= max(1, int(card))
+    if product < _INT64_LIMIT:
+        combined = np.zeros(len(code_arrays[0]), dtype=np.int64)
+        for codes, card in zip(code_arrays, cards):
+            combined = combined * np.int64(max(1, int(card))) + codes
+        return combined
+    return _lexicographic_codes(code_arrays)
+
+
+def _lexicographic_codes(code_arrays: "list[np.ndarray]") -> np.ndarray:
+    """Dense per-row codes ranking rows by their code tuple
+    (lexicographic, first array most significant). Overflow-proof: ranks
+    are bounded by the row count, not the cardinality product."""
+    n = len(code_arrays[0])
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort(code_arrays[::-1])  # lexsort's last key is primary
+    new_group = np.zeros(n, dtype=bool)
+    new_group[0] = True
+    for codes in code_arrays:
+        in_order = codes[order]
+        new_group[1:] |= in_order[1:] != in_order[:-1]
+    ranks = np.cumsum(new_group) - 1
+    combined = np.empty(n, dtype=np.int64)
+    combined[order] = ranks
+    return combined
+
+
+class KeyCache:
+    """Bounded, thread-safe cache of per-array factorizations and sort
+    orders, keyed by array identity (see module docstring)."""
+
+    def __init__(self, max_entries: int = 32, max_bytes: int = 256 * 1024 * 1024):
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        # key -> (source_array, cached_value); insertion order = FIFO age.
+        self._entries: dict[tuple[str, int], tuple[np.ndarray, object]] = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _payload_bytes(source: np.ndarray, value) -> int:
+        total = source.nbytes
+        for part in value if isinstance(value, tuple) else (value,):
+            if isinstance(part, np.ndarray):
+                total += part.nbytes
+        return total
+
+    def _lookup(self, kind: str, array: np.ndarray):
+        key = (kind, id(array))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is array:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            return None
+
+    def _store(self, kind: str, array: np.ndarray, value) -> None:
+        size = self._payload_bytes(array, value)
+        if size > self.max_bytes:
+            return
+        key = (kind, id(array))
+        with self._lock:
+            if key in self._entries:
+                return
+            while self._entries and (
+                len(self._entries) >= self.max_entries
+                or self._bytes + size > self.max_bytes
+            ):
+                old_key = next(iter(self._entries))
+                old_source, old_value = self._entries.pop(old_key)
+                self._bytes -= self._payload_bytes(old_source, old_value)
+            self._entries[key] = (array, value)
+            self._bytes += size
+
+    # -- cached computations -------------------------------------------
+
+    def factorize(self, array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(uniques, codes)`` of ``np.unique(array, return_inverse=True)``,
+        cached by array identity."""
+        cached = self._lookup("factorize", array)
+        if cached is not None:
+            return cached
+        uniques, codes = np.unique(array, return_inverse=True)
+        codes = codes.astype(np.int64, copy=False).reshape(array.shape)
+        value = (uniques, codes)
+        self._store("factorize", array, value)
+        return value
+
+    def sort_order(self, array: np.ndarray) -> np.ndarray:
+        """Stable argsort of ``array``, cached by array identity (the
+        build-side ordering a repeated hash-join probe reuses)."""
+        cached = self._lookup("sort_order", array)
+        if cached is not None:
+            return cached
+        order = np.argsort(array, kind="stable")
+        self._store("sort_order", array, order)
+        return order
+
+    # -- management ----------------------------------------------------
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+# The process-wide instance every executor shares.
+key_cache = KeyCache()

@@ -55,6 +55,8 @@ def concat_frames(frames: list[Frame]) -> Frame:
     """Stack frames vertically, preserving frame (morsel) order."""
     if not frames:
         raise ValueError("need at least one frame")
+    # Concatenation reads physical columns; late frames gather first.
+    frames = [f.dense() for f in frames]
     if len(frames) == 1:
         return frames[0]
     names = list(frames[0].columns)

@@ -76,14 +76,18 @@ def scan_morsel(
     ctx,
     predicate=None,
     skipping: bool = True,
+    late: bool = False,
 ) -> Frame:
     """Materialize one morsel of a table scan (zero-copy column slices).
 
     Delegates to :func:`~repro.engine.operators.scan.scan_range` — the
     exact code path the serial executor uses — so pushed-down predicates
     and zone-map skipping behave identically per morsel, and the
-    per-morsel profiles sum to the serial scan's profile.
+    per-morsel profiles sum to the serial scan's profile. With ``late``
+    the morsel comes back as a selection over the full base columns
+    (row ids are absolute), so downstream late kernels compose across
+    morsels exactly as they do serially.
     """
     from .operators.scan import scan_range
 
-    return scan_range(table, columns, start, stop, ctx, predicate, skipping)
+    return scan_range(table, columns, start, stop, ctx, predicate, skipping, late=late)

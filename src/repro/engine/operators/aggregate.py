@@ -15,6 +15,7 @@ import numpy as np
 from ..column import Column
 from ..expr import Expr
 from ..frame import Frame
+from ..keycache import combine_codes, key_cache
 from ..types import FLOAT64, INT64, STRING
 
 __all__ = ["AggSpec", "execute_aggregate", "sum_", "avg", "count", "count_star", "count_distinct", "min_", "max_"]
@@ -57,6 +58,26 @@ def max_(expr: Expr) -> AggSpec:
     return AggSpec("max", expr)
 
 
+def _key_codes(column: Column) -> tuple[np.ndarray, int]:
+    """Dense factorization codes for one grouping column, with NULL as
+    its own group (SQL GROUP BY semantics).
+
+    NULL gets the reserved code 0 and valid values shift up by one —
+    never a ``values.min() - 1`` sentinel, which collides with real data
+    (or wraps) when the column already holds the dtype minimum. NULLs
+    keep sorting before every valid value, exactly where the old
+    sentinel placed them, so group output order is unchanged.
+    """
+    values = column.values
+    if column.valid is not None and not bool(column.valid.all()):
+        uniques = np.unique(values[column.valid])
+        codes = np.searchsorted(uniques, values) + 1
+        codes[~column.valid] = 0
+        return codes.astype(np.int64, copy=False), len(uniques) + 1
+    uniques, codes = key_cache.factorize(values)
+    return codes, max(1, len(uniques))
+
+
 def _group_ids(frame: Frame, keys: list[str]) -> tuple[np.ndarray, int, np.ndarray]:
     """Factorize key columns into dense group ids.
 
@@ -65,16 +86,13 @@ def _group_ids(frame: Frame, keys: list[str]) -> tuple[np.ndarray, int, np.ndarr
     if not keys:
         gids = np.zeros(frame.nrows, dtype=np.int64)
         return gids, 1, np.zeros(1, dtype=np.int64)
-    combined = np.zeros(frame.nrows, dtype=np.int64)
+    code_arrays: list[np.ndarray] = []
+    cards: list[int] = []
     for name in keys:
-        column = frame.column(name)
-        values = column.values
-        if column.valid is not None:
-            # Treat NULL as its own group key (SQL GROUP BY semantics).
-            values = np.where(column.valid, values, values.min() - 1 if len(values) else 0)
-        _, codes = np.unique(values, return_inverse=True)
-        card = int(codes.max()) + 1 if len(codes) else 1
-        combined = combined * card + codes
+        codes, card = _key_codes(frame.column(name))
+        code_arrays.append(codes)
+        cards.append(card)
+    combined = combine_codes(code_arrays, cards)
     uniques, gids = np.unique(combined, return_inverse=True)
     n_groups = len(uniques)
     first = np.full(n_groups, -1, dtype=np.int64)
@@ -88,6 +106,80 @@ def _input(spec: AggSpec, frame: Frame, ctx) -> Column:
     return spec.expr.evaluate(frame, ctx)
 
 
+def _global_aggregate(frame: Frame, aggs: dict[str, AggSpec], ctx) -> Frame:
+    """Grouping-free fast path: reduce each aggregate input directly with
+    ``np.sum``/``np.min``/``np.max`` instead of building group ids and
+    ``bincount``-ing against them.
+
+    This is the tail of the fused filter+aggregate pipeline for Q6-class
+    queries: the input is typically a late frame, so each aggregate
+    input gathers only the surviving rows of the columns it reads, and
+    COUNT(*) reads nothing at all. Output rows/dtypes/NaN semantics
+    match the grouped path with one group exactly; sums reduce through
+    the same ``bincount`` kernel so float accumulation order (and thus
+    the last ulp) is identical to the grouped path.
+    """
+    zeros: np.ndarray | None = None
+
+    def _total(weights: np.ndarray) -> float:
+        nonlocal zeros
+        if zeros is None:
+            zeros = np.zeros(frame.nrows, dtype=np.intp)
+        return float(np.bincount(zeros, weights=weights, minlength=1)[0])
+
+    out_columns: dict[str, Column] = {}
+    for name, spec in aggs.items():
+        if spec.func == "count_star":
+            out_columns[name] = Column(INT64, np.asarray([frame.nrows], dtype=np.int64))
+            continue
+        column = _input(spec, frame, ctx)
+        values = column.values.astype(np.float64)
+        valid = column.valid
+        if spec.func == "sum":
+            weights = values if valid is None else np.where(valid, values, 0.0)
+            out_columns[name] = Column(FLOAT64, np.asarray([_total(weights)]))
+        elif spec.func == "avg":
+            weights = values if valid is None else np.where(valid, values, 0.0)
+            total = _total(weights)
+            count = float(frame.nrows) if valid is None else float(valid.sum())
+            with np.errstate(invalid="ignore", divide="ignore"):
+                out_columns[name] = Column(FLOAT64, np.asarray([total]) / count if count else np.asarray([np.nan]))
+        elif spec.func == "count":
+            count = frame.nrows if valid is None else int(valid.sum())
+            out_columns[name] = Column(INT64, np.asarray([count], dtype=np.int64))
+        elif spec.func in ("min", "max"):
+            target = values if valid is None else values[valid]
+            if len(target):
+                extreme = float(target.min() if spec.func == "min" else target.max())
+            else:
+                extreme = np.nan
+            out = np.asarray([extreme])
+            if column.dtype is INT64:
+                safe = np.where(np.isnan(out), 0, out)
+                out_columns[name] = Column(
+                    INT64, safe.astype(np.int64),
+                    valid=~np.isnan(out) if np.isnan(out).any() else None,
+                )
+            else:
+                out_columns[name] = Column(FLOAT64, out)
+        elif spec.func == "count_distinct":
+            key = column.decoded() if column.dtype is STRING else column.values
+            if valid is not None:
+                key = key[valid]
+            out_columns[name] = Column(INT64, np.asarray([len(np.unique(key))], dtype=np.int64))
+        else:
+            raise ValueError(f"unknown aggregate {spec.func!r}")
+
+    out = Frame(out_columns, 1)
+    ctx.work.tuples_in += frame.nrows
+    ctx.work.tuples_out += 1
+    ctx.work.ops += frame.nrows * max(1, len(aggs))
+    ctx.work.seq_bytes += frame.nrows * 8 * max(1, len(aggs))
+    ctx.work.out_bytes += out.nbytes
+    ctx.work.gather_bytes += frame.drain_gather_debt()
+    return out
+
+
 def execute_aggregate(
     frame: Frame,
     group_by: list[str],
@@ -99,6 +191,8 @@ def execute_aggregate(
     With no grouping keys the result has exactly one row (global
     aggregate), even over empty input (COUNT=0, SUM=0, MIN/MAX=NaN).
     """
+    if not group_by:
+        return _global_aggregate(frame, aggs, ctx)
     gids, n_groups, first = _group_ids(frame, group_by)
 
     out_columns: dict[str, Column] = {}
@@ -179,4 +273,5 @@ def execute_aggregate(
     ctx.work.rand_accesses += frame.nrows if group_by else 0
     ctx.work.seq_bytes += frame.nrows * 8 * max(1, len(aggs))
     ctx.work.out_bytes += out.nbytes
+    ctx.work.gather_bytes += frame.drain_gather_debt()
     return out

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..frame import Frame
+from ..keycache import combine_codes
 from ..types import STRING
 
 __all__ = ["execute_distinct"]
@@ -14,13 +15,19 @@ def execute_distinct(frame: Frame, columns: list[str] | None, ctx) -> Frame:
     """Keep the first row of each distinct combination of ``columns``
     (default: all columns)."""
     names = columns if columns is not None else list(frame.columns)
-    combined = np.zeros(frame.nrows, dtype=np.int64)
+    code_arrays: list[np.ndarray] = []
+    cards: list[int] = []
     for name in names:
         column = frame.column(name)
-        values = column.decoded() if column.dtype is STRING else column.values
-        _, codes = np.unique(values, return_inverse=True)
-        card = int(codes.max()) + 1 if len(codes) else 1
-        combined = combined * card + codes
+        if column.dtype is STRING:
+            # Dictionary codes are already a dense factorization.
+            code_arrays.append(column.values.astype(np.int64, copy=False))
+            cards.append(max(1, len(column.dictionary)))
+        else:
+            uniques, codes = np.unique(column.values, return_inverse=True)
+            code_arrays.append(codes.astype(np.int64, copy=False))
+            cards.append(max(1, len(uniques)))
+    combined = combine_codes(code_arrays, cards)
     _, first = np.unique(combined, return_index=True)
     out = frame.take(np.sort(first))
     ctx.work.tuples_in += frame.nrows
@@ -28,4 +35,5 @@ def execute_distinct(frame: Frame, columns: list[str] | None, ctx) -> Frame:
     ctx.work.rand_accesses += frame.nrows
     ctx.work.ops += frame.nrows
     ctx.work.out_bytes += out.nbytes
+    ctx.work.gather_bytes += frame.drain_gather_debt()
     return out

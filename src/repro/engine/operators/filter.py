@@ -3,23 +3,41 @@
 from __future__ import annotations
 
 from ..expr import Expr
-from ..frame import Frame
+from ..frame import LATE_BREAK_SELECTIVITY, Frame
 
 __all__ = ["execute_filter"]
 
 
-def execute_filter(frame: Frame, predicate: Expr, ctx) -> Frame:
+def execute_filter(frame: Frame, predicate: Expr, ctx, late: bool = False) -> Frame:
     """Keep the rows of ``frame`` where ``predicate`` is true.
 
     The predicate's per-row arithmetic is charged by the expression
     evaluator; the filter itself charges the selection-vector
-    materialization (output columns are rewritten compactly, as in
-    MonetDB's candidate-list execution).
+    materialization. Eager mode rewrites the output columns compactly
+    (MonetDB's candidate-list execution); late mode emits or composes a
+    selection vector over the input's base columns and defers the
+    rewrite to a pipeline breaker.
     """
     mask = predicate.evaluate(frame, ctx).values
-    out = frame.filter(mask)
+    if late or frame.is_late:
+        out = frame.filter_late(mask) if late else frame.filter(mask)
+        if (
+            out.is_late
+            and not out._selection_is_contiguous()
+            and out.nrows > LATE_BREAK_SELECTIVITY * frame.nrows
+        ):
+            # Dense-but-scattered survivors: break the selection vector
+            # and rewrite compactly (streaming beats point gathers here).
+            out = out.dense()
+    else:
+        out = frame.filter(mask)
     ctx.work.tuples_in += frame.nrows
     ctx.work.tuples_out += out.nrows
     ctx.work.seq_bytes += frame.nrows  # the mask/candidate list itself
-    ctx.work.out_bytes += out.nbytes
+    ctx.work.gather_bytes += frame.drain_gather_debt()
+    if out.is_late:
+        ctx.work.out_bytes += out.selection.nbytes
+        ctx.work.saved_bytes += out.nbytes  # the avoided compact rewrite
+    else:
+        ctx.work.out_bytes += out.nbytes
     return out

@@ -5,6 +5,14 @@ encoded keys, which is a cache-friendly stand-in with identical output to
 a hash join; the *work profile* it records is that of a classic hash join
 (build inserts + random probes), because that is what MonetDB executes
 and what the hardware model should price.
+
+String keys join on dictionary codes whenever possible: sides sharing a
+dictionary object compare int32 codes directly, and differing
+dictionaries are remapped through their union — O(|dictionaries|) work —
+instead of decoding every row to Python strings. Key factorizations and
+build-side sort orders are memoized in the process-wide
+:mod:`~repro.engine.keycache`, so repeated executions against the same
+(immutable) base arrays skip the ``np.unique``/``argsort``.
 """
 
 from __future__ import annotations
@@ -13,32 +21,79 @@ import numpy as np
 
 from ..column import Column
 from ..frame import Frame
+from ..keycache import combine_codes, key_cache
 from ..types import STRING
 
 __all__ = ["execute_join"]
 
 
 def _encode_key(column: Column) -> np.ndarray:
-    """Return an int64 array that equality-matches the column's values
-    across frames (strings are decoded so differing dictionaries agree)."""
+    """Return an array that equality-matches the column's values
+    across frames (strings are decoded so differing dictionaries agree).
+    Prefer :func:`_encode_key_pair` when both sides are at hand — it
+    stays on dictionary codes."""
     if column.dtype is STRING:
         return column.decoded()
     return column.values
 
 
+def _union_dictionary_codes(
+    left_col: Column, right_col: Column
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Remap two dictionary-encoded columns onto their union dictionary.
+
+    Returns ``(union_dict, left_codes, right_codes)``. Cost is
+    O(|left dict| + |right dict|) plus one O(rows) int gather per side —
+    never a per-row string decode.
+    """
+    union = np.unique(np.concatenate([left_col.dictionary, right_col.dictionary]))
+    lmap = np.searchsorted(union, left_col.dictionary)
+    rmap = np.searchsorted(union, right_col.dictionary)
+    return union, lmap[left_col.values], rmap[right_col.values]
+
+
+def _encode_key_pair(
+    left_col: Column, right_col: Column, ctx
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode one key-column pair into equality-comparable arrays.
+
+    String sides sharing a dictionary object match on raw codes;
+    differing dictionaries remap through the union dictionary. Either
+    way the per-row work is integer, not string.
+    """
+    if left_col.dtype is STRING and right_col.dtype is STRING:
+        if left_col.dictionary is right_col.dictionary:
+            return left_col.values, right_col.values
+        _, left_codes, right_codes = _union_dictionary_codes(left_col, right_col)
+        # The remap touches each dictionary entry once.
+        ctx.work.ops += len(left_col.dictionary) + len(right_col.dictionary)
+        return left_codes, right_codes
+    return _encode_key(left_col), _encode_key(right_col)
+
+
 def _combine_keys(columns: list[Column]) -> np.ndarray:
-    """Combine one or more key columns into a single comparable array."""
-    encoded = [_encode_key(c) for c in columns]
-    if len(encoded) == 1:
-        return encoded[0]
-    # Factorize each key and mix into a single int64 (cardinalities in
-    # TPC-H keys are far below the overflow threshold).
-    combined = np.zeros(len(encoded[0]), dtype=np.int64)
-    for arr in encoded:
-        _, codes = np.unique(arr, return_inverse=True)
-        card = int(codes.max()) + 1 if len(codes) else 1
-        combined = combined * card + codes
-    return combined
+    """Combine one or more key columns into a single comparable array.
+
+    Each column is factorized to dense codes (dictionary codes already
+    are dense for strings) and the codes are mixed via
+    :func:`~repro.engine.keycache.combine_codes`, which detects int64
+    overflow of the cardinality product and falls back to lexicographic
+    factorization instead of silently wrapping.
+    """
+    if len(columns) == 1 and columns[0].dtype is not STRING:
+        return columns[0].values
+    code_arrays: list[np.ndarray] = []
+    cards: list[int] = []
+    for column in columns:
+        if column.dtype is STRING:
+            # Dictionary codes are already a dense factorization.
+            code_arrays.append(column.values.astype(np.int64, copy=False))
+            cards.append(max(1, len(column.dictionary)))
+        else:
+            uniques, codes = key_cache.factorize(column.values)
+            code_arrays.append(codes)
+            cards.append(max(1, len(uniques)))
+    return combine_codes(code_arrays, cards)
 
 
 def _null_mask(columns: list[Column]) -> np.ndarray | None:
@@ -57,7 +112,7 @@ def _match(
     Returns ``(counts, left_expanded, right_expanded)`` where the expanded
     arrays list each (left, right) match pair.
     """
-    order = np.argsort(right_keys, kind="stable")
+    order = key_cache.sort_order(right_keys)
     sorted_keys = right_keys[order]
     lo = np.searchsorted(sorted_keys, left_keys, side="left")
     hi = np.searchsorted(sorted_keys, left_keys, side="right")
@@ -83,15 +138,21 @@ def execute_join(
     ``how`` is one of ``inner``, ``left`` (left outer), ``semi``
     (left semi), ``anti`` (left anti). Semi/anti keep only left columns.
     Rows whose key is NULL never match.
+
+    Late (selection-vector) inputs gather only their key columns here;
+    payload columns materialize once, through the composed
+    selection ∘ match indices, in :func:`_materialize_pair` — or not at
+    all for semi/anti joins, whose outputs stay late.
     """
     left_cols = [left.column(n) for n in left_on]
     right_cols = [right.column(n) for n in right_on]
     if len(left_cols) == 1:
-        left_keys = _encode_key(left_cols[0])
-        right_keys = _encode_key(right_cols[0])
+        left_keys, right_keys = _encode_key_pair(left_cols[0], right_cols[0], ctx)
     else:
         # Multi-key combination must factorize over the union so codes agree.
-        both = _combine_keys([_stack(lc, rc) for lc, rc in zip(left_cols, right_cols)])
+        both = _combine_keys(
+            [_stack(lc, rc, ctx) for lc, rc in zip(left_cols, right_cols)]
+        )
         left_keys, right_keys = both[: left.nrows], both[left.nrows :]
 
     left_null = _null_mask(left_cols)
@@ -142,16 +203,27 @@ def execute_join(
     else:
         raise ValueError(f"unknown join type {how!r}")
 
+    # Key-column gathers on late inputs are the join's materialization
+    # price; charge them as random access.
+    ctx.work.gather_bytes += left.drain_gather_debt() + right.drain_gather_debt()
     ctx.work.tuples_out += out.nrows
     ctx.work.out_bytes += out.nbytes
     return out
 
 
-def _stack(left_col: Column, right_col: Column) -> Column:
-    """Concatenate two key columns (for shared factorization)."""
+def _stack(left_col: Column, right_col: Column, ctx) -> Column:
+    """Concatenate two key columns (for shared factorization) without
+    decoding strings: same-dictionary sides concatenate codes, differing
+    dictionaries remap through the union dictionary first."""
     if left_col.dtype is STRING:
-        values = np.concatenate([left_col.decoded(), right_col.decoded()])
-        return Column.from_strings(list(values))
+        if left_col.dictionary is right_col.dictionary:
+            codes = np.concatenate([left_col.values, right_col.values])
+            return Column(STRING, codes, dictionary=left_col.dictionary)
+        union, left_codes, right_codes = _union_dictionary_codes(left_col, right_col)
+        ctx.work.ops += len(left_col.dictionary) + len(right_col.dictionary)
+        return Column.from_string_codes(
+            np.concatenate([left_codes, right_codes]).astype(np.int32), union
+        )
     values = np.concatenate([left_col.values, right_col.values])
     return Column(left_col.dtype, values)
 
@@ -163,6 +235,11 @@ def _materialize_pair(
     right_idx: np.ndarray,
     right_on: list[str],
 ) -> Frame:
+    """Gather the matched rows of both sides into one dense frame. Late
+    inputs compose their selection with the match indices so every
+    payload column is gathered exactly once, straight from the base."""
+    left_idx = left.row_ids(left_idx)
+    right_idx = right.row_ids(right_idx)
     columns = {name: col.take(left_idx) for name, col in left.columns.items()}
     for name, col in right.columns.items():
         if name in columns:

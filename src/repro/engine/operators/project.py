@@ -10,7 +10,15 @@ __all__ = ["execute_project"]
 
 def execute_project(frame: Frame, exprs: dict[str, Expr], ctx) -> Frame:
     """Evaluate ``exprs`` over ``frame``; the output has exactly those
-    columns. Plain column references are zero-copy."""
+    columns. Plain column references are zero-copy, and a pass-through
+    projection over a late frame keeps its selection vector intact
+    (renaming base columns costs nothing)."""
+    if frame.is_late and all(isinstance(e, ColRef) for e in exprs.values()):
+        columns = {name: frame.columns[e.name] for name, e in exprs.items()}
+        out = Frame(columns, selection=frame.selection)
+        ctx.work.tuples_in += frame.nrows
+        ctx.work.tuples_out += out.nrows
+        return out
     columns = {}
     materialized_bytes = 0
     for name, expr in exprs.items():
@@ -22,4 +30,5 @@ def execute_project(frame: Frame, exprs: dict[str, Expr], ctx) -> Frame:
     ctx.work.tuples_in += frame.nrows
     ctx.work.tuples_out += out.nrows
     ctx.work.out_bytes += materialized_bytes
+    ctx.work.gather_bytes += frame.drain_gather_debt()
     return out

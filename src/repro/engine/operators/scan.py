@@ -28,7 +28,7 @@ import numpy as np
 
 from ..column import Column
 from ..compression import CompressedColumn
-from ..frame import Frame
+from ..frame import LATE_BREAK_SELECTIVITY, SELECTION_DTYPE, Frame
 from ..table import Table
 from ..zonemap import (
     BLOCK_EVAL,
@@ -103,6 +103,7 @@ def scan_range(
     ctx,
     predicate=None,
     skipping: bool = True,
+    late: bool = False,
 ) -> Frame:
     """Scan rows ``[start, stop)`` of ``table``, applying ``predicate``
     (if any) with zone-map block skipping (if enabled).
@@ -176,6 +177,49 @@ def scan_range(
     filter_work = ctx.profile.new_operator("filter")
     ctx.work = filter_work
 
+    if late and all(name in decoded for name in stream_names):
+        # Late materialization: emit the base columns untouched plus a
+        # selection vector of surviving row ids. TAKE runs contribute a
+        # contiguous range, EVAL runs the rows their mask keeps; no
+        # column is rewritten here — the gather waits for a breaker.
+        sel_parts: list[np.ndarray] = []
+        for kind, lo, hi in runs:
+            if kind == BLOCK_SKIP:
+                continue
+            filter_work.tuples_in += hi - lo
+            if kind == BLOCK_TAKE:
+                sel_parts.append(np.arange(lo, hi, dtype=SELECTION_DTYPE))
+            else:
+                run_frame = Frame(
+                    {n: decoded[n].slice(lo, hi) for n in stream_names}, hi - lo
+                )
+                mask = predicate.evaluate(run_frame, ctx).values
+                filter_work.seq_bytes += hi - lo  # the mask / candidate list
+                sel_parts.append((lo + np.flatnonzero(mask)).astype(SELECTION_DTYPE))
+        if len(sel_parts) == 1:
+            sel = sel_parts[0]
+        elif sel_parts:
+            sel = np.concatenate(sel_parts)
+        else:
+            sel = np.empty(0, dtype=SELECTION_DTYPE)
+        out_frame = Frame({n: decoded[n] for n in out_names}, selection=sel)
+        if (
+            not out_frame._selection_is_contiguous()
+            and out_frame.nrows > LATE_BREAK_SELECTIVITY * max(1, survived)
+        ):
+            # The selection is dense but scattered: the deferred gathers
+            # would touch almost every cache line, so break the vector
+            # here and pay the streaming rewrite an eager filter pays.
+            out_frame = out_frame.dense()
+            filter_work.tuples_out += out_frame.nrows
+            filter_work.out_bytes += out_frame.nbytes
+            return out_frame
+        filter_work.tuples_out += out_frame.nrows
+        filter_work.out_bytes += sel.nbytes
+        # The compact column rewrite an eager filter would have paid.
+        filter_work.saved_bytes += out_frame.nbytes
+        return out_frame
+
     pieces: list[Frame] = []
     for kind, lo, hi in runs:
         if kind == BLOCK_SKIP:
@@ -206,7 +250,12 @@ def scan_range(
 
 
 def execute_scan(
-    table: Table, columns: list[str] | None, ctx, predicate=None, skipping: bool = True
+    table: Table,
+    columns: list[str] | None,
+    ctx,
+    predicate=None,
+    skipping: bool = True,
+    late: bool = False,
 ) -> Frame:
     """Read ``columns`` (default: all) of ``table``.
 
@@ -215,6 +264,8 @@ def execute_scan(
     for OLAP queries (and the reason Q1 is the Pi's worst query).
     Compressed columns stream fewer bytes but cost decode ops. Blocks a
     zone map proves empty against the pushed-down predicate are charged
-    ``skipped_bytes`` (and zone probes) instead of streaming.
+    ``skipped_bytes`` (and zone probes) instead of streaming. With
+    ``late`` a predicated scan returns a selection vector over the base
+    columns instead of rewriting the survivors.
     """
-    return scan_range(table, columns, 0, table.nrows, ctx, predicate, skipping)
+    return scan_range(table, columns, 0, table.nrows, ctx, predicate, skipping, late)

@@ -60,6 +60,7 @@ def execute_topk(frame: Frame, keys: list[tuple[str, str]], n: int, ctx) -> Fram
     ctx.work.tuples_in += frame.nrows
     ctx.work.ops += frame.nrows
     ctx.work.seq_bytes += frame.column(keys[0][0]).nbytes
+    ctx.work.gather_bytes += frame.drain_gather_debt()
     return out
 
 
@@ -78,4 +79,5 @@ def execute_sort(frame: Frame, keys: list[tuple[str, str]], ctx) -> Frame:
     ctx.work.rand_accesses += n  # the reorder gather
     ctx.work.seq_bytes += sum(frame.column(k).nbytes for k, _ in keys)
     ctx.work.out_bytes += out.nbytes
+    ctx.work.gather_bytes += frame.drain_gather_debt()
     return out

@@ -24,4 +24,5 @@ def execute_union_all(left: Frame, right: Frame, ctx) -> Frame:
     ctx.work.tuples_out += out.nrows
     ctx.work.seq_bytes += left.nbytes + right.nbytes
     ctx.work.out_bytes += out.nbytes
+    ctx.work.gather_bytes += left.drain_gather_debt() + right.drain_gather_debt()
     return out

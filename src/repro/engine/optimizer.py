@@ -20,7 +20,7 @@ CLI ablation maps to ``OptimizerSettings.disabled()``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from .expr import ColRef, Expr, rewrite_colrefs
 from .plan import (
@@ -58,20 +58,38 @@ class OptimizerSettings:
         zone_map_skipping: let scans consult zone maps to skip blocks a
             scan predicate provably excludes (pushdown without skipping
             still filters at the scan, it just streams every block).
+        late_materialization: have scans and filters emit selection
+            vectors over the base columns instead of rewriting compact
+            column copies; gathers are deferred to pipeline breakers
+            (joins, aggregates, sorts, DISTINCT, UNION ALL, the final
+            result). Orthogonal to pushdown/skipping: the ``--no-latemat``
+            ablation flips only this flag.
     """
 
     predicate_pushdown: bool = True
     zone_map_skipping: bool = True
+    late_materialization: bool = True
 
     @classmethod
     def disabled(cls) -> "OptimizerSettings":
-        """The ``--no-skipping`` ablation: no pushdown, no skipping."""
+        """The ``--no-skipping`` ablation: no pushdown, no skipping.
+        Late materialization is left at its default — it is a separate
+        ablation axis (``without_latemat``)."""
         return cls(predicate_pushdown=False, zone_map_skipping=False)
+
+    def without_latemat(self) -> "OptimizerSettings":
+        """These settings with late materialization turned off (every
+        filter rewrites compact column copies, as the seed engine did)."""
+        return replace(self, late_materialization=False)
 
     def cache_key(self) -> str:
         """Stable tag mixed into plan fingerprints so results computed
         under different optimizer settings never alias in the cache."""
-        return f"pd={int(self.predicate_pushdown)},zm={int(self.zone_map_skipping)}"
+        return (
+            f"pd={int(self.predicate_pushdown)},"
+            f"zm={int(self.zone_map_skipping)},"
+            f"lm={int(self.late_materialization)}"
+        )
 
 
 DEFAULT_SETTINGS = OptimizerSettings()

@@ -176,6 +176,10 @@ class ParallelExecutor(Executor):
     def _run(self, node: PlanNode) -> tuple[Frame, "object"]:
         ctx = ExecContext(self.db, self)
         frame = self._exec(node, ctx)
+        if frame.is_late:
+            frame = frame.dense(
+                ctx.profile.operators[-1] if ctx.profile.operators else None
+            )
         return frame, ctx.profile
 
     # -- segment detection ---------------------------------------------
@@ -316,6 +320,8 @@ class ParallelExecutor(Executor):
         if segment.kind == "aggregate":
             partial_aggs, _ = decompose_aggregates(dict(segment.node.aggs))
 
+        late = self.settings.late_materialization
+
         def run_morsel(bounds: tuple[int, int]) -> tuple[Frame, "object"]:
             mctx = MorselContext(self.db, ctx)
             mctx.work = mctx.profile.new_operator("scan")
@@ -325,11 +331,12 @@ class ParallelExecutor(Executor):
                 bounds[0], bounds[1], mctx,
                 predicate=scan.predicate,
                 skipping=self.settings.zone_map_skipping,
+                late=late,
             )
             for op in segment.chain[1:]:
                 if isinstance(op, FilterNode):
                     mctx.work = mctx.profile.new_operator("filter")
-                    frame = execute_filter(frame, op.predicate, mctx)
+                    frame = execute_filter(frame, op.predicate, mctx, late=late)
                 else:
                     mctx.work = mctx.profile.new_operator("project")
                     frame = execute_project(frame, dict(op.exprs), mctx)
@@ -342,6 +349,10 @@ class ParallelExecutor(Executor):
                 keys = list(segment.node.child.keys)
                 mctx.work = mctx.profile.new_operator("topk")
                 frame = execute_topk(frame, keys, segment.node.n, mctx)
+            # Morsel boundaries are pipeline breakers: the merge phase
+            # concatenates physical columns, so late morsels gather here
+            # (charged to the morsel's last operator).
+            frame = frame.dense(mctx.work)
             return frame, mctx.profile
 
         if self.workers > 1:

@@ -36,6 +36,12 @@ class OperatorWork:
         zone_probes: zone-map block probes performed.
         blocks_skipped: zone-map blocks proven empty and not streamed.
         blocks_scanned: zone-map blocks actually streamed.
+        gather_bytes: bytes materialized through a non-contiguous
+            selection vector at a pipeline breaker (priced as random
+            access by the performance model).
+        saved_bytes: bytes a late-materialized operator did NOT rewrite
+            because it passed a selection vector downstream instead of a
+            compact column copy.
     """
 
     operator: str
@@ -49,6 +55,8 @@ class OperatorWork:
     zone_probes: float = 0.0
     blocks_skipped: float = 0.0
     blocks_scanned: float = 0.0
+    gather_bytes: float = 0.0
+    saved_bytes: float = 0.0
 
     def scaled(self, factor: float) -> "OperatorWork":
         return OperatorWork(
@@ -63,6 +71,8 @@ class OperatorWork:
             zone_probes=self.zone_probes * factor,
             blocks_skipped=self.blocks_skipped * factor,
             blocks_scanned=self.blocks_scanned * factor,
+            gather_bytes=self.gather_bytes * factor,
+            saved_bytes=self.saved_bytes * factor,
         )
 
     def add(self, other: "OperatorWork") -> None:
@@ -77,6 +87,8 @@ class OperatorWork:
         self.zone_probes += other.zone_probes
         self.blocks_skipped += other.blocks_skipped
         self.blocks_scanned += other.blocks_scanned
+        self.gather_bytes += other.gather_bytes
+        self.saved_bytes += other.saved_bytes
 
 
 @dataclass
@@ -142,6 +154,14 @@ class WorkProfile:
     @property
     def blocks_scanned(self) -> float:
         return sum(op.blocks_scanned for op in self.operators)
+
+    @property
+    def gather_bytes(self) -> float:
+        return sum(op.gather_bytes for op in self.operators)
+
+    @property
+    def saved_bytes(self) -> float:
+        return sum(op.saved_bytes for op in self.operators)
 
     @property
     def result_bytes(self) -> float:

@@ -48,6 +48,9 @@ class CalibrationConstants:
         zone_probe_ops: proxy ops charged per zone-map block probe — a
             min/max comparison against cached statistics, so skipped
             blocks cost cycles (a few per 4096 rows) instead of bytes.
+        gather_line_bytes: bytes fetched per random access when a late
+            selection vector is materialized at a pipeline breaker — one
+            cache line of gathered payload per deferred-row touch.
     """
 
     cycles_per_op: float = 22.1
@@ -62,6 +65,7 @@ class CalibrationConstants:
     serial_fraction: float = 0.02
     mem_serial_fraction: float = 0.0666
     zone_probe_ops: float = 4.0
+    gather_line_bytes: float = 64.0
 
     def replaced(self, **kwargs) -> "CalibrationConstants":
         return replace(self, **kwargs)

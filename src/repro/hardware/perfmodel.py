@@ -208,7 +208,12 @@ class PerformanceModel:
         if resident:
             latency *= c.llc_resident_discount
         mlp = min(threads, platform.total_cores) * c.mlp_per_core
-        random = op.rand_accesses * latency / max(1.0, mlp)
+        # Deferred gathers (late materialization) are random by nature:
+        # price each cache line of gathered payload as one access. The
+        # bytes the selection vector *saved* (op.saved_bytes) never enter
+        # the sequential term at all — that is the optimization.
+        gather_accesses = op.gather_bytes / c.gather_line_bytes
+        random = (op.rand_accesses + gather_accesses) * latency / max(1.0, mlp)
         return compute, seq, random
 
     def breakdown(
