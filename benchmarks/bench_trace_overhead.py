@@ -1,0 +1,115 @@
+"""Tracing overhead gate: observability must be ~free when off, cheap when on.
+
+The trace layer's contract is a single ``tracer.enabled`` attribute
+check on the hot path when tracing is off (the default executor holds
+the shared ``NULL_TRACER``). This benchmark measures Q1 and Q6 — the
+paper's compute-bound and bandwidth-bound poles — three ways:
+
+* **base** — default executor (implicit NullTracer),
+* **null** — an explicitly passed ``NullTracer`` (must be the same code
+  path: <= 5% of base),
+* **traced** — a live ``Tracer`` collecting the full span tree
+  (<= 15% over base).
+
+Emits ``benchmarks/output/BENCH_trace.json``.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_trace_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.engine import Executor
+from repro.obs.trace import NullTracer, Tracer, iter_spans
+from repro.tpch import generate, get_query
+
+from conftest import write_artifact
+
+BENCH_SF = 0.2
+REPEATS = 7
+MAX_DISABLED_OVERHEAD = 1.05
+MAX_ENABLED_OVERHEAD = 1.15
+BENCH_QUERIES = (1, 6)
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = generate(BENCH_SF, seed=42)
+    db.build_zone_maps()
+    return db
+
+
+def _best_wall(make_executor, plan):
+    """Best-of-REPEATS wall clock; a fresh executor/tracer per repeat so
+    traced runs do not accumulate span trees across measurements."""
+    best, spans = float("inf"), 0
+    for _ in range(REPEATS):
+        executor = make_executor()
+        start = time.perf_counter()
+        executor.execute(plan)
+        best = min(best, time.perf_counter() - start)
+        if executor.tracer.enabled:
+            spans = sum(1 for root in executor.tracer.roots
+                        for _ in iter_spans(root))
+    return best, spans
+
+
+def test_trace_overhead(benchmark, db, output_dir):
+    entries = []
+    for number in BENCH_QUERIES:
+        plan = get_query(number).build(db, {"sf": BENCH_SF})
+        t_base, _ = _best_wall(lambda: Executor(db), plan)
+        t_null, _ = _best_wall(lambda: Executor(db, tracer=NullTracer()), plan)
+        t_traced, spans = _best_wall(lambda: Executor(db, tracer=Tracer()), plan)
+        entries.append({
+            "query": f"Q{number}",
+            "seconds_base": t_base,
+            "seconds_null": t_null,
+            "seconds_traced": t_traced,
+            "overhead_disabled": t_null / max(t_base, 1e-9),
+            "overhead_enabled": t_traced / max(t_base, 1e-9),
+            "spans": spans,
+        })
+
+    benchmark.pedantic(
+        lambda: Executor(db).execute(get_query(6).build(db, {"sf": BENCH_SF})),
+        rounds=1, iterations=1,
+    )
+
+    report = {
+        "sf": BENCH_SF,
+        "repeats": REPEATS,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "max_enabled_overhead": MAX_ENABLED_OVERHEAD,
+        "queries": entries,
+    }
+    (output_dir / "BENCH_trace.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    lines = [f"tracing overhead @ SF {BENCH_SF:g} (best of {REPEATS})"]
+    for e in entries:
+        lines.append(
+            f"  {e['query']:<4} base {e['seconds_base'] * 1e3:7.2f} ms | "
+            f"off {e['overhead_disabled']:.3f}x | "
+            f"on {e['overhead_enabled']:.3f}x ({e['spans']} spans)"
+        )
+    text = "\n".join(lines)
+    write_artifact(output_dir, "trace_overhead", text)
+    print("\n" + text)
+
+    for e in entries:
+        assert e["overhead_disabled"] <= MAX_DISABLED_OVERHEAD, (
+            f"{e['query']}: disabled tracing costs "
+            f"{(e['overhead_disabled'] - 1) * 100:.1f}% (gate: 5%)"
+        )
+        assert e["overhead_enabled"] <= MAX_ENABLED_OVERHEAD, (
+            f"{e['query']}: enabled tracing costs "
+            f"{(e['overhead_enabled'] - 1) * 100:.1f}% (gate: 15%)"
+        )

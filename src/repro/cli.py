@@ -67,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-latemat", action="store_true",
                        help="ablation: disable late materialization "
                             "(selection-vector execution)")
+    _add_trace_args(query)
 
     validate = sub.add_parser(
         "validate", help="evaluate the paper's prose claims against the reproduction"
@@ -106,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--retries", type=int, default=2,
                          help="transient-fault retries per node before "
                               "failing over to a replica")
+    _add_trace_args(cluster)
 
     sql_cmd = sub.add_parser("sql", help="run ad-hoc SQL against TPC-H data")
     sql_cmd.add_argument("statement", help="a SELECT statement")
@@ -120,6 +122,31 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--no-latemat", action="store_true",
                          help="ablation: disable late materialization "
                               "(selection-vector execution)")
+    _add_trace_args(sql_cmd)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run one TPC-H query with tracing on, print the span tree, "
+             "and optionally export the trace",
+    )
+    trace_cmd.add_argument("number", type=int, help="query number 1-22")
+    trace_cmd.add_argument("--sf", type=float, default=0.01)
+    trace_cmd.add_argument("--workers", type=int, default=None,
+                           help="morsel-parallel worker threads (default: serial)")
+    trace_cmd.add_argument("--out", metavar="PATH",
+                           help="write the trace to PATH")
+    trace_cmd.add_argument("--format", choices=("json", "chrome"), default="json",
+                           help="trace file format: versioned JSON document "
+                                "or chrome://tracing events (default json)")
+    trace_cmd.add_argument("--validate", action="store_true",
+                           help="validate the JSON trace document against "
+                                "the checked-in schema")
+    trace_cmd.add_argument("--no-skipping", action="store_true",
+                           help="ablation: disable predicate pushdown and "
+                                "zone-map data skipping")
+    trace_cmd.add_argument("--no-latemat", action="store_true",
+                           help="ablation: disable late materialization "
+                                "(selection-vector execution)")
 
     scaling = sub.add_parser(
         "scaling",
@@ -153,14 +180,47 @@ def _optimizer_settings(no_skipping: bool, no_latemat: bool = False):
     return settings
 
 
-def _execute_maybe_parallel(db, plan, workers: int | None, settings=None):
+def _add_trace_args(parser) -> None:
+    parser.add_argument("--trace", metavar="PATH",
+                        help="record a trace of the execution and write it "
+                             "to PATH")
+    parser.add_argument("--trace-format", choices=("json", "chrome"),
+                        default="json",
+                        help="trace file format: versioned JSON document or "
+                             "chrome://tracing events (default json)")
+
+
+def _make_tracer(path):
+    """A live Tracer when --trace was given, else None (NullTracer path)."""
+    if not path:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _write_trace(tracer, path, fmt: str, meta: dict | None = None) -> None:
+    from repro.obs import write_chrome_trace, write_json_trace
+
+    if fmt == "chrome":
+        write_chrome_trace(path, tracer)
+    else:
+        write_json_trace(path, tracer, meta=meta)
+    print(f"wrote {fmt} trace to {path}")
+
+
+def _execute_maybe_parallel(
+    db, plan, workers: int | None, settings=None, tracer=None, label=None
+):
     """Run a plan serially, or morsel-parallel when --workers is given."""
     from repro.engine import ParallelExecutor, execute
 
     if workers is None:
-        return execute(db, plan, settings=settings)
-    with ParallelExecutor(db, workers=workers, settings=settings) as executor:
-        return executor.execute(plan)
+        return execute(db, plan, settings=settings, tracer=tracer, label=label)
+    with ParallelExecutor(
+        db, workers=workers, settings=settings, tracer=tracer
+    ) as executor:
+        return executor.execute(plan, label=label)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -193,13 +253,23 @@ def main(argv: list[str] | None = None) -> int:
         if args.explain:
             print(explain(plan, db, settings=settings))
             print()
-        result = _execute_maybe_parallel(db, plan, args.workers, settings)
+        tracer = _make_tracer(args.trace)
+        result = _execute_maybe_parallel(
+            db, plan, args.workers, settings,
+            tracer=tracer, label=f"Q{args.number}",
+        )
         print(f"Q{args.number}: {len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)
         if args.profile:
             print()
             print(explain_profile(result))
+        if tracer is not None:
+            _write_trace(
+                tracer, args.trace, args.trace_format,
+                meta={"query": args.number, "sf": args.sf,
+                      "workers": args.workers},
+            )
         return 0
 
     if args.command == "report":
@@ -239,15 +309,24 @@ def main(argv: list[str] | None = None) -> int:
                     timeout_factor=args.timeout_factor, max_retries=args.retries
                 ),
             )
+        tracer = _make_tracer(args.trace)
         cluster = cluster_cls(
             args.nodes,
             base_sf=args.base_sf,
             target_sf=args.target_sf,
             compress=args.compress,
             swap_policy=SwapPolicy.NO_SWAP if args.no_swap else SwapPolicy.SWAP,
+            tracer=tracer,
             **kwargs,
         )
         run = cluster.run_query(args.number)
+        if tracer is not None:
+            _write_trace(
+                tracer, args.trace, args.trace_format,
+                meta={"query": args.number, "nodes": args.nodes,
+                      "chaos": args.chaos, "seed": args.seed,
+                      "replication": replication},
+            )
         print(f"Q{args.number} on {args.nodes} nodes (SF {args.target_sf:g} modeled):")
         if fault_plan is not None:
             print(f"  {fault_plan.describe()}")
@@ -295,10 +374,45 @@ def main(argv: list[str] | None = None) -> int:
         if args.explain:
             print(explain(plan, db, settings=settings))
             print()
-        result = _execute_maybe_parallel(db, plan, args.workers, settings)
+        tracer = _make_tracer(args.trace)
+        result = _execute_maybe_parallel(
+            db, plan, args.workers, settings, tracer=tracer, label="sql"
+        )
         print(f"{len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)
+        if tracer is not None:
+            _write_trace(
+                tracer, args.trace, args.trace_format,
+                meta={"sql": args.statement, "sf": args.sf,
+                      "workers": args.workers},
+            )
+        return 0
+
+    if args.command == "trace":
+        from repro.obs import Tracer, render_tree, trace_to_dict, validate_trace
+        from repro.tpch import generate, get_query
+
+        db = generate(args.sf)
+        plan = get_query(args.number).build(db, {"sf": args.sf})
+        settings = _optimizer_settings(args.no_skipping, args.no_latemat)
+        tracer = Tracer()
+        result = _execute_maybe_parallel(
+            db, plan, args.workers, settings,
+            tracer=tracer, label=f"Q{args.number}",
+        )
+        print(f"Q{args.number}: {len(result)} rows "
+              f"({result.wall_seconds * 1e3:.1f} ms wall)")
+        print(render_tree(tracer))
+        if args.validate:
+            validate_trace(trace_to_dict(tracer))
+            print("trace document validates against the schema")
+        if args.out:
+            _write_trace(
+                tracer, args.out, args.format,
+                meta={"query": args.number, "sf": args.sf,
+                      "workers": args.workers},
+            )
         return 0
 
     if args.command == "scaling":

@@ -124,10 +124,12 @@ class WimPiCluster:
         replication: int = 1,
         fault_plan: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
+        tracer=None,
     ):
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.n_nodes = n_nodes
+        self.tracer = tracer
         self.base_sf = base_sf
         self.target_sf = target_sf
         self.node = node or NodeSpec()
@@ -177,10 +179,11 @@ class WimPiCluster:
                 policy=recovery,
                 perf=self.perf,
                 network=self.network,
+                tracer=tracer,
             )
         else:
             self.layout = None
-            self.driver = Driver(self.node_dbs)
+            self.driver = Driver(self.node_dbs, tracer=tracer)
         self._pi = PLATFORMS[PI_KEY]
 
     @property

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.engine import Column, Database, Executor, Frame, Result, Table, WorkProfile
 from repro.engine.plan import PlanNode
+from repro.obs.trace import NULL_TRACER
 from repro.tpch.queries import QueryDef
 
 from .distplan import NotDistributableError, split_for_partial_aggregation
@@ -54,10 +55,11 @@ class DistributedRun:
 class Driver:
     """Executes TPC-H queries across a list of per-node catalogs."""
 
-    def __init__(self, node_dbs: list[Database]):
+    def __init__(self, node_dbs: list[Database], tracer=None):
         if not node_dbs:
             raise ValueError("need at least one node")
         self.node_dbs = node_dbs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def n_nodes(self) -> int:
@@ -75,6 +77,8 @@ class Driver:
         used by the shuffle executor, whose co-partitioning makes other
         queries distributable too."""
         params = params or {}
+        tracer = self.tracer
+        qspan = None
         if self.n_nodes == 1 or (not query.uses_lineitem and not force_distribute):
             return self._run_single_node(query, params)
         plan = query.build(self.node_dbs[0], params)
@@ -83,12 +87,21 @@ class Driver:
         except NotDistributableError:
             return self._run_single_node(query, params)
 
+        if tracer.enabled:
+            qspan = tracer.start("query", f"cluster:Q{query.number}")
         frames: list[Frame] = []
         node_profiles: list[WorkProfile] = []
         partial_bytes: list[float] = []
         rows: list[int] = []
-        for node_db in self.node_dbs:
-            result = Executor(node_db).execute(split.local)
+        for node, node_db in enumerate(self.node_dbs):
+            sspan = None
+            if qspan is not None:
+                sspan = tracer.start("shard", f"shard:{node}", parent=qspan)
+            result = Executor(node_db, tracer=tracer).execute(
+                split.local, label=f"node{node}:Q{query.number}", parent_span=sspan
+            )
+            if sspan is not None:
+                tracer.finish(sspan)
             frames.append(result.frame)
             node_profiles.append(result.profile)
             partial_bytes.append(float(result.frame.nbytes))
@@ -96,9 +109,14 @@ class Driver:
 
         partials_db = Database("driver")
         partials_db.add(concat_frames(frames))
-        final = Executor(partials_db).execute(
-            split.build_final(partials_db), optimize=False
+        final = Executor(partials_db, tracer=tracer).execute(
+            split.build_final(partials_db), optimize=False,
+            label=f"merge:Q{query.number}", parent_span=qspan,
         )
+        if qspan is not None:
+            qspan.annotate(nodes=self.n_nodes, rows=final.frame.nrows)
+            tracer.finish(qspan)
+            tracer.finalize(qspan)
         return DistributedRun(
             query_number=query.number,
             n_nodes=self.n_nodes,
@@ -115,7 +133,9 @@ class Driver:
         # Queries without lineitem see identical (replicated) data on
         # every node; run on node 0, as the paper's driver does.
         node_db = self.node_dbs[0]
-        result = Executor(node_db).execute(query.build(node_db, params))
+        result = Executor(node_db, tracer=self.tracer).execute(
+            query.build(node_db, params), label=f"cluster:Q{query.number}"
+        )
         return DistributedRun(
             query_number=query.number,
             n_nodes=self.n_nodes,

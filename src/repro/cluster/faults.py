@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from repro.engine import Database, Executor, Frame, WorkProfile
 from repro.engine.plan import PlanNode
 from repro.hardware import PLATFORMS, PI_KEY, PerformanceModel, PlatformSpec
+from repro.obs.metrics import metrics
 
 from .reliability import NodeUnresponsiveError, QueryOutOfMemoryError
 
@@ -235,10 +236,13 @@ class FaultingNode:
         fault = self.fault
         if fault is not None:
             if fault.kind == "oom":
+                metrics.counter("cluster.faults.oom").inc()
                 raise QueryOutOfMemoryError(self.node, fault.pressure)
             if fault.kind == "hang":
+                metrics.counter("cluster.faults.hang").inc()
                 raise NodeUnresponsiveError(self.node, fault.pressure)
             if fault.kind == "drop" and attempt < fault.drops:
+                metrics.counter("cluster.faults.drop").inc()
                 raise TransientNetworkError(self.node, attempt)
         result = Executor(db).execute(plan)
         estimate = self.perf.predict(

@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from repro.engine import Database, Executor, Result, WorkProfile
 from repro.engine.plan import PlanNode
 from repro.hardware import PLATFORMS, PI_KEY, PerformanceModel
+from repro.obs.metrics import metrics
+from repro.obs.trace import NULL_TRACER
 from repro.tpch.queries import QueryDef
 
 from .distplan import (
@@ -130,6 +132,7 @@ class RecoveryLog:
     def record(self, kind: str, shard: int, node: int, attempt: int,
                charged_s: float, detail: str) -> None:
         self.events.append(RecoveryEvent(kind, shard, node, attempt, charged_s, detail))
+        metrics.counter("cluster.recovery." + kind).inc()
 
     def count(self, kind: str) -> int:
         return sum(1 for e in self.events if e.kind == kind)
@@ -272,6 +275,11 @@ class ResilientDriver:
         perf: performance model used for modeled-time charges and the
             timeout estimates.
         network: network model used to charge re-sent messages.
+        tracer: optional :class:`~repro.obs.trace.Tracer`. Each run
+            contributes one ``query`` root span (``cluster:Q<n>``) with
+            per-shard child spans, per-attempt events, and — mirrored
+            1:1 from the :class:`RecoveryLog` — one root-span event per
+            recovery action.
     """
 
     def __init__(
@@ -281,12 +289,14 @@ class ResilientDriver:
         policy: RecoveryPolicy | None = None,
         perf: PerformanceModel | None = None,
         network: NetworkModel | None = None,
+        tracer=None,
     ):
         self.layout = layout
         self.fault_plan = fault_plan or FaultPlan.none()
         self.policy = policy or RecoveryPolicy()
         self.perf = perf or PerformanceModel()
         self.network = network or NetworkModel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._pi = PLATFORMS[PI_KEY]
         self._nodes = {
             node: FaultingNode(node, self.fault_plan, self.perf, self._pi)
@@ -309,47 +319,111 @@ class ResilientDriver:
         driver's distribution rules, plus a soundness check that routes
         per-shard-divergent plans (Q17) to single-node execution."""
         params = params or {}
+        tracer = self.tracer
+        qspan = None
+        if tracer.enabled:
+            qspan = tracer.start("query", f"cluster:Q{query.number}")
+        try:
+            run = self._dispatch(query, params, force_distribute, qspan)
+        except BaseException:
+            if qspan is not None:
+                qspan.annotate(error=True)
+                tracer.finish(qspan)
+                tracer.finalize(qspan)
+            raise
+        if qspan is not None:
+            qspan.annotate(
+                coverage=run.coverage,
+                recovery_events=len(run.recovery.events),
+                single_node=run.single_node,
+            )
+            tracer.finish(qspan)
+            tracer.finalize(qspan)
+        return run
+
+    def _dispatch(
+        self, query: QueryDef, params: dict, force_distribute: bool, qspan
+    ) -> ResilientRun:
         if self.n_nodes == 1 or (not query.uses_lineitem and not force_distribute):
-            return self._run_single_node(query, params)
+            return self._run_single_node(query, params, qspan)
         plan = query.build(self.layout.node_dbs[0], params)
         try:
             split = split_for_partial_aggregation(plan.node)
         except NotDistributableError:
-            return self._run_single_node(query, params)
+            return self._run_single_node(query, params, qspan)
         if unsound_distribution_reason(split.local, self.layout.partitioned) is not None:
-            return self._run_single_node(query, params)
-        return self._run_distributed(query, split)
+            return self._run_single_node(query, params, qspan)
+        return self._run_distributed(query, split, qspan)
+
+    @staticmethod
+    def _mirror_log(span, log: RecoveryLog) -> None:
+        """Mirror every RecoveryLog event onto the root query span, in
+        log order — the trace's event sequence IS the log's, so chaos
+        tests can assert exact equality."""
+        if span is None:
+            return
+        for e in log.events:
+            span.event(
+                e.kind, shard=e.shard, node=e.node, attempt=e.attempt,
+                charged_s=e.charged_s, detail=e.detail,
+            )
 
     # Shard execution ---------------------------------------------------
 
     def _attempt_chain(
-        self, shard: int, node: int, plan: PlanNode, db: Database
+        self, shard: int, node: int, plan: PlanNode, db: Database, span=None
     ) -> tuple[list[_AttemptRecord], NodeAttempt | None]:
         """All attempts on one node for one shard: transient faults are
-        retried up to ``max_retries`` times; sticky faults end the chain."""
+        retried up to ``max_retries`` times; sticky faults end the chain.
+
+        ``span`` (the shard span, when tracing) gets one "attempt" event
+        per execution attempt; speculative chains pass no span — their
+        outcome surfaces through the log-mirrored "speculate" event.
+        """
         records: list[_AttemptRecord] = []
         for attempt in range(self.policy.max_retries + 1):
             try:
                 result = self._nodes[node].execute(db, plan, shard=shard, attempt=attempt)
             except TransientNetworkError:
                 records.append(_AttemptRecord(node, attempt, "drop"))
+                if span is not None:
+                    span.event("attempt", node=node, attempt=attempt, outcome="drop")
                 continue
             except QueryOutOfMemoryError:
                 records.append(_AttemptRecord(node, attempt, "oom"))
+                if span is not None:
+                    span.event("attempt", node=node, attempt=attempt, outcome="oom")
                 return records, None
             except NodeUnresponsiveError:
                 records.append(_AttemptRecord(node, attempt, "hang"))
+                if span is not None:
+                    span.event("attempt", node=node, attempt=attempt, outcome="hang")
                 return records, None
             records.append(_AttemptRecord(node, attempt, "ok", result))
+            if span is not None:
+                span.event("attempt", node=node, attempt=attempt, outcome="ok")
             return records, result
         return records, None
 
-    def _run_shard(self, shard: int, plan: PlanNode) -> ShardOutcome:
+    def _run_shard(self, shard: int, plan: PlanNode, parent=None) -> ShardOutcome:
         """Execute one shard, failing over along its replica holders."""
+        sspan = None
+        if self.tracer.enabled:
+            sspan = self.tracer.start("shard", f"shard:{shard}", parent=parent)
+        try:
+            outcome = self._run_shard_inner(shard, plan, sspan)
+        finally:
+            if sspan is not None:
+                self.tracer.finish(sspan)
+        if sspan is not None:
+            sspan.annotate(status=outcome.status, attempts=len(outcome.attempts))
+        return outcome
+
+    def _run_shard_inner(self, shard: int, plan: PlanNode, sspan) -> ShardOutcome:
         records: list[_AttemptRecord] = []
         for node in self.layout.holders[shard]:
             chain, winner = self._attempt_chain(
-                shard, node, plan, self.layout.db_for(shard, node)
+                shard, node, plan, self.layout.db_for(shard, node), span=sspan
             )
             records.extend(chain)
             if winner is not None:
@@ -493,13 +567,14 @@ class ResilientDriver:
 
     # Top-level paths ---------------------------------------------------
 
-    def _run_distributed(self, query: QueryDef, split) -> ResilientRun:
+    def _run_distributed(self, query: QueryDef, split, qspan=None) -> ResilientRun:
         layout, policy = self.layout, self.policy
         with ThreadPoolExecutor(
             max_workers=min(policy.max_workers, layout.n_nodes)
         ) as pool:
             outcomes = list(pool.map(
-                lambda s: self._run_shard(s, split.local), range(layout.n_nodes)
+                lambda s: self._run_shard(s, split.local, parent=qspan),
+                range(layout.n_nodes),
             ))
 
         # Timeout / straggler threshold from the PerformanceModel
@@ -527,6 +602,7 @@ class ResilientDriver:
 
         log = RecoveryLog()
         self._charge(outcomes, speculated, log, median_est)
+        self._mirror_log(qspan, log)
 
         covered = [o for o in outcomes if o.covered]
         coverage = (
@@ -542,8 +618,9 @@ class ResilientDriver:
         if frames:
             partials_db = Database("driver")
             partials_db.add(concat_frames(frames))
-            result = Executor(partials_db).execute(
-                split.build_final(partials_db), optimize=False
+            result = Executor(partials_db, tracer=self.tracer).execute(
+                split.build_final(partials_db), optimize=False,
+                label=f"merge:Q{query.number}", parent_span=qspan,
             )
             merge_profile = result.profile
         return ResilientRun(
@@ -565,7 +642,7 @@ class ResilientDriver:
             node_results_rows=rows,
         )
 
-    def _run_single_node(self, query: QueryDef, params: dict) -> ResilientRun:
+    def _run_single_node(self, query: QueryDef, params: dict, qspan=None) -> ResilientRun:
         """Single-node fallback with failover: every table the query
         needs is either replicated or (for the lineitem-bearing
         non-distributable Q15/Q20) taken from the full base catalog, so
@@ -577,13 +654,19 @@ class ResilientDriver:
         # lineitem-bearing fallback queries the whole table.
         db = layout.base
         plan = query.build(db, params)
+        sspan = None
+        if self.tracer.enabled:
+            sspan = self.tracer.start("shard", "shard:0", parent=qspan)
         records: list[_AttemptRecord] = []
         winner: NodeAttempt | None = None
         for node in range(layout.n_nodes):
-            chain, winner = self._attempt_chain(0, node, plan.node, db)
+            chain, winner = self._attempt_chain(0, node, plan.node, db, span=sspan)
             records.extend(chain)
             if winner is not None:
                 break
+        if sspan is not None:
+            self.tracer.finish(sspan)
+            sspan.annotate(attempts=len(records))
         outcome = ShardOutcome(
             shard=0,
             status=(
@@ -607,6 +690,7 @@ class ResilientDriver:
         log = RecoveryLog()
         est = winner.estimate_s if winner is not None else None
         self._charge([outcome], speculated, log, est)
+        self._mirror_log(qspan, log)
 
         result = winner_profile = None
         if winner is not None:

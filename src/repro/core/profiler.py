@@ -43,14 +43,19 @@ class TPCHProfiler:
             3-7) are modeled from eager work counts. Pass
             ``DEFAULT_SETTINGS`` to study the selection-vector engine
             instead.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; profiling
+            executions contribute ``Q<n>``-labeled query spans.
     """
 
-    def __init__(self, base_sf: float = 0.05, seed: int = 42, settings=None):
+    def __init__(
+        self, base_sf: float = 0.05, seed: int = 42, settings=None, tracer=None
+    ):
         self.base_sf = base_sf
         self.seed = seed
         self.settings = (
             settings if settings is not None else DEFAULT_SETTINGS.without_latemat()
         )
+        self.tracer = tracer
         self._db: Database | None = None
         self._cache: dict[tuple[int, float], ProfiledQuery] = {}
 
@@ -67,7 +72,10 @@ class TPCHProfiler:
         if key not in self._cache:
             query = get_query(number)
             plan = query.build(self.db, {"sf": self.base_sf})
-            result = execute(self.db, plan, settings=self.settings)
+            result = execute(
+                self.db, plan, settings=self.settings,
+                tracer=self.tracer, label=f"Q{number}",
+            )
             scaled = result.profile.scaled(target_sf / self.base_sf)
             self._cache[key] = ProfiledQuery(
                 number=number,

@@ -14,6 +14,8 @@ import threading
 from collections import OrderedDict
 from typing import Callable
 
+from repro.obs.metrics import HitMissStats
+
 __all__ = ["ResultCache"]
 
 
@@ -40,8 +42,25 @@ class ResultCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._stats = HitMissStats("engine.result_cache")
+
+    @property
+    def hits(self) -> int:
+        return self._stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self._stats.misses
+
+    def stats(self) -> dict:
+        """Deterministic (key-sorted) cache statistics."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self._stats.hits,
+                "misses": self._stats.misses,
+            }
 
     def get_or_run(self, key: str, run: Callable[[], object]) -> tuple[object, bool]:
         with self._lock:
@@ -50,11 +69,11 @@ class ResultCache:
             if owner:
                 entry = _Entry()
                 self._entries[key] = entry
-                self.misses += 1
+                self._stats.miss()
                 self._evict_locked()
             else:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._stats.hit()
 
         if owner:
             try:

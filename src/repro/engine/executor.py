@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import threading
+import time
+
+from repro.obs.trace import NULL_TRACER, OperatorSpanScope
 
 from .frame import Frame
 from .optimizer import DEFAULT_SETTINGS, OptimizerSettings, optimize_plan
@@ -39,16 +42,49 @@ class ExecContext:
     """Per-query execution state: the accumulating profile, the operator
     currently charging work, and the scalar-subquery cache."""
 
-    def __init__(self, db: Database, executor: "Executor"):
+    def __init__(
+        self,
+        db: Database,
+        executor: "Executor",
+        tracer=None,
+        parent_span=None,
+    ):
         self.db = db
         self._executor = executor
         self.profile = WorkProfile()
         self.work: OperatorWork | None = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.pipeline_span = parent_span
+        # Span bookkeeping exists only when tracing: the disabled hot
+        # path pays a single ``is not None`` check per operator.
+        self._ops = (
+            OperatorSpanScope(self.tracer, parent_span)
+            if self.tracer.enabled
+            else None
+        )
         self._scalar_cache: dict[int, object] = {}
         # Reentrant: a scalar subquery's plan may itself reference another
         # scalar subquery. Morsel workers share this context, so cache
         # fills must be serialized.
         self._scalar_lock = threading.RLock()
+
+    def begin_operator(self, name: str) -> OperatorWork:
+        """Open a new operator: append its work record to the profile
+        and (when tracing) start its span, closing the previous one."""
+        work = self.profile.new_operator(name)
+        self.work = work
+        if self._ops is not None:
+            self._ops.begin(name, work)
+        return work
+
+    @property
+    def op_span(self):
+        """The currently open operator span (None when not tracing)."""
+        return self._ops.open_span if self._ops is not None else None
+
+    def close_op_span(self) -> None:
+        if self._ops is not None:
+            self._ops.close()
 
     def scalar(self, plan) -> object:
         """Evaluate an uncorrelated scalar subquery once, merging its work
@@ -70,36 +106,75 @@ class ExecContext:
 class Executor:
     """Executes logical plans against a database catalog."""
 
-    def __init__(self, db: Database, settings: OptimizerSettings | None = None):
+    def __init__(
+        self,
+        db: Database,
+        settings: OptimizerSettings | None = None,
+        tracer=None,
+    ):
         self.db = db
         self.settings = settings if settings is not None else DEFAULT_SETTINGS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
-    def execute(self, plan: "Q | PlanNode", optimize: bool = True) -> Result:
-        """Run a plan and return its :class:`Result` (rows + profile)."""
+    def execute(
+        self,
+        plan: "Q | PlanNode",
+        optimize: bool = True,
+        label: str | None = None,
+        parent_span=None,
+    ) -> Result:
+        """Run a plan and return its :class:`Result` (rows + profile).
+
+        With a tracer attached, the execution contributes one "query"
+        root span (or a child of ``parent_span`` — the cluster drivers
+        nest per-node executions under their shard spans), labeled
+        ``label`` when given.
+        """
         node = plan.node if isinstance(plan, Q) else plan
         if node is None:
             raise ValueError("cannot execute an empty plan")
         if optimize:
             node = optimize_plan(node, self.db, self.settings)
-        import time
 
-        ctx = ExecContext(self.db, self)
+        tracer = self.tracer
+        qspan = pspan = None
+        if tracer.enabled:
+            qspan = tracer.start("query", label or "query", parent=parent_span)
+            pspan = tracer.start("pipeline", "main", parent=qspan)
+        ctx = ExecContext(self.db, self, tracer=tracer, parent_span=pspan)
         start = time.perf_counter()
-        frame = self._exec(node, ctx)
-        if frame.is_late:
-            # The result boundary is the last pipeline breaker: gather the
-            # surviving rows and charge it to the final operator.
-            frame = frame.dense(
-                ctx.profile.operators[-1] if ctx.profile.operators else None
-            )
+        try:
+            frame = self._exec(node, ctx)
+            if frame.is_late:
+                # The result boundary is the last pipeline breaker: gather
+                # the surviving rows and charge it to the final operator.
+                frame = frame.dense(
+                    ctx.profile.operators[-1] if ctx.profile.operators else None
+                )
+        except BaseException:
+            if qspan is not None:
+                qspan.annotate(error=True)
+                ctx.close_op_span()
+                tracer.finish(pspan)
+                tracer.finish(qspan)
+                tracer.finalize(qspan)
+            raise
         elapsed = time.perf_counter() - start
+        if qspan is not None:
+            ctx.close_op_span()
+            tracer.finish(pspan)
+            qspan.annotate(
+                rows=frame.nrows, operators=len(ctx.profile.operators)
+            )
+            tracer.finish(qspan)
+            tracer.finalize(qspan)
         return Result(frame, ctx.profile, wall_seconds=elapsed)
 
     # ------------------------------------------------------------------
 
     def _exec(self, node: PlanNode, ctx: ExecContext) -> Frame:
         if isinstance(node, ScanNode):
-            ctx.work = ctx.profile.new_operator("scan")
+            ctx.begin_operator("scan")
             cols = list(node.columns) if node.columns is not None else None
             return execute_scan(
                 self.db.table(node.table),
@@ -111,48 +186,48 @@ class Executor:
             )
         if isinstance(node, FilterNode):
             child = self._exec(node.child, ctx)
-            ctx.work = ctx.profile.new_operator("filter")
+            ctx.begin_operator("filter")
             return execute_filter(
                 child, node.predicate, ctx,
                 late=self.settings.late_materialization,
             )
         if isinstance(node, ProjectNode):
             child = self._exec(node.child, ctx)
-            ctx.work = ctx.profile.new_operator("project")
+            ctx.begin_operator("project")
             return execute_project(child, dict(node.exprs), ctx)
         if isinstance(node, JoinNode):
             left = self._exec(node.left, ctx)
             right = self._exec(node.right, ctx)
-            ctx.work = ctx.profile.new_operator("hashjoin")
+            ctx.begin_operator("hashjoin")
             return execute_join(
                 left, right, list(node.left_on), list(node.right_on), node.how, ctx
             )
         if isinstance(node, AggregateNode):
             child = self._exec(node.child, ctx)
-            ctx.work = ctx.profile.new_operator("aggregate")
+            ctx.begin_operator("aggregate")
             return execute_aggregate(child, list(node.group_by), dict(node.aggs), ctx)
         if isinstance(node, SortNode):
             child = self._exec(node.child, ctx)
-            ctx.work = ctx.profile.new_operator("sort")
+            ctx.begin_operator("sort")
             return execute_sort(child, list(node.keys), ctx)
         if isinstance(node, LimitNode):
             if isinstance(node.child, SortNode):
                 # Physical top-k: fuse ORDER BY + LIMIT (partition select
                 # instead of a full sort).
                 child = self._exec(node.child.child, ctx)
-                ctx.work = ctx.profile.new_operator("topk")
+                ctx.begin_operator("topk")
                 return execute_topk(child, list(node.child.keys), node.n, ctx)
             child = self._exec(node.child, ctx)
-            ctx.work = ctx.profile.new_operator("limit")
+            ctx.begin_operator("limit")
             return execute_limit(child, node.n, ctx)
         if isinstance(node, UnionAllNode):
             left = self._exec(node.left, ctx)
             right = self._exec(node.right, ctx)
-            ctx.work = ctx.profile.new_operator("unionall")
+            ctx.begin_operator("unionall")
             return execute_union_all(left, right, ctx)
         if isinstance(node, DistinctNode):
             child = self._exec(node.child, ctx)
-            ctx.work = ctx.profile.new_operator("distinct")
+            ctx.begin_operator("distinct")
             return execute_distinct(
                 child, list(node.columns) if node.columns else None, ctx
             )
@@ -164,6 +239,10 @@ def execute(
     plan: "Q | PlanNode",
     optimize: bool = True,
     settings: OptimizerSettings | None = None,
+    tracer=None,
+    label: str | None = None,
 ) -> Result:
     """Convenience wrapper: ``Executor(db).execute(plan)``."""
-    return Executor(db, settings).execute(plan, optimize=optimize)
+    return Executor(db, settings, tracer=tracer).execute(
+        plan, optimize=optimize, label=label
+    )

@@ -31,6 +31,8 @@ import threading
 
 import numpy as np
 
+from repro.obs.metrics import HitMissStats
+
 __all__ = ["KeyCache", "combine_codes", "key_cache"]
 
 _INT64_LIMIT = 2**63
@@ -89,8 +91,15 @@ class KeyCache:
         # key -> (source_array, cached_value); insertion order = FIFO age.
         self._entries: dict[tuple[str, int], tuple[np.ndarray, object]] = {}
         self._bytes = 0
-        self.hits = 0
-        self.misses = 0
+        self._stats = HitMissStats("engine.key_cache")
+
+    @property
+    def hits(self) -> int:
+        return self._stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self._stats.misses
 
     # -- internals -----------------------------------------------------
 
@@ -107,9 +116,9 @@ class KeyCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and entry[0] is array:
-                self.hits += 1
+                self._stats.hit()
                 return entry[1]
-            self.misses += 1
+            self._stats.miss()
             return None
 
     def _store(self, kind: str, array: np.ndarray, value) -> None:
@@ -160,16 +169,16 @@ class KeyCache:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
-            self.hits = 0
-            self.misses = 0
+            self._stats.reset_local()
 
     def stats(self) -> dict:
+        """Deterministic (key-sorted) cache statistics."""
         with self._lock:
             return {
-                "entries": len(self._entries),
                 "bytes": self._bytes,
-                "hits": self.hits,
-                "misses": self.misses,
+                "entries": len(self._entries),
+                "hits": self._stats.hits,
+                "misses": self._stats.misses,
             }
 
 

@@ -11,6 +11,8 @@ threads; the per-morsel profiles are coalesced afterwards.
 
 from __future__ import annotations
 
+from repro.obs.trace import NULL_TRACER, OperatorSpanScope
+
 from .compression import CompressedColumn
 from .frame import Frame
 from .profile import WorkProfile
@@ -58,11 +60,37 @@ class MorselContext:
     lookups never re-enter the executor).
     """
 
-    def __init__(self, db: Database, parent):
+    def __init__(self, db: Database, parent, tracer=None, span=None):
         self.db = db
         self._parent = parent
         self.profile = WorkProfile()
         self.work = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.span = span
+        # Per-morsel operator spans are marked ``fragment`` — their work
+        # records are coalesced away by the profile merge, so trace
+        # reconciliation counts only the coalesced (profile-resident)
+        # operator spans the parallel executor emits at merge time.
+        self._ops = (
+            OperatorSpanScope(self.tracer, span, fragment=True)
+            if self.tracer.enabled
+            else None
+        )
+
+    def begin_operator(self, name: str):
+        work = self.profile.new_operator(name)
+        self.work = work
+        if self._ops is not None:
+            self._ops.begin(name, work)
+        return work
+
+    @property
+    def op_span(self):
+        return self._ops.open_span if self._ops is not None else None
+
+    def close_op_span(self) -> None:
+        if self._ops is not None:
+            self._ops.close()
 
     def scalar(self, plan) -> object:
         return self._parent.scalar(plan)

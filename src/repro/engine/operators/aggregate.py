@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.trace import note
+
 from ..column import Column
 from ..expr import Expr
 from ..frame import Frame
@@ -177,6 +179,7 @@ def _global_aggregate(frame: Frame, aggs: dict[str, AggSpec], ctx) -> Frame:
     ctx.work.seq_bytes += frame.nrows * 8 * max(1, len(aggs))
     ctx.work.out_bytes += out.nbytes
     ctx.work.gather_bytes += frame.drain_gather_debt()
+    note(ctx, groups=1, aggs=len(aggs))
     return out
 
 
@@ -274,4 +277,5 @@ def execute_aggregate(
     ctx.work.seq_bytes += frame.nrows * 8 * max(1, len(aggs))
     ctx.work.out_bytes += out.nbytes
     ctx.work.gather_bytes += frame.drain_gather_debt()
+    note(ctx, groups=n_groups, aggs=len(aggs))
     return out

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.trace import note
+
 from ..frame import Frame
 from ..keycache import combine_codes
 from ..types import STRING
@@ -36,4 +38,5 @@ def execute_distinct(frame: Frame, columns: list[str] | None, ctx) -> Frame:
     ctx.work.ops += frame.nrows
     ctx.work.out_bytes += out.nbytes
     ctx.work.gather_bytes += frame.drain_gather_debt()
+    note(ctx, distinct=out.nrows, on=len(names))
     return out

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.obs.trace import note
+
 from ..expr import Expr
 from ..frame import LATE_BREAK_SELECTIVITY, Frame
 
@@ -40,4 +42,9 @@ def execute_filter(frame: Frame, predicate: Expr, ctx, late: bool = False) -> Fr
         ctx.work.saved_bytes += out.nbytes  # the avoided compact rewrite
     else:
         ctx.work.out_bytes += out.nbytes
+    note(
+        ctx,
+        selectivity=out.nrows / frame.nrows if frame.nrows else 0.0,
+        late=out.is_late,
+    )
     return out

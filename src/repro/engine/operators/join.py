@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.trace import note
+
 from ..column import Column
 from ..frame import Frame
 from ..keycache import combine_codes, key_cache
@@ -208,6 +210,10 @@ def execute_join(
     ctx.work.gather_bytes += left.drain_gather_debt() + right.drain_gather_debt()
     ctx.work.tuples_out += out.nrows
     ctx.work.out_bytes += out.nbytes
+    note(
+        ctx, how=how, left_rows=left.nrows, right_rows=right.nrows,
+        matches=out.nrows,
+    )
     return out
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.obs.trace import note
+
 from ..frame import Frame
 
 __all__ = ["execute_limit"]
@@ -12,4 +14,5 @@ def execute_limit(frame: Frame, n: int, ctx) -> Frame:
     ctx.work.tuples_in += frame.nrows
     ctx.work.tuples_out += out.nrows
     ctx.work.out_bytes += out.nbytes
+    note(ctx, n=n)
     return out

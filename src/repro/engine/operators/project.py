@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.obs.trace import note
+
 from ..expr import ColRef, Expr
 from ..frame import Frame
 
@@ -18,6 +20,7 @@ def execute_project(frame: Frame, exprs: dict[str, Expr], ctx) -> Frame:
         out = Frame(columns, selection=frame.selection)
         ctx.work.tuples_in += frame.nrows
         ctx.work.tuples_out += out.nrows
+        note(ctx, exprs=len(exprs), passthrough=True)
         return out
     columns = {}
     materialized_bytes = 0
@@ -31,4 +34,5 @@ def execute_project(frame: Frame, exprs: dict[str, Expr], ctx) -> Frame:
     ctx.work.tuples_out += out.nrows
     ctx.work.out_bytes += materialized_bytes
     ctx.work.gather_bytes += frame.drain_gather_debt()
+    note(ctx, exprs=len(exprs))
     return out

@@ -26,6 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import metrics
+from repro.obs.trace import note
+
 from ..column import Column
 from ..compression import CompressedColumn
 from ..frame import LATE_BREAK_SELECTIVITY, SELECTION_DTYPE, Frame
@@ -41,6 +44,12 @@ from ..zonemap import (
 )
 
 __all__ = ["execute_scan", "scan_range"]
+
+# Process-wide data-skipping counters (cumulative across queries); the
+# per-query numbers live in the WorkProfile / trace spans.
+_ZONE_PROBES = metrics.counter("engine.zonemap.probes")
+_BLOCKS_SKIPPED = metrics.counter("engine.zonemap.blocks_skipped")
+_BLOCKS_SCANNED = metrics.counter("engine.zonemap.blocks_scanned")
 
 
 def _empty_like(col) -> Column:
@@ -148,6 +157,13 @@ def scan_range(
     scan_work.zone_probes += probes
     scan_work.blocks_skipped += n_skip_blocks
     scan_work.blocks_scanned += len(codes) - n_skip_blocks
+    if probes:
+        _ZONE_PROBES.inc(probes)
+    if n_skip_blocks:
+        _BLOCKS_SKIPPED.inc(n_skip_blocks)
+    if len(codes) - n_skip_blocks:
+        _BLOCKS_SCANNED.inc(len(codes) - n_skip_blocks)
+    note(ctx, runs=len(runs))
 
     decoded: dict[str, Column] = {}
     for name in stream_names:
@@ -174,8 +190,15 @@ def scan_range(
 
     # Predicate evaluation is its own operator, mirroring the explicit
     # filter the optimizer pushed down — profiles keep the same shape.
-    filter_work = ctx.profile.new_operator("filter")
-    ctx.work = filter_work
+    # (Unit tests drive this with bare profile-only contexts, hence the
+    # duck-typed dispatch through begin_operator when available.)
+    begin = getattr(ctx, "begin_operator", None)
+    if begin is not None:
+        filter_work = begin("filter")
+    else:
+        filter_work = ctx.profile.new_operator("filter")
+        ctx.work = filter_work
+    note(ctx, pushdown=True)
 
     if late and all(name in decoded for name in stream_names):
         # Late materialization: emit the base columns untouched plus a
@@ -213,11 +236,13 @@ def scan_range(
             out_frame = out_frame.dense()
             filter_work.tuples_out += out_frame.nrows
             filter_work.out_bytes += out_frame.nbytes
+            note(ctx, late=True, broke=True)
             return out_frame
         filter_work.tuples_out += out_frame.nrows
         filter_work.out_bytes += sel.nbytes
         # The compact column rewrite an eager filter would have paid.
         filter_work.saved_bytes += out_frame.nbytes
+        note(ctx, late=True)
         return out_frame
 
     pieces: list[Frame] = []

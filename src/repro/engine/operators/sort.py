@@ -10,6 +10,8 @@ import math
 
 import numpy as np
 
+from repro.obs.trace import note
+
 from ..frame import Frame
 from ..types import STRING
 
@@ -61,6 +63,7 @@ def execute_topk(frame: Frame, keys: list[tuple[str, str]], n: int, ctx) -> Fram
     ctx.work.ops += frame.nrows
     ctx.work.seq_bytes += frame.column(keys[0][0]).nbytes
     ctx.work.gather_bytes += frame.drain_gather_debt()
+    note(ctx, k=n, candidates=len(candidate_idx))
     return out
 
 
@@ -80,4 +83,5 @@ def execute_sort(frame: Frame, keys: list[tuple[str, str]], ctx) -> Frame:
     ctx.work.seq_bytes += sum(frame.column(k).nbytes for k, _ in keys)
     ctx.work.out_bytes += out.nbytes
     ctx.work.gather_bytes += frame.drain_gather_debt()
+    note(ctx, keys=len(keys))
     return out

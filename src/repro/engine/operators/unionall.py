@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.obs.trace import note
+
 from ..column import Column
 from ..frame import Frame
 
@@ -25,4 +27,5 @@ def execute_union_all(left: Frame, right: Frame, ctx) -> Frame:
     ctx.work.seq_bytes += left.nbytes + right.nbytes
     ctx.work.out_bytes += out.nbytes
     ctx.work.gather_bytes += left.drain_gather_debt() + right.drain_gather_debt()
+    note(ctx, left_rows=left.nrows, right_rows=right.nrows)
     return out

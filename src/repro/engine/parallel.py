@@ -112,8 +112,9 @@ class ParallelExecutor(Executor):
         cache_size: int = 64,
         min_parallel_rows: int = MIN_PARALLEL_ROWS,
         settings: OptimizerSettings | None = None,
+        tracer=None,
     ):
-        super().__init__(db, settings)
+        super().__init__(db, settings, tracer=tracer)
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.morsel_rows = max(1, morsel_rows)
         self.min_parallel_rows = min_parallel_rows
@@ -152,34 +153,72 @@ class ParallelExecutor(Executor):
 
     # -- entry point ----------------------------------------------------
 
-    def execute(self, plan: "Q | PlanNode", optimize: bool = True) -> Result:
+    def execute(
+        self,
+        plan: "Q | PlanNode",
+        optimize: bool = True,
+        label: str | None = None,
+        parent_span=None,
+    ) -> Result:
         node = plan.node if isinstance(plan, Q) else plan
         if node is None:
             raise ValueError("cannot execute an empty plan")
         if optimize:
             node = optimize_plan(node, self.db, self.settings)
 
-        start = time.perf_counter()
-        if self.cache is None:
-            frame, profile = self._run(node)
-            return Result(frame, profile, wall_seconds=time.perf_counter() - start)
-        key = plan_fingerprint(node, self.settings)
-        (frame, profile), was_cached = self.cache.get_or_run(
-            key, lambda: self._run(node)
+        tracer = self.tracer
+        qspan = (
+            tracer.start("query", label or "query", parent=parent_span)
+            if tracer.enabled
+            else None
         )
+        start = time.perf_counter()
+        try:
+            if self.cache is None:
+                frame, profile = self._run(node, qspan)
+                was_cached = False
+            else:
+                key = plan_fingerprint(node, self.settings)
+                (frame, profile), was_cached = self.cache.get_or_run(
+                    key, lambda: self._run(node, qspan)
+                )
+        except BaseException:
+            if qspan is not None:
+                qspan.annotate(error=True)
+                tracer.finish(qspan)
+                tracer.finalize(qspan)
+            raise
+        if qspan is not None:
+            # A cache hit leaves the span childless: the observation is
+            # "this execution was served from the result cache".
+            qspan.annotate(
+                cached=was_cached, rows=frame.nrows,
+                operators=len(profile.operators),
+            )
+            tracer.finish(qspan)
+            tracer.finalize(qspan)
         return Result(
             frame, profile,
             wall_seconds=time.perf_counter() - start,
             cached=was_cached,
         )
 
-    def _run(self, node: PlanNode) -> tuple[Frame, "object"]:
-        ctx = ExecContext(self.db, self)
+    def _run(self, node: PlanNode, qspan=None) -> tuple[Frame, "object"]:
+        tracer = self.tracer
+        pspan = (
+            tracer.start("pipeline", "main", parent=qspan)
+            if qspan is not None
+            else None
+        )
+        ctx = ExecContext(self.db, self, tracer=tracer, parent_span=pspan)
         frame = self._exec(node, ctx)
         if frame.is_late:
             frame = frame.dense(
                 ctx.profile.operators[-1] if ctx.profile.operators else None
             )
+        if pspan is not None:
+            ctx.close_op_span()
+            tracer.finish(pspan)
         return frame, ctx.profile
 
     # -- segment detection ---------------------------------------------
@@ -322,9 +361,32 @@ class ParallelExecutor(Executor):
 
         late = self.settings.late_materialization
 
+        tracer = ctx.tracer
+        tracing = tracer.enabled
+        seg_span = None
+        if tracing:
+            # A still-open operator span would overlap the segment span
+            # as a sibling; close it first (scalar-subquery pre-warm above
+            # already emitted its operator spans under the main pipeline,
+            # strictly before the segment interval starts).
+            ctx.close_op_span()
+            seg_span = tracer.start(
+                "pipeline", f"segment:{segment.kind}:{scan.table}",
+                parent=ctx.pipeline_span,
+            )
+            seg_span.annotate(morsels=len(ranges), workers=self.workers)
+
         def run_morsel(bounds: tuple[int, int]) -> tuple[Frame, "object"]:
-            mctx = MorselContext(self.db, ctx)
-            mctx.work = mctx.profile.new_operator("scan")
+            if tracing:
+                mspan = tracer.start(
+                    "morsel", f"{scan.table}[{bounds[0]}:{bounds[1]})",
+                    parent=seg_span,
+                )
+                mctx = MorselContext(self.db, ctx, tracer=tracer, span=mspan)
+            else:
+                mspan = None
+                mctx = MorselContext(self.db, ctx)
+            mctx.begin_operator("scan")
             frame = scan_morsel(
                 table,
                 list(scan.columns) if scan.columns is not None else None,
@@ -335,24 +397,28 @@ class ParallelExecutor(Executor):
             )
             for op in segment.chain[1:]:
                 if isinstance(op, FilterNode):
-                    mctx.work = mctx.profile.new_operator("filter")
+                    mctx.begin_operator("filter")
                     frame = execute_filter(frame, op.predicate, mctx, late=late)
                 else:
-                    mctx.work = mctx.profile.new_operator("project")
+                    mctx.begin_operator("project")
                     frame = execute_project(frame, dict(op.exprs), mctx)
             if segment.kind == "aggregate":
-                mctx.work = mctx.profile.new_operator("aggregate")
+                mctx.begin_operator("aggregate")
                 frame = execute_aggregate(
                     frame, list(segment.node.group_by), partial_aggs, mctx
                 )
             elif segment.kind == "topk":
                 keys = list(segment.node.child.keys)
-                mctx.work = mctx.profile.new_operator("topk")
+                mctx.begin_operator("topk")
                 frame = execute_topk(frame, keys, segment.node.n, mctx)
             # Morsel boundaries are pipeline breakers: the merge phase
             # concatenates physical columns, so late morsels gather here
             # (charged to the morsel's last operator).
             frame = frame.dense(mctx.work)
+            if mspan is not None:
+                mctx.close_op_span()
+                mspan.annotate(rows=frame.nrows)
+                tracer.finish(mspan)
             return frame, mctx.profile
 
         if self.workers > 1:
@@ -374,12 +440,31 @@ class ParallelExecutor(Executor):
         # operator so the profile keeps the serial operator count.
         ctx.work = ctx.profile.operators[-1] if ctx.profile.operators else None
 
+        if tracing:
+            # One operator span per coalesced profile operator: zero-length
+            # markers referencing the very OperatorWork objects absorbed
+            # into the final profile, so the end-of-query snapshot also
+            # captures post-merge charges (merge-phase work, pre-skip
+            # accounting, the result-boundary gather). These — not the
+            # per-morsel fragment spans — are what reconciles 1:1 against
+            # the WorkProfile.
+            for op_work in merged.operators:
+                mark = tracer.start(
+                    "operator", op_work.operator, parent=seg_span, work=op_work
+                )
+                mark.attrs["coalesced"] = True
+                tracer.finish(mark, end_s=mark.start_s)
+
         if segment.kind == "aggregate":
-            return merge_partial_aggregates(
+            out = merge_partial_aggregates(
                 frames, list(segment.node.group_by), dict(segment.node.aggs), ctx
             )
-        if segment.kind == "topk":
-            return merge_topk(
+        elif segment.kind == "topk":
+            out = merge_topk(
                 frames, list(segment.node.child.keys), segment.node.n, ctx
             )
-        return concat_frames(frames)
+        else:
+            out = concat_frames(frames)
+        if seg_span is not None:
+            tracer.finish(seg_span)
+        return out

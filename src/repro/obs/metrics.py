@@ -1,0 +1,225 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Subsystems with cross-query state — the result cache, the join-key
+cache, zone-map probing, the fault injector — report here instead of
+growing ad-hoc instance attributes. The registry is get-or-create by
+name, so module-level code can hold a counter reference at import time
+and pay one lock-protected add on the hot path.
+
+``snapshot()`` is deterministic: metrics come back in sorted-name order
+with plain-JSON values, which is what golden-based assertions need.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HitMissStats",
+    "MetricsRegistry",
+    "metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def describe(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (cache residency, entry counts)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def describe(self):
+        return self.value
+
+
+# Default histogram bucket upper bounds: seconds-flavored log scale that
+# also serves counts reasonably; callers can pass their own.
+_DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max."""
+
+    __slots__ = ("name", "_lock", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple | None = None):
+        self.name = name
+        self._lock = threading.Lock()
+        self.bounds = tuple(buckets) if buckets is not None else _DEFAULT_BUCKETS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.counts = [0] * (len(self.bounds) + 1)  # last bucket = +inf
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "buckets": list(self.counts),
+                "count": self.count,
+                "max": self.max,
+                "min": self.min,
+                "sum": self.total,
+            }
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create semantics."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, buckets: tuple | None = None) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def get(self, name: str):
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """All metric values, sorted by name (deterministic)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.describe() for name, metric in items}
+
+    def reset(self) -> None:
+        """Zero every metric in place (references stay valid)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+
+# The process-wide registry engine subsystems report into.
+metrics = MetricsRegistry()
+
+
+class HitMissStats:
+    """Shared hit/miss bookkeeping for the engine's caches.
+
+    Keeps instance-local counts (tests assert on a fresh cache's own
+    hits/misses) while mirroring every event into process-wide registry
+    counters under ``<prefix>.hits`` / ``<prefix>.misses``. Callers
+    already serialize hit/miss calls under their own cache lock, so the
+    local ints need no lock of their own.
+    """
+
+    __slots__ = ("hits", "misses", "_global_hits", "_global_misses")
+
+    def __init__(self, prefix: str, registry: MetricsRegistry | None = None):
+        registry = registry if registry is not None else metrics
+        self.hits = 0
+        self.misses = 0
+        self._global_hits = registry.counter(prefix + ".hits")
+        self._global_misses = registry.counter(prefix + ".misses")
+
+    def hit(self) -> None:
+        self.hits += 1
+        self._global_hits.inc()
+
+    def miss(self) -> None:
+        self.misses += 1
+        self._global_misses.inc()
+
+    def reset_local(self) -> None:
+        """Reset this instance's counts; the registry counters are
+        cumulative across the process and stay put."""
+        self.hits = 0
+        self.misses = 0
