@@ -1,0 +1,17 @@
+"""Ad-events workload family: a star-schema generator and SQL query set.
+
+A second workload beside TPC-H, defined entirely through the SQL
+front-end. ``generate(scale, seed)`` builds the star deterministically;
+``build(db, name)`` plans one of the named queries in
+:data:`ADEVENTS_QUERIES`.
+"""
+
+from .dbgen import FIRST_DAY, N_DAYS, generate
+from .queries import ADEVENTS_QUERIES, QUERY_NAMES, build
+from .schema import ADEVENTS_SCHEMAS, BASE_ROWS, TABLE_NAMES, rows_at_scale
+
+__all__ = [
+    "ADEVENTS_QUERIES", "ADEVENTS_SCHEMAS", "BASE_ROWS", "FIRST_DAY",
+    "N_DAYS", "QUERY_NAMES", "TABLE_NAMES", "build", "generate",
+    "rows_at_scale",
+]

@@ -1,0 +1,142 @@
+"""Deterministic ad-events data generator.
+
+Same contract as :mod:`repro.tpch.dbgen`: everything reproduces from
+``(scale, seed)`` via per-table ``np.random.default_rng([seed, k])``
+streams, so adding a table never perturbs another table's draws.
+
+The distributions are chosen so the query family has texture:
+
+* event types are heavily skewed (85% impression / 12% click /
+  3% conversion) — selective predicates and CASE pivots;
+* revenue is zero except for conversions — SUM-based ROI queries see
+  sparse columns;
+* user keys follow a power-law-ish mixture so "whale user" queries
+  (IN + GROUP BY/HAVING) have a meaningful head;
+* some sites never convert and some campaigns overspend their budget,
+  so NOT EXISTS and correlated-scalar queries return non-trivial,
+  non-empty answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import Column, Database, Table, date_to_days
+from repro.engine.types import DATE, FLOAT64, INT64
+
+from .schema import rows_at_scale
+
+__all__ = ["generate", "FIRST_DAY", "N_DAYS"]
+
+# The fact covers the first half of 2024.
+FIRST_DAY = date_to_days("2024-01-01")
+N_DAYS = 182
+
+_TABLE_SEEDS = {"advertiser": 0, "site": 1, "campaign": 2, "events": 3}
+
+_CATEGORIES = ["retail", "auto", "travel", "finance", "games", "media",
+               "food", "tech"]
+_COUNTRIES = ["US", "DE", "FR", "JP", "BR", "IN", "GB", "CA"]
+_CHANNELS = ["web", "mobile", "video", "social"]
+_OBJECTIVES = ["awareness", "conversion", "retargeting"]
+_EVENT_TYPES = np.asarray(["impression", "click", "conversion"], dtype=object)
+_TYPE_WEIGHTS = [0.85, 0.12, 0.03]
+
+
+def _rng(seed: int, table: str) -> np.random.Generator:
+    return np.random.default_rng([seed, _TABLE_SEEDS[table]])
+
+
+def _pool_column(rng: np.random.Generator, n: int, pool) -> Column:
+    pool_arr = np.asarray(pool, dtype=object)
+    codes = rng.integers(0, len(pool_arr), size=n).astype(np.int32)
+    return Column.from_string_codes(codes, pool_arr)
+
+
+def _gen_advertiser(rng: np.random.Generator, n: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    return Table("advertiser", {
+        "a_advkey": Column(INT64, keys),
+        "a_name": Column.from_strings([f"Advertiser#{k:05d}" for k in keys]),
+        "a_category": _pool_column(rng, n, _CATEGORIES),
+        "a_country": _pool_column(rng, n, _COUNTRIES),
+    })
+
+
+def _gen_site(rng: np.random.Generator, n: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    return Table("site", {
+        "st_sitekey": Column(INT64, keys),
+        "st_name": Column.from_strings([f"site{k:04d}.example" for k in keys]),
+        "st_channel": _pool_column(rng, n, _CHANNELS),
+        "st_tier": Column(INT64, rng.integers(1, 4, size=n).astype(np.int64)),
+    })
+
+
+def _gen_campaign(rng: np.random.Generator, n: int, n_adv: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    # Per-campaign spend lands around ~25 regardless of scale (events and
+    # campaigns both scale linearly), so a 5..60 budget range splits the
+    # campaigns into healthy and overspent halves.
+    budgets = np.round(rng.uniform(5.0, 60.0, size=n), 2)
+    startdates = FIRST_DAY + rng.integers(0, N_DAYS // 2, size=n)
+    return Table("campaign", {
+        "cm_campkey": Column(INT64, keys),
+        "cm_advkey": Column(INT64, rng.integers(1, n_adv + 1, size=n).astype(np.int64)),
+        "cm_name": Column.from_strings([f"Campaign#{k:06d}" for k in keys]),
+        "cm_objective": _pool_column(rng, n, _OBJECTIVES),
+        "cm_budget": Column(FLOAT64, budgets),
+        "cm_startdate": Column(DATE, startdates.astype(np.int32)),
+    })
+
+
+def _gen_events(rng: np.random.Generator, n: int, n_camp: int,
+                n_site: int) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    days = FIRST_DAY + rng.integers(0, N_DAYS, size=n)
+    campkeys = rng.integers(1, n_camp + 1, size=n).astype(np.int64)
+    # The last 10% of sites never appear in the fact: NOT EXISTS queries
+    # must return rows even at small scales.
+    active_sites = max(1, (n_site * 9) // 10)
+    sitekeys = rng.integers(1, active_sites + 1, size=n).astype(np.int64)
+    # Power-law-ish users: 20% of draws come from a 100-key "whale" head.
+    n_users = max(200, n // 20)
+    whales = rng.integers(1, min(100, n_users) + 1, size=n)
+    longtail = rng.integers(1, n_users + 1, size=n)
+    userkeys = np.where(rng.random(n) < 0.2, whales, longtail).astype(np.int64)
+    type_codes = rng.choice(3, size=n, p=_TYPE_WEIGHTS).astype(np.int32)
+    cost = np.round(
+        np.where(type_codes == 0, rng.uniform(0.001, 0.01, size=n),
+                 np.where(type_codes == 1, rng.uniform(0.05, 0.9, size=n),
+                          rng.uniform(0.5, 2.0, size=n))), 5)
+    # Revenue per conversion is centered so per-campaign margin straddles
+    # zero: profitability CASE buckets split instead of degenerating.
+    revenue = np.round(
+        np.where(type_codes == 2, rng.uniform(0.5, 6.5, size=n), 0.0), 2)
+    return Table("events", {
+        "ev_eventkey": Column(INT64, keys),
+        "ev_day": Column(DATE, days.astype(np.int32)),
+        "ev_campkey": Column(INT64, campkeys),
+        "ev_sitekey": Column(INT64, sitekeys),
+        "ev_userkey": Column(INT64, userkeys),
+        "ev_type": Column.from_string_codes(type_codes, _EVENT_TYPES),
+        "ev_cost": Column(FLOAT64, cost),
+        "ev_revenue": Column(FLOAT64, revenue),
+    })
+
+
+def generate(scale: float = 1.0, seed: int = 7) -> Database:
+    """Generate the ad-events star at ``scale``; deterministic in
+    ``(scale, seed)``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n_adv = rows_at_scale("advertiser", scale)
+    n_site = rows_at_scale("site", scale)
+    n_camp = rows_at_scale("campaign", scale)
+    n_events = rows_at_scale("events", scale)
+    db = Database(f"adevents_x{scale:g}")
+    db.add(_gen_advertiser(_rng(seed, "advertiser"), n_adv))
+    db.add(_gen_site(_rng(seed, "site"), n_site))
+    db.add(_gen_campaign(_rng(seed, "campaign"), n_camp, n_adv))
+    db.add(_gen_events(_rng(seed, "events"), n_events, n_camp, n_site))
+    return db

@@ -1,0 +1,67 @@
+"""Ad-events star schema: three dimensions and one fact table.
+
+A small advertising-analytics workload in the spirit of the paper's
+"wimpy node" scan-heavy OLAP setting: one wide, append-only event fact
+(impressions/clicks/conversions) against advertiser, campaign, and site
+dimensions. Cardinalities scale linearly with ``scale`` the way TPC-H
+tables scale with SF; ``scale=1.0`` is deliberately small (100k events)
+so the family stays fast on constrained hardware.
+"""
+
+from __future__ import annotations
+
+from repro.engine import DATE, FLOAT64, INT64, STRING, Schema
+
+__all__ = ["ADEVENTS_SCHEMAS", "BASE_ROWS", "rows_at_scale", "TABLE_NAMES"]
+
+ADEVENTS_SCHEMAS: dict[str, Schema] = {
+    "advertiser": Schema.of(
+        ("a_advkey", INT64),
+        ("a_name", STRING),
+        ("a_category", STRING),
+        ("a_country", STRING),
+    ),
+    "site": Schema.of(
+        ("st_sitekey", INT64),
+        ("st_name", STRING),
+        ("st_channel", STRING),
+        ("st_tier", INT64),
+    ),
+    "campaign": Schema.of(
+        ("cm_campkey", INT64),
+        ("cm_advkey", INT64),
+        ("cm_name", STRING),
+        ("cm_objective", STRING),
+        ("cm_budget", FLOAT64),
+        ("cm_startdate", DATE),
+    ),
+    "events": Schema.of(
+        ("ev_eventkey", INT64),
+        ("ev_day", DATE),
+        ("ev_campkey", INT64),
+        ("ev_sitekey", INT64),
+        ("ev_userkey", INT64),
+        ("ev_type", STRING),
+        ("ev_cost", FLOAT64),
+        ("ev_revenue", FLOAT64),
+    ),
+}
+
+TABLE_NAMES = tuple(ADEVENTS_SCHEMAS)
+
+# Rows at scale=1.0. The fact-to-dimension ratios (1000:1 and up) are what
+# make the star shape interesting: dimension joins are cheap, the fact
+# scan dominates — the regime the paper's Pi experiments live in.
+BASE_ROWS = {
+    "advertiser": 100,
+    "site": 200,
+    "campaign": 400,
+    "events": 100_000,
+}
+
+
+def rows_at_scale(table: str, scale: float) -> int:
+    """Row count for ``table`` at ``scale`` (>= 1 row, linear scaling)."""
+    if table not in BASE_ROWS:
+        raise KeyError(f"unknown adevents table {table!r}")
+    return max(1, int(round(BASE_ROWS[table] * scale)))

@@ -365,11 +365,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sql":
         from repro.engine.explain import explain
-        from repro.engine.sql import sql as parse_sql
+        from repro.engine.sql import SqlError, sql as parse_sql
         from repro.tpch import generate
 
         db = generate(args.sf)
-        plan = parse_sql(db, args.statement)
+        try:
+            plan = parse_sql(db, args.statement)
+        except SqlError as err:
+            print(f"SQL error: {err}", file=sys.stderr)
+            return 2
         settings = _optimizer_settings(args.no_skipping, args.no_latemat)
         if args.explain:
             print(explain(plan, db, settings=settings))

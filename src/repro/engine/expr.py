@@ -35,9 +35,12 @@ __all__ = [
     "lit",
     "case",
     "scalar",
+    "concat",
     "ColRef",
     "Literal",
     "ScalarSubquery",
+    "StringCase",
+    "Concat",
     "rewrite_colrefs",
 ]
 
@@ -121,6 +124,12 @@ class Expr:
 
     def substring(self, start: int, length: int) -> "Expr":
         return Substring(self, start, length)
+
+    def upper(self) -> "Expr":
+        return StringCase(self, "upper")
+
+    def lower(self) -> "Expr":
+        return StringCase(self, "lower")
 
     def year(self) -> "Expr":
         return ExtractYear(self)
@@ -423,6 +432,63 @@ class Substring(Expr):
         return self.operand.references()
 
 
+class StringCase(Expr):
+    """UPPER/LOWER over a dictionary-encoded string column. Like
+    :class:`Substring`, the transform runs once per *unique* value and is
+    mapped through the code array."""
+
+    def __init__(self, operand: Expr, mode: str):
+        if mode not in ("upper", "lower"):
+            raise ValueError(f"string case mode must be upper/lower, got {mode!r}")
+        self.operand = operand
+        self.mode = mode
+
+    def evaluate(self, frame: Frame, ctx: "ExecContext") -> Column:
+        column = self.operand.evaluate(frame, ctx)
+        if column.dtype is not STRING:
+            raise TypeError(f"{self.mode.upper()} requires a string operand")
+        func = str.upper if self.mode == "upper" else str.lower
+        mapped = np.asarray([func(s) for s in column.dictionary], dtype=object)
+        new_dict, remap = np.unique(mapped, return_inverse=True)
+        ctx.work.ops += frame.nrows
+        return Column.from_string_codes(remap[column.values].astype(np.int32), new_dict)
+
+    def references(self) -> set[str]:
+        return self.operand.references()
+
+
+class Concat(Expr):
+    """String concatenation of two or more operands.
+
+    Unlike the per-unique-value kernels above, the result cardinality is
+    the cross of the operands' dictionaries, so this decodes each operand
+    and concatenates row-at-a-time — and charges that per-row work."""
+
+    def __init__(self, parts: Sequence[Expr]):
+        if len(parts) < 2:
+            raise ValueError("CONCAT requires at least two operands")
+        self.parts = list(parts)
+
+    def evaluate(self, frame: Frame, ctx: "ExecContext") -> Column:
+        columns = [part.evaluate(frame, ctx) for part in self.parts]
+        for column in columns:
+            if column.dtype is not STRING:
+                raise TypeError("CONCAT requires string operands")
+        decoded = [column.decoded().astype(str) for column in columns]
+        out = decoded[0]
+        for piece in decoded[1:]:
+            out = np.char.add(out, piece)
+        ctx.work.ops += frame.nrows * len(columns)
+        ctx.work.rand_accesses += frame.nrows * len(columns)  # dictionary gathers
+        return Column.from_strings(list(out))
+
+    def references(self) -> set[str]:
+        refs: set[str] = set()
+        for part in self.parts:
+            refs |= part.references()
+        return refs
+
+
 class ExtractYear(Expr):
     """EXTRACT(YEAR FROM date_column)."""
 
@@ -540,6 +606,10 @@ def rewrite_colrefs(expr: Expr, mapping: dict[str, str]) -> Expr:
         return Like(rewrite_colrefs(expr.operand, mapping), expr.pattern)
     if isinstance(expr, Substring):
         return Substring(rewrite_colrefs(expr.operand, mapping), expr.start, expr.length)
+    if isinstance(expr, StringCase):
+        return StringCase(rewrite_colrefs(expr.operand, mapping), expr.mode)
+    if isinstance(expr, Concat):
+        return Concat([rewrite_colrefs(part, mapping) for part in expr.parts])
     if isinstance(expr, ExtractYear):
         return ExtractYear(rewrite_colrefs(expr.operand, mapping))
     if isinstance(expr, IsNull):
@@ -575,3 +645,8 @@ def case(whens: list[tuple[Expr, "Expr | float | int"]], otherwise) -> Case:
 def scalar(plan) -> ScalarSubquery:
     """Use an aggregate subplan as a scalar value."""
     return ScalarSubquery(plan)
+
+
+def concat(*parts: "Expr | str") -> Concat:
+    """Concatenate string expressions (bare strings become literals)."""
+    return Concat([_coerce_literal_for(part, None) for part in parts])

@@ -1,6 +1,20 @@
-"""SQL front-end for the columnar engine."""
+"""SQL front-end for the columnar engine.
 
-from .lexer import SqlSyntaxError, Token, tokenize
-from .parser import parse, sql
+Layered as lexer → parser (syntax tree) → planner (engine plan), with a
+single error type (:class:`SqlError`) covering every failure mode: the
+never-crash contract enforced by the fuzz suite.
+"""
 
-__all__ = ["SqlSyntaxError", "Token", "parse", "sql", "tokenize"]
+from .ast import render
+from .errors import SqlError, SqlSyntaxError
+from .lexer import Token, tokenize
+from .parser import MAX_DEPTH, parse_statement
+from .planner import parse, plan_statement, sql
+
+parse_ast = parse_statement
+
+__all__ = [
+    "MAX_DEPTH", "SqlError", "SqlSyntaxError", "Token", "parse",
+    "parse_ast", "parse_statement", "plan_statement", "render", "sql",
+    "tokenize",
+]

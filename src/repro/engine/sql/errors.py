@@ -1,0 +1,45 @@
+"""The SQL frontend's single controlled failure mode.
+
+Every malformed, unsupported, or hostile input — lexer garbage,
+truncated statements, unknown tables, pathological nesting — surfaces
+as exactly one exception type, :class:`SqlError`, carrying the source
+position it was detected at. Nothing that flows through
+:func:`repro.engine.sql.parse` may escape as a ``KeyError``,
+``IndexError``, ``ValueError``, or ``RecursionError``: a query server
+front door catches one class, returns one error shape, and stays up.
+
+``internal=True`` marks errors manufactured by the last-resort guard in
+:func:`~repro.engine.sql.parser.parse` around an unexpected exception.
+The fuzz suite (``tests/engine/test_sql_fuzz.py``) asserts no input
+produces an internal error, so the guard is a production safety net,
+not a blanket that hides parser bugs from the tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SqlError", "SqlSyntaxError"]
+
+
+class SqlError(ValueError):
+    """Raised on any malformed or unsupported SQL (lexing, parsing, or
+    planning). The only exception :func:`repro.engine.sql.parse` raises."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: int | None = None,
+        column: int | None = None,
+        internal: bool = False,
+    ):
+        self.line = line
+        self.column = column
+        self.internal = internal
+        if line is not None and column is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+# Historical name, kept as an alias so existing imports and exception
+# handlers keep working.
+SqlSyntaxError = SqlError

@@ -1,10 +1,21 @@
-"""SQL tokenizer for the engine's query subset."""
+"""SQL tokenizer for the engine's query dialect.
+
+Hardened for the never-crash contract: every malformed input — an
+unterminated string, a lone quote at end of input, an absurdly long
+numeric literal, non-ASCII bytes, control characters — raises
+:class:`SqlError` with the line and column where the problem starts.
+No input makes the lexer raise ``IndexError``/``ValueError`` or scan
+without making progress.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Token", "SqlSyntaxError", "tokenize", "KEYWORDS"]
+from .errors import SqlError, SqlSyntaxError
+
+__all__ = ["Token", "SqlError", "SqlSyntaxError", "tokenize", "KEYWORDS",
+           "MAX_NUMBER_DIGITS", "MAX_SQL_LENGTH"]
 
 KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
@@ -13,6 +24,7 @@ KEYWORDS = {
     "SEMI", "ANTI", "ON", "SUM", "AVG", "COUNT", "MIN", "MAX", "DISTINCT",
     "EXTRACT", "YEAR", "SUBSTRING", "FOR", "INTERVAL", "DAY", "MONTH",
     "DATE", "IS", "NULL", "EXISTS", "UNION", "ALL",
+    "UPPER", "LOWER", "CONCAT",
 }
 
 _PUNCT = {
@@ -21,9 +33,14 @@ _PUNCT = {
     "(": "LPAREN", ")": "RPAREN", ",": "COMMA", ".": "DOT", ";": "SEMI_COLON",
 }
 
+# A numeric literal longer than this is rejected outright: Python itself
+# refuses int() conversions past ~4300 digits, and no sane query needs a
+# 40-digit constant.
+MAX_NUMBER_DIGITS = 40
 
-class SqlSyntaxError(ValueError):
-    """Raised on malformed SQL (lexing or parsing)."""
+# Upper bound on statement size; far above any real query, low enough
+# that a hostile megabyte of nested parens is refused in O(1).
+MAX_SQL_LENGTH = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -31,78 +48,132 @@ class Token:
     """One lexical token.
 
     ``kind`` is a keyword name, a punctuation name (``LE``, ``LPAREN``…),
-    or one of ``IDENT`` / ``NUMBER`` / ``STRING`` / ``EOF``.
+    or one of ``IDENT`` / ``NUMBER`` / ``STRING`` / ``EOF``. ``position``
+    is the character offset; ``line``/``column`` are 1-based.
     """
 
     kind: str
     value: str
     position: int
+    line: int = 1
+    column: int = 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.kind}({self.value!r})"
 
 
+class _Cursor:
+    """Scanner state tracking line/column alongside the offset."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.i = 0
+        self.line = 1
+        self.line_start = 0
+
+    @property
+    def column(self) -> int:
+        return self.i - self.line_start + 1
+
+    def error(self, message: str, *, at: tuple[int, int] | None = None) -> SqlError:
+        line, column = at if at is not None else (self.line, self.column)
+        return SqlError(message, line=line, column=column)
+
+    def advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.i < len(self.text) and self.text[self.i] == "\n":
+                self.line += 1
+                self.line_start = self.i + 1
+            self.i += 1
+
+
 def tokenize(text: str) -> list[Token]:
-    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    """Tokenize ``text``; raises :class:`SqlError` on any bad input."""
+    if not isinstance(text, str):
+        raise SqlError(f"SQL statement must be a string, not {type(text).__name__}")
+    if len(text) > MAX_SQL_LENGTH:
+        raise SqlError(
+            f"SQL statement too long ({len(text)} characters; "
+            f"limit {MAX_SQL_LENGTH})"
+        )
+    cur = _Cursor(text)
     tokens: list[Token] = []
-    i, n = 0, len(text)
-    while i < n:
+    n = len(text)
+    while cur.i < n:
+        i = cur.i
         ch = text[i]
-        if ch.isspace():
-            i += 1
+        if ch.isspace() and ch in " \t\r\n\f\v":
+            cur.advance()
             continue
+        if ord(ch) > 127:
+            raise cur.error(f"non-ASCII character {ch!r} in SQL input")
         if ch == "-" and text[i:i + 2] == "--":  # line comment
             nl = text.find("\n", i)
-            i = n if nl < 0 else nl + 1
+            cur.advance((n if nl < 0 else nl) - i)
             continue
         if ch == "'":
-            j = i + 1
-            parts = []
+            start = (cur.line, cur.column)
+            start_pos = i
+            cur.advance()
+            parts: list[str] = []
             while True:
-                if j >= n:
-                    raise SqlSyntaxError(f"unterminated string at {i}")
-                if text[j] == "'":
-                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                if cur.i >= n:
+                    raise cur.error("unterminated string literal", at=start)
+                c = text[cur.i]
+                if ord(c) > 127:
+                    raise cur.error(f"non-ASCII character {c!r} in string literal")
+                if c == "'":
+                    if text[cur.i + 1:cur.i + 2] == "'":  # escaped quote
                         parts.append("'")
-                        j += 2
+                        cur.advance(2)
                         continue
+                    cur.advance()
                     break
-                parts.append(text[j])
-                j += 1
-            tokens.append(Token("STRING", "".join(parts), i))
-            i = j + 1
+                parts.append(c)
+                cur.advance()
+            tokens.append(Token("STRING", "".join(parts), start_pos,
+                                start[0], start[1]))
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = (cur.line, cur.column)
             j = i
             seen_dot = False
             while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
                 if text[j] == ".":
                     seen_dot = True
                 j += 1
-            tokens.append(Token("NUMBER", text[i:j], i))
-            i = j
+            word = text[i:j]
+            if len(word) > MAX_NUMBER_DIGITS:
+                raise cur.error(
+                    f"numeric literal too long ({len(word)} characters; "
+                    f"limit {MAX_NUMBER_DIGITS})",
+                    at=start,
+                )
+            tokens.append(Token("NUMBER", word, i, start[0], start[1]))
+            cur.advance(j - i)
             continue
-        if ch.isalpha() or ch == "_":
+        if ch.isalpha() and ord(ch) < 128 or ch == "_":
+            start = (cur.line, cur.column)
             j = i
-            while j < n and (text[j].isalnum() or text[j] == "_"):
+            while j < n and (text[j].isalnum() and ord(text[j]) < 128 or text[j] == "_"):
                 j += 1
             word = text[i:j]
             upper = word.upper()
             if upper in KEYWORDS:
-                tokens.append(Token(upper, upper, i))
+                tokens.append(Token(upper, upper, i, start[0], start[1]))
             else:
-                tokens.append(Token("IDENT", word, i))
-            i = j
+                tokens.append(Token("IDENT", word, i, start[0], start[1]))
+            cur.advance(j - i)
             continue
         two = text[i:i + 2]
         if two in _PUNCT:
-            tokens.append(Token(_PUNCT[two], two, i))
-            i += 2
+            tokens.append(Token(_PUNCT[two], two, i, cur.line, cur.column))
+            cur.advance(2)
             continue
         if ch in _PUNCT:
-            tokens.append(Token(_PUNCT[ch], ch, i))
-            i += 1
+            tokens.append(Token(_PUNCT[ch], ch, i, cur.line, cur.column))
+            cur.advance()
             continue
-        raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
-    tokens.append(Token("EOF", "", n))
+        raise cur.error(f"unexpected character {ch!r}")
+    tokens.append(Token("EOF", "", n, cur.line, cur.column))
     return tokens

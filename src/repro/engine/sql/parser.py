@@ -1,6 +1,6 @@
-"""SQL front-end: parse a SELECT statement into an engine plan.
+"""Recursive-descent SQL parser: token stream → syntax tree.
 
-Supported subset (everything the engine executes):
+Supported subset (everything the planner can lower):
 
 * ``SELECT`` expressions with aliases, ``*``, aggregate functions
   (``SUM/AVG/MIN/MAX/COUNT/COUNT(*)/COUNT(DISTINCT x)``);
@@ -8,83 +8,51 @@ Supported subset (everything the engine executes):
   ``[INNER|LEFT|SEMI|ANTI] JOIN <table | (SELECT ...)> ON`` equality
   conditions (conjunctions of ``a = b``);
 * ``WHERE`` with arithmetic, comparisons, ``AND/OR/NOT``, ``BETWEEN``,
-  ``IN (list)``, ``[NOT] LIKE``, ``IS [NOT] NULL``, scalar subqueries,
-  and uncorrelated ``[NOT] IN (SELECT ...)`` (planned as semi/anti
-  joins);
-* ``GROUP BY`` plain columns or SELECT aliases, ``HAVING``;
+  ``IN (list)``, ``[NOT] IN (SELECT ...)``, ``[NOT] EXISTS (SELECT ...)``
+  (including correlated forms), ``[NOT] LIKE``, ``IS [NOT] NULL``, and
+  scalar subqueries (uncorrelated anywhere, correlated as a top-level
+  comparison conjunct);
+* ``GROUP BY`` plain columns or SELECT aliases, ``HAVING`` (which may
+  name SELECT aliases);
 * ``ORDER BY`` output columns with ``ASC/DESC``, ``LIMIT``;
-* ``UNION ALL`` between SELECTs;
-* ``CASE WHEN``, ``EXTRACT(YEAR FROM d)``,
+* ``UNION`` and ``UNION ALL`` between SELECTs;
+* ``CASE WHEN`` in any expression position, ``EXTRACT(YEAR FROM d)``,
   ``SUBSTRING(s FROM i FOR n)`` / ``SUBSTRING(s, i, n)``,
-  ``DATE 'yyyy-mm-dd'`` and date ``+/- INTERVAL 'n' DAY|MONTH|YEAR``
-  (folded at parse time).
+  ``UPPER/LOWER/CONCAT``, ``DATE 'yyyy-mm-dd'`` and date
+  ``+/- INTERVAL 'n' DAY|MONTH|YEAR``.
 
-Example::
-
-    from repro.engine.sql import sql
-    plan = sql(db, \"\"\"
-        SELECT l_returnflag, SUM(l_quantity) AS qty
-        FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'
-        GROUP BY l_returnflag ORDER BY qty DESC LIMIT 5\"\"\")
-    result = execute(db, plan)
+Never-crash contract: the parser is depth-bounded (``MAX_DEPTH``) so
+pathological nesting raises :class:`SqlError` long before Python's
+recursion limit, every token mismatch raises :class:`SqlError` with the
+offending token's line/column, and each grammar loop consumes at least
+one token, so parsing always terminates.
 """
 
 from __future__ import annotations
 
-import datetime as _dt
-from dataclasses import dataclass, field
+import re
 
-from ..expr import Expr, Literal, case, col, lit, scalar
-from ..plan import Q, agg
-from ..optimizer import output_columns
-from ..table import Database
-from .lexer import SqlSyntaxError, Token, tokenize
+from . import ast as A
+from .errors import SqlError
+from .lexer import Token, tokenize
 
-__all__ = ["sql", "parse", "SqlSyntaxError"]
+__all__ = ["parse_statement", "MAX_DEPTH"]
 
+# Bound on combined expression/subquery nesting. Each level costs ~10-15
+# Python frames, so 50 keeps worst-case stack use far below the
+# interpreter's recursion limit while allowing any sane query.
+MAX_DEPTH = 50
 
-@dataclass
-class _SelectItem:
-    alias: str
-    expr: Expr
-    is_star: bool = False
-
-
-@dataclass
-class _JoinClause:
-    how: str
-    table: str
-    on: list[tuple[str, str]]
-
-
-@dataclass
-class _SemiJoin:
-    """An uncorrelated ``[NOT] IN (SELECT col FROM ...)`` conjunct."""
-
-    left_column: str
-    subplan: Q
-    sub_column: str
-    negated: bool
-
-
-@dataclass
-class _Interval:
-    days: int = 0
-    months: int = 0
-    years: int = 0
+_CMP_TOKENS = {"EQ": "=", "NE": "<>", "LT": "<", "LE": "<=", "GT": ">",
+               "GE": ">="}
+_INT_RE = re.compile(r"^-?\d{1,9}$")
 
 
 class _Parser:
-    """Recursive-descent parser producing engine plans directly."""
-
-    def __init__(self, db: Database, tokens: list[Token]):
-        self.db = db
+    def __init__(self, tokens: list[Token]):
         self.tokens = tokens
         self.pos = 0
-        self._aggs: dict[str, object] = {}
-        self._agg_counter = 0
-        self._semijoins: list[_SemiJoin] = []
-        self._in_conjunctive_where = False
+        self._depth = 0
 
     # -- token plumbing -------------------------------------------------
 
@@ -93,7 +61,8 @@ class _Parser:
 
     def next(self) -> Token:
         token = self.tokens[self.pos]
-        self.pos += 1
+        if self.pos < len(self.tokens) - 1:
+            self.pos += 1
         return token
 
     def accept(self, kind: str) -> Token | None:
@@ -104,62 +73,56 @@ class _Parser:
     def expect(self, kind: str) -> Token:
         token = self.next()
         if token.kind != kind:
-            raise SqlSyntaxError(
-                f"expected {kind} but found {token.kind} ({token.value!r}) "
-                f"at position {token.position}"
+            raise self._err(
+                f"expected {kind} but found {token.kind} ({token.value!r})",
+                token,
             )
         return token
 
-    # -- statement ------------------------------------------------------
+    def _err(self, message: str, token: Token | None = None) -> SqlError:
+        token = token if token is not None else self.peek()
+        return SqlError(message, line=token.line, column=token.column)
 
-    def parse_query(self) -> Q:
-        plan = self._parse_select()
-        while self.accept("UNION"):
-            self.expect("ALL")
-            # Each branch gets fresh aggregate/semijoin state.
-            branch = _Parser(self.db, self.tokens)
-            branch.pos = self.pos
-            right = branch._parse_select()
-            self.pos = branch.pos
-            plan = plan.union_all(right)
-        return plan
+    def _enter(self) -> None:
+        self._depth += 1
+        if self._depth > MAX_DEPTH:
+            raise self._err(f"query nested too deeply (limit {MAX_DEPTH})")
 
-    def _parse_select(self) -> Q:
+    # -- statements -----------------------------------------------------
+
+    def parse_statement(self) -> A.Node:
+        self._enter()
+        try:
+            stmt: A.Node = self._parse_select()
+            while self.accept("UNION"):
+                all_ = bool(self.accept("ALL"))
+                right = self._parse_select()
+                stmt = A.UnionStmt(stmt, right, all_)
+            return stmt
+        finally:
+            self._depth -= 1
+
+    def _parse_select(self) -> A.SelectStmt:
         self.expect("SELECT")
         items = self._select_list()
         self.expect("FROM")
-        plan = self._from_clause()
+        from_item = self._from_item()
+        joins = []
+        while self.peek().kind in ("JOIN", "INNER", "LEFT", "SEMI", "ANTI"):
+            joins.append(self._join_clause())
 
-        where_expr = None
-        if self.accept("WHERE"):
-            self._in_conjunctive_where = True
-            where_expr = self._expr()
-            self._in_conjunctive_where = False
-        for semijoin in self._semijoins:
-            sub = semijoin.subplan.project(__sub=col(semijoin.sub_column))
-            plan = plan.join(
-                sub,
-                on=[(semijoin.left_column, "__sub")],
-                how="anti" if semijoin.negated else "semi",
-            )
-        self._semijoins = []
-        if where_expr is not None:
-            plan = plan.filter(where_expr)
+        where = self._expr() if self.accept("WHERE") else None
 
-        group_names: list[str] = []
+        group_by: tuple = ()
         if self.accept("GROUP"):
             self.expect("BY")
-            group_names = self._name_list()
+            group_by = tuple(self._name_list())
 
-        having_expr = None
-        if self.accept("HAVING"):
-            having_expr = self._expr()
+        having = self._expr() if self.accept("HAVING") else None
 
-        plan = self._plan_projection(plan, items, group_names, having_expr)
-
+        order_by = []
         if self.accept("ORDER"):
             self.expect("BY")
-            keys = []
             while True:
                 name = self._identifier("ORDER BY column")
                 direction = "asc"
@@ -167,23 +130,36 @@ class _Parser:
                     direction = "desc"
                 else:
                     self.accept("ASC")
-                keys.append((name, direction))
+                order_by.append((name, direction))
                 if not self.accept("COMMA"):
                     break
-            plan = plan.sort(*keys)
 
+        limit = None
         if self.accept("LIMIT"):
-            plan = plan.limit(int(self.expect("NUMBER").value))
+            token = self.expect("NUMBER")
+            if "." in token.value:
+                raise self._err("LIMIT must be an integer", token)
+            limit = int(token.value)
+
         self.accept("SEMI_COLON")
-        return plan
+        return A.SelectStmt(
+            items=tuple(items),
+            from_item=from_item,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
 
-    # -- clauses ----------------------------------------------------------
+    # -- clauses --------------------------------------------------------
 
-    def _select_list(self) -> list[_SelectItem]:
-        items: list[_SelectItem] = []
+    def _select_list(self) -> list[A.SelectItem]:
+        items: list[A.SelectItem] = []
         while True:
             if self.accept("STAR"):
-                items.append(_SelectItem(alias="*", expr=lit(0), is_star=True))
+                items.append(A.SelectItem(expr=None, alias=None))
             else:
                 expr = self._expr()
                 alias = None
@@ -192,82 +168,44 @@ class _Parser:
                 elif self.peek().kind == "IDENT":
                     alias = self.next().value
                 if alias is None:
-                    from ..expr import ColRef
-
-                    if isinstance(expr, ColRef):
-                        alias = expr.name
-                    else:
-                        alias = f"col{len(items)}"
-                items.append(_SelectItem(alias=alias, expr=expr))
+                    alias = expr.name if isinstance(expr, A.Col) else f"col{len(items)}"
+                items.append(A.SelectItem(expr=expr, alias=alias))
             if not self.accept("COMMA"):
                 return items
 
-    def _from_clause(self) -> Q:
-        if self.peek().kind == "LPAREN":
-            # Derived table: FROM (SELECT ...) [AS alias]
-            self.next()
-            sub = _Parser(self.db, self.tokens)
-            sub.pos = self.pos
-            plan = sub.parse_query()
-            self.pos = sub.pos
+    def _from_item(self) -> A.Node:
+        if self.accept("LPAREN"):
+            query = self.parse_statement()
             self.expect("RPAREN")
-            self._maybe_alias()
-        else:
-            table = self._identifier("table name")
-            self._maybe_alias()
-            plan = Q(self.db).scan(table)
-        while self.peek().kind in ("JOIN", "INNER", "LEFT", "SEMI", "ANTI"):
-            how = "inner"
-            kind = self.next().kind
-            if kind in ("INNER", "LEFT", "SEMI", "ANTI"):
-                how = {"INNER": "inner", "LEFT": "left", "SEMI": "semi", "ANTI": "anti"}[kind]
-                self.expect("JOIN")
-            if self.peek().kind == "LPAREN":
-                self.next()
-                sub = _Parser(self.db, self.tokens)
-                sub.pos = self.pos
-                right_plan: Q | str = sub.parse_query()
-                self.pos = sub.pos
-                self.expect("RPAREN")
-                self._maybe_alias()
-                right_cols = set(output_columns(right_plan.node, self.db))
-            else:
-                right_plan = self._identifier("table name")
-                self._maybe_alias()
-                right_cols = set(self.db.table(right_plan).column_names)
-            self.expect("ON")
-            on = [self._join_equality()]
-            while self.accept("AND"):
-                on.append(self._join_equality())
-            # Orient each pair: left side of the pair must come from the
-            # plan built so far, the other from the newly joined table.
-            oriented = []
-            for a, b in on:
-                if b in right_cols and a not in right_cols:
-                    oriented.append((a, b))
-                elif a in right_cols and b not in right_cols:
-                    oriented.append((b, a))
-                elif b in right_cols:
-                    oriented.append((a, b))
-                else:
-                    raise SqlSyntaxError(
-                        f"join condition {a} = {b} does not reference the joined table"
-                    )
-            plan = plan.join(right_plan, on=oriented, how=how)
-        return plan
+            return A.DerivedTable(query, self._maybe_alias())
+        name = self._identifier("table name")
+        return A.TableRef(name, self._maybe_alias())
 
-    def _maybe_alias(self) -> None:
-        if self.accept("AS"):
-            self._identifier("alias")
-        elif self.peek().kind == "IDENT" and self.peek(1).kind not in ("DOT",):
-            # bare alias like "lineitem l"
-            self.next()
+    def _join_clause(self) -> A.JoinClause:
+        how = "inner"
+        kind = self.next().kind
+        if kind in ("INNER", "LEFT", "SEMI", "ANTI"):
+            how = kind.lower()
+            self.expect("JOIN")
+        item = self._from_item()
+        self.expect("ON")
+        on = [self._join_equality()]
+        while self.accept("AND"):
+            on.append(self._join_equality())
+        return A.JoinClause(how, item, tuple(on))
 
     def _join_equality(self) -> tuple[str, str]:
         left = self._identifier("join column")
         self.expect("EQ")
         right = self._identifier("join column")
         return left, right
+
+    def _maybe_alias(self) -> str | None:
+        if self.accept("AS"):
+            return self._identifier("alias")
+        if self.peek().kind == "IDENT" and self.peek(1).kind != "DOT":
+            return self.next().value
+        return None
 
     def _name_list(self) -> list[str]:
         names = [self._identifier("column")]
@@ -278,147 +216,98 @@ class _Parser:
     def _identifier(self, what: str) -> str:
         token = self.next()
         if token.kind != "IDENT":
-            raise SqlSyntaxError(f"expected {what}, found {token.value!r}")
+            raise self._err(f"expected {what}, found {token.value!r}", token)
         if self.accept("DOT"):
-            # qualified name: alias.column — column names are globally
+            # Qualified name: alias.column — column names are globally
             # unique in this engine, keep only the column part.
             return self.expect("IDENT").value
         return token.value
 
-    # -- projection planning ---------------------------------------------
+    # -- expressions ----------------------------------------------------
 
-    def _plan_projection(
-        self,
-        plan: Q,
-        items: list[_SelectItem],
-        group_names: list[str],
-        having_expr: Expr | None,
-    ) -> Q:
-        has_star = any(item.is_star for item in items)
-        if not self._aggs and not group_names:
-            if has_star:
-                if len(items) > 1:
-                    raise SqlSyntaxError("SELECT * cannot mix with other items")
-                return plan
-            return plan.project(**{item.alias: item.expr for item in items})
+    def _expr(self) -> A.Node:
+        self._enter()
+        try:
+            return self._or_expr()
+        finally:
+            self._depth -= 1
 
-        if has_star:
-            raise SqlSyntaxError("SELECT * cannot be combined with aggregation")
-
-        # Group keys may name SELECT aliases of computed expressions; those
-        # must be materialized before the aggregate.
-        alias_exprs = {item.alias: item.expr for item in items}
-        available = set(output_columns(plan.node, self.db))
-        pre_project: dict[str, Expr] = {}
-        for name in group_names:
-            if name not in available:
-                if name not in alias_exprs:
-                    raise SqlSyntaxError(f"GROUP BY column {name!r} is not in scope")
-                pre_project[name] = alias_exprs[name]
-        if pre_project:
-            needed: set[str] = set()
-            for spec in self._aggs.values():
-                if spec.expr is not None:
-                    needed |= spec.expr.references()
-            for expr in pre_project.values():
-                needed |= expr.references()
-            keep = {name: col(name) for name in needed & available}
-            keep.update({g: col(g) for g in group_names if g in available})
-            keep.update(pre_project)
-            plan = plan.project(**keep)
-
-        plan = plan.aggregate(by=group_names, **self._aggs)
-        if having_expr is not None:
-            plan = plan.filter(having_expr)
-        # Group-key select items were materialized before the aggregate
-        # (possibly as computed expressions); after it they are plain
-        # columns named by their alias.
-        final = {
-            item.alias: col(item.alias) if item.alias in group_names else item.expr
-            for item in items
-        }
-        return plan.project(**final)
-
-    # -- expressions ------------------------------------------------------
-
-    def _expr(self) -> Expr:
-        return self._or_expr()
-
-    def _or_expr(self) -> Expr:
+    def _or_expr(self) -> A.Node:
         left = self._and_expr()
         while self.accept("OR"):
-            left = left | self._and_expr()
+            left = A.Binary("OR", left, self._and_expr())
         return left
 
-    def _and_expr(self) -> Expr:
+    def _and_expr(self) -> A.Node:
         left = self._not_expr()
         while self.accept("AND"):
-            right = self._not_expr()
-            if right is None:
-                continue
-            left = right if left is None else (left & right)
+            left = A.Binary("AND", left, self._not_expr())
         return left
 
-    def _not_expr(self) -> Expr:
-        if self.accept("NOT"):
-            operand = self._not_expr()
-            return ~operand
+    def _not_expr(self) -> A.Node:
+        if self.peek().kind == "NOT":
+            if self.peek(1).kind == "EXISTS":
+                self.next()
+                return self._exists(negated=True)
+            self.next()
+            self._enter()
+            try:
+                return A.Unary("NOT", self._not_expr())
+            finally:
+                self._depth -= 1
+        if self.peek().kind == "EXISTS":
+            return self._exists(negated=False)
         return self._comparison()
 
-    def _comparison(self) -> Expr:
+    def _exists(self, negated: bool) -> A.Exists:
+        self.expect("EXISTS")
+        self.expect("LPAREN")
+        query = self.parse_statement()
+        self.expect("RPAREN")
+        return A.Exists(query, negated)
+
+    def _comparison(self) -> A.Node:
         left = self._additive()
         kind = self.peek().kind
-        if kind in ("EQ", "NE", "LT", "LE", "GT", "GE"):
+        if kind in _CMP_TOKENS:
             self.next()
-            right = self._additive()
-            ops = {"EQ": "__eq__", "NE": "__ne__", "LT": "__lt__",
-                   "LE": "__le__", "GT": "__gt__", "GE": "__ge__"}
-            return getattr(left, ops[kind])(right)
+            return A.Binary(_CMP_TOKENS[kind], left, self._additive())
         if self.accept("BETWEEN"):
             lo = self._additive()
             self.expect("AND")
             hi = self._additive()
-            return (left >= lo) & (left <= hi)
+            return A.Between(left, lo, hi)
         negated = False
-        if self.peek().kind == "NOT" and self.peek(1).kind in ("IN", "LIKE"):
+        if self.peek().kind == "NOT" and self.peek(1).kind in ("IN", "LIKE", "BETWEEN"):
             self.next()
             negated = True
+            if self.accept("BETWEEN"):
+                lo = self._additive()
+                self.expect("AND")
+                hi = self._additive()
+                return A.Unary("NOT", A.Between(left, lo, hi))
         if self.accept("IN"):
             return self._in_tail(left, negated)
         if self.accept("LIKE"):
             pattern = self.expect("STRING").value
-            return left.not_like(pattern) if negated else left.like(pattern)
+            return A.LikePred(left, pattern, negated)
         if self.accept("IS"):
             is_not = bool(self.accept("NOT"))
             self.expect("NULL")
-            return left.is_not_null() if is_not else left.is_null()
+            return A.IsNullPred(left, is_not)
         return left
 
-    def _in_tail(self, left: Expr, negated: bool) -> Expr:
+    def _in_tail(self, left: A.Node, negated: bool) -> A.Node:
         self.expect("LPAREN")
         if self.peek().kind == "SELECT":
-            from ..expr import ColRef
-
-            if not isinstance(left, ColRef):
-                raise SqlSyntaxError("IN (SELECT ...) requires a plain column on the left")
-            if not self._in_conjunctive_where:
-                raise SqlSyntaxError("IN (SELECT ...) is only supported in WHERE conjunctions")
-            sub = _Parser(self.db, self.tokens)
-            sub.pos = self.pos
-            subplan = sub.parse_query()
-            self.pos = sub.pos
+            query = self.parse_statement()
             self.expect("RPAREN")
-            sub_cols = output_columns(subplan.node, self.db)
-            if len(sub_cols) != 1:
-                raise SqlSyntaxError("IN subquery must produce exactly one column")
-            self._semijoins.append(_SemiJoin(left.name, subplan, sub_cols[0], negated))
-            return None  # removed from the boolean tree by _and_expr
+            return A.InSelect(left, query, negated)
         values = [self._literal_value()]
         while self.accept("COMMA"):
             values.append(self._literal_value())
         self.expect("RPAREN")
-        out = left.isin(values)
-        return ~out if negated else out
+        return A.InList(left, tuple(values), negated)
 
     def _literal_value(self):
         token = self.next()
@@ -428,71 +317,60 @@ class _Parser:
             return token.value
         if token.kind == "MINUS":
             inner = self._literal_value()
+            if not isinstance(inner, (int, float)):
+                raise self._err("expected a literal, found a string", token)
             return -inner
-        raise SqlSyntaxError(f"expected a literal, found {token.value!r}")
+        raise self._err(f"expected a literal, found {token.value!r}", token)
 
-    def _additive(self) -> Expr:
+    def _additive(self) -> A.Node:
         left = self._multiplicative()
         while True:
             if self.accept("PLUS"):
-                left = self._fold_date_arith(left, self._multiplicative(), +1)
+                left = A.Binary("+", left, self._multiplicative())
             elif self.accept("MINUS"):
-                left = self._fold_date_arith(left, self._multiplicative(), -1)
+                left = A.Binary("-", left, self._multiplicative())
             else:
                 return left
 
-    def _fold_date_arith(self, left: Expr, right, sign: int) -> Expr:
-        if isinstance(right, _Interval):
-            if not isinstance(left, Literal) or not isinstance(left.value, str):
-                raise SqlSyntaxError("INTERVAL arithmetic needs a DATE literal")
-            base = _dt.date.fromisoformat(left.value)
-            year = base.year + sign * right.years
-            month = base.month + sign * right.months
-            year += (month - 1) // 12
-            month = (month - 1) % 12 + 1
-            day = min(base.day, _days_in_month(year, month))
-            moved = _dt.date(year, month, day) + _dt.timedelta(days=sign * right.days)
-            return lit(moved.isoformat())
-        return (left + right) if sign > 0 else (left - right)
-
-    def _multiplicative(self) -> Expr:
+    def _multiplicative(self) -> A.Node:
         left = self._unary()
         while True:
             if self.accept("STAR"):
-                left = left * self._unary()
+                left = A.Binary("*", left, self._unary())
             elif self.accept("SLASH"):
-                left = left / self._unary()
+                left = A.Binary("/", left, self._unary())
             else:
                 return left
 
-    def _unary(self) -> Expr:
+    def _unary(self) -> A.Node:
         if self.accept("MINUS"):
-            return lit(0) - self._unary()
+            self._enter()
+            try:
+                return A.Unary("-", self._unary())
+            finally:
+                self._depth -= 1
         return self._primary()
 
-    def _primary(self):
+    def _primary(self) -> A.Node:
         token = self.peek()
         if token.kind == "NUMBER":
             self.next()
-            value = float(token.value) if "." in token.value else int(token.value)
-            return lit(value)
+            return A.Number(token.value)
         if token.kind == "STRING":
             self.next()
-            return lit(token.value)
+            return A.String(token.value)
         if token.kind == "DATE":
             self.next()
-            return lit(self.expect("STRING").value)
+            return A.DateLit(self.expect("STRING").value)
         if token.kind == "INTERVAL":
             self.next()
-            amount = int(self.expect("STRING").value)
+            amount = self.expect("STRING")
+            if not _INT_RE.match(amount.value):
+                raise self._err("INTERVAL amount must be an integer", amount)
             unit = self.next()
-            if unit.kind == "DAY":
-                return _Interval(days=amount)
-            if unit.kind == "MONTH":
-                return _Interval(months=amount)
-            if unit.kind == "YEAR":
-                return _Interval(years=amount)
-            raise SqlSyntaxError(f"unsupported interval unit {unit.value!r}")
+            if unit.kind not in ("DAY", "MONTH", "YEAR"):
+                raise self._err(f"unsupported interval unit {unit.value!r}", unit)
+            return A.Interval(int(amount.value), unit.kind)
         if token.kind == "CASE":
             return self._case()
         if token.kind in ("SUM", "AVG", "MIN", "MAX", "COUNT"):
@@ -504,89 +382,104 @@ class _Parser:
             self.expect("FROM")
             inner = self._expr()
             self.expect("RPAREN")
-            return inner.year()
+            return A.ExtractYearExpr(inner)
         if token.kind == "SUBSTRING":
+            return self._substring()
+        if token.kind in ("UPPER", "LOWER"):
             self.next()
             self.expect("LPAREN")
             inner = self._expr()
-            if self.accept("FROM"):
-                start = int(self.expect("NUMBER").value)
-                self.expect("FOR")
-                length = int(self.expect("NUMBER").value)
-            else:
-                self.expect("COMMA")
-                start = int(self.expect("NUMBER").value)
-                self.expect("COMMA")
-                length = int(self.expect("NUMBER").value)
             self.expect("RPAREN")
-            return inner.substring(start, length)
+            return A.Func(token.kind, (inner,))
+        if token.kind == "CONCAT":
+            self.next()
+            self.expect("LPAREN")
+            args = [self._expr()]
+            while self.accept("COMMA"):
+                args.append(self._expr())
+            self.expect("RPAREN")
+            if len(args) < 2:
+                raise self._err("CONCAT requires at least two arguments", token)
+            return A.Func("CONCAT", tuple(args))
         if token.kind == "LPAREN":
             self.next()
             if self.peek().kind == "SELECT":
-                sub = _Parser(self.db, self.tokens)
-                sub.pos = self.pos
-                subplan = sub.parse_query()
-                self.pos = sub.pos
+                query = self.parse_statement()
                 self.expect("RPAREN")
-                return scalar(subplan)
+                return A.SubqueryExpr(query)
             inner = self._expr()
             self.expect("RPAREN")
             return inner
         if token.kind == "IDENT":
-            return col(self._identifier("column"))
-        raise SqlSyntaxError(f"unexpected token {token.value!r} at {token.position}")
+            return A.Col(self._identifier("column"))
+        if token.kind == "EOF":
+            raise self._err("unexpected end of input", token)
+        raise self._err(f"unexpected token {token.value!r}", token)
 
-    def _case(self) -> Expr:
+    def _case(self) -> A.CaseWhen:
         self.expect("CASE")
         whens = []
-        while self.accept("WHEN"):
+        self.expect("WHEN")
+        while True:
             cond = self._expr()
             self.expect("THEN")
             value = self._expr()
             whens.append((cond, value))
-        otherwise = lit(0.0)
-        if self.accept("ELSE"):
-            otherwise = self._expr()
+            if not self.accept("WHEN"):
+                break
+        otherwise = self._expr() if self.accept("ELSE") else None
         self.expect("END")
-        return case(whens, otherwise)
+        return A.CaseWhen(tuple(whens), otherwise)
 
-    def _aggregate_call(self) -> Expr:
+    def _substring(self) -> A.SubstringFunc:
+        self.next()
+        self.expect("LPAREN")
+        inner = self._expr()
+        if self.accept("FROM"):
+            start = self._int_arg("SUBSTRING start")
+            self.expect("FOR")
+            length = self._int_arg("SUBSTRING length")
+        else:
+            self.expect("COMMA")
+            start = self._int_arg("SUBSTRING start")
+            self.expect("COMMA")
+            length = self._int_arg("SUBSTRING length")
+        self.expect("RPAREN")
+        if start < 1:
+            raise self._err("SUBSTRING start must be >= 1")
+        return A.SubstringFunc(inner, start, length)
+
+    def _int_arg(self, what: str) -> int:
+        token = self.expect("NUMBER")
+        if "." in token.value:
+            raise self._err(f"{what} must be an integer literal", token)
+        return int(token.value)
+
+    def _aggregate_call(self) -> A.Agg:
         func = self.next().kind
         self.expect("LPAREN")
         if func == "COUNT" and self.accept("STAR"):
             self.expect("RPAREN")
-            return self._register(agg.count_star())
+            return A.Agg("COUNT", None, star=True)
         if func == "COUNT" and self.accept("DISTINCT"):
             inner = self._expr()
             self.expect("RPAREN")
-            return self._register(agg.count_distinct(inner))
+            return A.Agg("COUNT", inner, distinct=True)
         inner = self._expr()
         self.expect("RPAREN")
-        builder = {"SUM": agg.sum, "AVG": agg.avg, "MIN": agg.min,
-                   "MAX": agg.max, "COUNT": agg.count}[func]
-        return self._register(builder(inner))
-
-    def _register(self, spec) -> Expr:
-        name = f"__agg{self._agg_counter}"
-        self._agg_counter += 1
-        self._aggs[name] = spec
-        return col(name)
+        return A.Agg(func, inner)
 
 
-def _days_in_month(year: int, month: int) -> int:
-    if month == 12:
-        return 31
-    return (_dt.date(year, month + 1, 1) - _dt.timedelta(days=1)).day
-
-
-def parse(db: Database, text: str) -> Q:
-    """Parse a SQL SELECT into a plan (alias: :func:`sql`)."""
-    parser = _Parser(db, tokenize(text))
-    plan = parser.parse_query()
+def parse_statement(text: str) -> A.Node:
+    """Parse SQL text into a syntax tree; raises :class:`SqlError` on any
+    malformed input."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.parse_statement()
     trailing = parser.peek()
     if trailing.kind != "EOF":
-        raise SqlSyntaxError(f"unexpected trailing input {trailing.value!r}")
-    return plan
-
-
-sql = parse
+        raise SqlError(
+            f"unexpected trailing input {trailing.value!r}",
+            line=trailing.line,
+            column=trailing.column,
+        )
+    return stmt

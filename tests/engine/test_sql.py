@@ -340,7 +340,7 @@ class TestUnionAll:
 
 class TestErrors:
     def test_unknown_table(self, toy_db):
-        with pytest.raises(KeyError):
+        with pytest.raises(SqlSyntaxError, match="unknown table"):
             sql(toy_db, "SELECT * FROM missing")
 
     def test_trailing_garbage(self, toy_db):

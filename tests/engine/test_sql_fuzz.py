@@ -1,0 +1,195 @@
+"""Fuzz wall for the SQL front-end's never-crash contract.
+
+Whatever the input — arbitrary unicode, keyword soup, or real queries
+chewed up by random mutations — ``sql(db, text)`` must either return a
+plan or raise :class:`SqlError`, and never the ``internal=True`` guard
+variant (which would mean an unexpected exception type escaped the
+parser or planner and was caught only by the last-resort wrapper).
+Explicit adversarial inputs (deep nesting, long flat chains, hostile
+literals) are pinned as regular tests so they stay covered even at low
+example counts.
+
+Profiles: the default runs a few hundred examples per property for the
+tier-1 suite; CI sets ``HYPOTHESIS_PROFILE=ci`` for the 10k-case run
+(fixed seed via ``derandomize``, per-example deadline bounded).
+"""
+
+from __future__ import annotations
+
+import os
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adevents import ADEVENTS_QUERIES
+from repro.adevents import generate as adevents_generate
+from repro.engine import Column, Database, Table
+from repro.engine.sql import MAX_DEPTH, SqlError, sql, tokenize
+from repro.tpch import generate as tpch_generate
+from repro.tpch.sqltext import SQL_QUERY_NUMBERS, sql_text
+
+settings.register_profile(
+    "ci",
+    max_examples=2500,  # 4 properties x 2500 = the 10k-case CI wall
+    derandomize=True,
+    deadline=1000,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large,
+                           HealthCheck.filter_too_much],
+)
+settings.register_profile(
+    "dev",
+    max_examples=150,
+    derandomize=True,
+    deadline=None,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def _fuzz_db() -> Database:
+    """One catalog holding both workloads' tables (tiny scales), so
+    mutated queries from either corpus still resolve their FROM clauses."""
+    db = Database("fuzz")
+    for source in (tpch_generate(0.001, seed=3), adevents_generate(0.05, seed=3)):
+        for name in source.table_names:
+            db.add(source.table(name))
+    db.add(Table("t", {
+        "k": Column.from_ints([1, 2, 3]),
+        "v": Column.from_floats([10.0, 20.0, 30.0]),
+        "s": Column.from_strings(["a", "b", "a"]),
+        "d": Column.from_dates(["1994-01-01", "1995-06-01", "1996-01-01"]),
+    }))
+    return db
+
+
+DB = _fuzz_db()
+
+CORPUS = tuple(
+    sql_text(number, {"sf": 0.001}) for number in SQL_QUERY_NUMBERS
+) + tuple(ADEVENTS_QUERIES.values())
+
+# Splice material for grammar-aware mutations.
+TOKENS = (
+    "SELECT", "FROM", "WHERE", "GROUP BY", "HAVING", "ORDER BY", "LIMIT",
+    "JOIN", "LEFT JOIN", "ON", "AND", "OR", "NOT", "IN", "EXISTS",
+    "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END", "UNION",
+    "ALL", "AS", "IS", "NULL", "DISTINCT", "SUM", "AVG", "MIN", "MAX",
+    "COUNT", "EXTRACT", "SUBSTRING", "UPPER", "LOWER", "CONCAT",
+    "INTERVAL", "DATE", "YEAR", "(", ")", ",", "*", "+", "-", "/", "=",
+    "<>", "<=", ">=", "<", ">", ".", ";", "'", "''", "0", "1", "42",
+    "3.14", ".5", "'abc'", "l_orderkey", "ev_type", "t", "lineitem",
+    "events", "missing_column", "missing_table",
+)
+
+
+def _assert_parses_or_sql_error(text: str) -> None:
+    try:
+        sql(DB, text)
+    except SqlError as err:
+        assert not err.internal, (
+            f"internal-error guard fired (never-crash contract violated) "
+            f"for input {text!r}: {err}"
+        )
+
+
+@given(st.text(max_size=300))
+def test_arbitrary_unicode_never_crashes(text):
+    _assert_parses_or_sql_error(text)
+
+
+@given(
+    st.lists(st.sampled_from(TOKENS), max_size=60).map(" ".join)
+)
+def test_token_soup_never_crashes(text):
+    _assert_parses_or_sql_error(text)
+
+
+@st.composite
+def _mutated_query(draw):
+    text = draw(st.sampled_from(CORPUS))
+    for _ in range(draw(st.integers(1, 4))):
+        if not text:
+            break
+        kind = draw(st.integers(0, 3))
+        i = draw(st.integers(0, len(text) - 1))
+        j = draw(st.integers(i, min(len(text), i + 25)))
+        if kind == 0:  # delete a span
+            text = text[:i] + text[j:]
+        elif kind == 1:  # duplicate a span
+            text = text[:j] + text[i:j] + text[j:]
+        elif kind == 2:  # overwrite a span with a random token
+            text = text[:i] + " " + draw(st.sampled_from(TOKENS)) + " " + text[j:]
+        else:  # insert printable noise
+            noise = draw(st.text(alphabet=string.printable, max_size=6))
+            text = text[:i] + noise + text[i:]
+    return text
+
+
+@given(_mutated_query())
+def test_mutated_real_queries_never_crash(text):
+    _assert_parses_or_sql_error(text)
+
+
+@given(st.text(alphabet=string.printable, max_size=300))
+def test_printable_soup_never_crashes(text):
+    _assert_parses_or_sql_error(text)
+
+
+class TestAdversarialInputs:
+    """Pinned hostile inputs: each must fail fast with a plain SqlError."""
+
+    def test_deep_paren_nesting_is_depth_bounded(self):
+        depth = MAX_DEPTH * 4
+        text = "SELECT k FROM t WHERE " + "(" * depth + "1" + ")" * depth + " > 0"
+        with pytest.raises(SqlError, match="nested too deeply"):
+            sql(DB, text)
+
+    def test_deep_not_chain_is_depth_bounded(self):
+        text = "SELECT k FROM t WHERE " + "NOT " * (MAX_DEPTH * 4) + "1 > 0"
+        with pytest.raises(SqlError, match="nested too deeply"):
+            sql(DB, text)
+
+    def test_deep_unary_minus_chain_is_depth_bounded(self):
+        text = "SELECT " + "- " * (MAX_DEPTH * 4) + "1 FROM t"
+        with pytest.raises(SqlError, match="nested too deeply"):
+            sql(DB, text)
+
+    def test_long_flat_and_chain_plans_fine(self):
+        # Flat chains are not nesting: thousands of conjuncts must plan
+        # without blowing the stack (conjuncts and the left-deep spine
+        # walk are both iterative).
+        text = "SELECT k FROM t WHERE " + " AND ".join(["k > 0"] * 3000)
+        sql(DB, text)
+
+    def test_long_flat_arithmetic_chain_plans_fine(self):
+        text = "SELECT " + " + ".join(["1"] * 3000) + " AS n FROM t"
+        sql(DB, text)
+
+    def test_long_union_chain_plans_fine(self):
+        text = " UNION ALL ".join(["SELECT k FROM t"] * 300)
+        sql(DB, text)
+
+    def test_overlong_statement_rejected(self):
+        with pytest.raises(SqlError, match="too long"):
+            sql(DB, "SELECT 1 FROM t -- " + "x" * 2_000_000)
+
+    def test_overlong_numeric_literal_rejected(self):
+        with pytest.raises(SqlError, match="numeric literal too long"):
+            sql(DB, "SELECT " + "9" * 5000 + " AS n FROM t")
+
+    def test_non_string_input_rejected(self):
+        with pytest.raises(SqlError, match="must be a string"):
+            sql(DB, None)
+
+    def test_interval_overflow_is_sql_error(self):
+        with pytest.raises(SqlError, match="date arithmetic"):
+            sql(DB, "SELECT k FROM t WHERE d < DATE '1994-01-01' "
+                    "+ INTERVAL '999999999' YEAR")
+
+    def test_invalid_date_literal_is_sql_error(self):
+        with pytest.raises(SqlError, match="invalid DATE literal"):
+            sql(DB, "SELECT k FROM t WHERE d < DATE 'not-a-date'")
+
+    def test_tokenizer_never_stalls_on_comment_at_eof(self):
+        assert tokenize("SELECT 1 --")[-1].kind == "EOF"

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the ad-events golden results file.
+
+Usage:  PYTHONPATH=src python tools/gen_adevents_golden.py
+
+Writes tests/adevents/data/golden_x1_seed7.json. Same shape as the
+TPC-H golden file: per query the output columns, the stringified first
+row, the sum of all numeric cells, and the row count. Regenerate only
+for *intentional* behaviour changes, and review the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.adevents import QUERY_NAMES, build, generate
+from repro.engine import execute
+
+SCALE = 1.0
+SEED = 7
+
+
+def _numeric_sum(rows) -> float:
+    total = 0.0
+    for row in rows:
+        for value in row:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if isinstance(value, float) and math.isnan(value):
+                    continue
+                total += float(value)
+    return total
+
+
+def main() -> None:
+    db = generate(SCALE, seed=SEED)
+    golden = {}
+    for name in QUERY_NAMES:
+        result = execute(db, build(db, name))
+        golden[name] = {
+            "columns": list(result.column_names),
+            "first_row": [str(v) for v in result.rows[0]] if len(result) else [],
+            "numeric_sum": round(_numeric_sum(result.rows), 2),
+            "rows": len(result),
+        }
+        print(f"{name:22s} rows={golden[name]['rows']}")
+    out = Path(__file__).parent.parent / "tests" / "adevents" / "data" / "golden_x1_seed7.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
