@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-latemat", action="store_true",
                        help="ablation: disable late materialization "
                             "(selection-vector execution)")
+    query.add_argument("--no-compressed-exec", action="store_true",
+                       help="ablation: disable compressed execution "
+                            "(decode-then-eval on encoded columns)")
+    query.add_argument("--compress", action="store_true",
+                       help="compress the generated tables so compressed "
+                            "execution has encoded columns to work on")
     _add_trace_args(query)
 
     validate = sub.add_parser(
@@ -122,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--no-latemat", action="store_true",
                          help="ablation: disable late materialization "
                               "(selection-vector execution)")
+    sql_cmd.add_argument("--no-compressed-exec", action="store_true",
+                         help="ablation: disable compressed execution "
+                              "(decode-then-eval on encoded columns)")
+    sql_cmd.add_argument("--compress", action="store_true",
+                         help="compress the generated tables so compressed "
+                              "execution has encoded columns to work on")
     _add_trace_args(sql_cmd)
 
     trace_cmd = sub.add_parser(
@@ -147,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--no-latemat", action="store_true",
                            help="ablation: disable late materialization "
                                 "(selection-vector execution)")
+    trace_cmd.add_argument("--no-compressed-exec", action="store_true",
+                           help="ablation: disable compressed execution "
+                                "(decode-then-eval on encoded columns)")
+    trace_cmd.add_argument("--compress", action="store_true",
+                           help="compress the generated tables so compressed "
+                                "execution has encoded columns to work on")
+    trace_cmd.add_argument("--metrics", action="store_true",
+                           help="print the process-wide metrics registry "
+                                "(cache and encoded-dispatch hit/miss "
+                                "counters) after the run")
 
     scaling = sub.add_parser(
         "scaling",
@@ -171,13 +193,30 @@ def _render(value, indent: int = 0) -> str:
     return json.dumps(to_jsonable(value), indent=2, sort_keys=True)
 
 
-def _optimizer_settings(no_skipping: bool, no_latemat: bool = False):
+def _optimizer_settings(
+    no_skipping: bool, no_latemat: bool = False, no_compressed: bool = False
+):
     from repro.engine import DEFAULT_SETTINGS, OptimizerSettings
 
     settings = OptimizerSettings.disabled() if no_skipping else DEFAULT_SETTINGS
     if no_latemat:
         settings = settings.without_latemat()
+    if no_compressed:
+        settings = settings.without_compressed()
     return settings
+
+
+def _maybe_compress_db(db, enabled: bool):
+    """With --compress, re-catalog every table through compress_table."""
+    if not enabled:
+        return db
+    from repro.engine.compression import compress_table
+    from repro.engine.table import Database
+
+    out = Database(db.name)
+    for name in db.table_names:
+        out.add(compress_table(db.table(name)))
+    return out
 
 
 def _add_trace_args(parser) -> None:
@@ -247,9 +286,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.explain import explain, explain_profile
         from repro.tpch import generate, get_query
 
-        db = generate(args.sf)
+        db = _maybe_compress_db(generate(args.sf), args.compress)
         plan = get_query(args.number).build(db, {"sf": args.sf})
-        settings = _optimizer_settings(args.no_skipping, args.no_latemat)
+        settings = _optimizer_settings(
+            args.no_skipping, args.no_latemat, args.no_compressed_exec
+        )
         if args.explain:
             print(explain(plan, db, settings=settings))
             print()
@@ -368,13 +409,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.sql import SqlError, sql as parse_sql
         from repro.tpch import generate
 
-        db = generate(args.sf)
+        db = _maybe_compress_db(generate(args.sf), args.compress)
         try:
             plan = parse_sql(db, args.statement)
         except SqlError as err:
             print(f"SQL error: {err}", file=sys.stderr)
             return 2
-        settings = _optimizer_settings(args.no_skipping, args.no_latemat)
+        settings = _optimizer_settings(
+            args.no_skipping, args.no_latemat, args.no_compressed_exec
+        )
         if args.explain:
             print(explain(plan, db, settings=settings))
             print()
@@ -397,9 +440,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import Tracer, render_tree, trace_to_dict, validate_trace
         from repro.tpch import generate, get_query
 
-        db = generate(args.sf)
+        db = _maybe_compress_db(generate(args.sf), args.compress)
         plan = get_query(args.number).build(db, {"sf": args.sf})
-        settings = _optimizer_settings(args.no_skipping, args.no_latemat)
+        settings = _optimizer_settings(
+            args.no_skipping, args.no_latemat, args.no_compressed_exec
+        )
         tracer = Tracer()
         result = _execute_maybe_parallel(
             db, plan, args.workers, settings,
@@ -408,6 +453,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"Q{args.number}: {len(result)} rows "
               f"({result.wall_seconds * 1e3:.1f} ms wall)")
         print(render_tree(tracer))
+        if args.metrics:
+            from repro.obs.metrics import metrics
+
+            print("metrics:")
+            for key, value in metrics.snapshot().items():
+                print(f"  {key} = {value:g}")
         if args.validate:
             validate_trace(trace_to_dict(tracer))
             print("trace document validates against the schema")

@@ -39,6 +39,7 @@ __all__ = [
     "RunLengthEncoding",
     "DeltaEncoding",
     "ALL_ENCODINGS",
+    "rle_overlap",
     "compress_column",
     "compress_table",
     "compression_ratio",
@@ -82,6 +83,14 @@ class Encoding:
         encoding cannot answer cheaply (caller decodes once instead)."""
         return None
 
+    def decode_range(
+        self, payload: object, n: int, dtype: np.dtype, lo: int, hi: int
+    ) -> np.ndarray:
+        """Decode only rows ``[lo, hi)``; must equal ``decode(...)[lo:hi]``
+        elementwise. The default decodes everything and slices; encodings
+        with random access override it."""
+        return self.decode(payload, n, dtype)[lo:hi]
+
 
 def _block_reduce_int(values: np.ndarray, n: int, block_rows: int):
     """Per-block min/max of a dense int array (padded with its last value)."""
@@ -120,6 +129,10 @@ class BitPackedEncoding(Encoding):
         lo, packed = payload
         mins, maxs = _block_reduce_int(packed, n, block_rows)
         return mins + lo, maxs + lo
+
+    def decode_range(self, payload, n, dtype, lo, hi):
+        base, packed = payload
+        return (packed[lo:hi].astype(np.int64) + base).astype(dtype)
 
 
 class FrameOfReferenceEncoding(Encoding):
@@ -165,9 +178,38 @@ class FrameOfReferenceEncoding(Encoding):
         )
         return mins, maxs
 
+    def decode_range(self, payload, n, dtype, lo, hi):
+        refs, blocks = payload
+        parts = []
+        first = lo // self.block
+        last = min(-(-hi // self.block), len(blocks))
+        for b in range(first, last):
+            chunk = blocks[b].astype(np.int64) + refs[b]
+            start = max(lo - b * self.block, 0)
+            stop = min(hi - b * self.block, len(chunk))
+            parts.append(chunk[start:stop])
+        out = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        return out.astype(dtype)
+
+
+def rle_overlap(
+    run_values: np.ndarray, lengths: np.ndarray, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Runs overlapping rows ``[lo, hi)``: ``(values, clipped_lengths, i0, i1)``
+    where ``[i0, i1)`` indexes the overlapping runs."""
+    if hi <= lo or not len(lengths):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, 0, 0
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    i0 = int(np.searchsorted(ends, lo, side="right"))
+    i1 = int(np.searchsorted(starts, hi, side="left"))
+    clipped = np.minimum(ends[i0:i1], hi) - np.maximum(starts[i0:i1], lo)
+    return run_values[i0:i1], clipped, i0, i1
+
 
 class RunLengthEncoding(Encoding):
-    """(value, run-length) pairs; shines on clustered/sorted columns."""
+    """(value, run-length) pairs; shines on sorted or clustered columns."""
 
     name = "rle"
     decode_ops_per_value = 0.5  # amortized: one expansion per run
@@ -185,6 +227,11 @@ class RunLengthEncoding(Encoding):
     def decode(self, payload, n, dtype):
         run_values, lengths = payload
         return np.repeat(run_values, lengths).astype(dtype)
+
+    def decode_range(self, payload, n, dtype, lo, hi):
+        run_values, lengths = payload
+        values, clipped, _, _ = rle_overlap(run_values, lengths, lo, hi)
+        return np.repeat(values, clipped).astype(dtype)
 
     def encoded_nbytes(self, payload):
         run_values, lengths = payload
@@ -241,6 +288,36 @@ class DeltaEncoding(Encoding):
         _, zigzag = payload
         return zigzag.nbytes + 8
 
+    def block_min_max(self, payload, n, block_rows):
+        # One cumsum over the un-zigzagged deltas reconstructs the int64
+        # value stream straight from the metadata — no Column round-trip —
+        # so delta-encoded columns participate in zone-map skipping too.
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        first, zigzag = payload
+        z = zigzag.astype(np.int64)
+        deltas = (z >> 1) ^ -(z & 1)
+        values = np.empty(n, dtype=np.int64)
+        values[0] = first
+        np.cumsum(deltas, out=values[1:]) if n > 1 else None
+        values[1:] += first
+        return _block_reduce_int(values, n, block_rows)
+
+    def decode_range(self, payload, n, dtype, lo, hi):
+        # Prefix sums need every delta up to ``hi`` but none beyond it.
+        hi = min(hi, n)
+        if hi <= lo:
+            return np.empty(0, dtype=dtype)
+        first, zigzag = payload
+        z = zigzag[: hi - 1].astype(np.int64)
+        deltas = (z >> 1) ^ -(z & 1)
+        out = np.empty(hi, dtype=np.int64)
+        out[0] = first
+        np.cumsum(deltas, out=out[1:]) if hi > 1 else None
+        out[1:] += first
+        return out[lo:hi].astype(dtype)
+
 
 ALL_ENCODINGS: tuple[Encoding, ...] = (
     BitPackedEncoding(), FrameOfReferenceEncoding(), RunLengthEncoding(), DeltaEncoding(),
@@ -284,6 +361,34 @@ class CompressedColumn:
     def to_column(self) -> Column:
         values = self._encoding.decode(self.payload, self.n, self.dtype.numpy_dtype)
         return Column(self.dtype, values, dictionary=self.dictionary)
+
+    @property
+    def scale(self) -> float | None:
+        """Fixed-point scale for FLOAT64 columns stored as ints, else None."""
+        if isinstance(self._encoding, _ScaledEncoding):
+            return self._encoding.scale
+        return None
+
+    @property
+    def base_encoding(self) -> Encoding:
+        """The integer encoding, unwrapping any fixed-point wrapper."""
+        if isinstance(self._encoding, _ScaledEncoding):
+            return self._encoding.inner
+        return self._encoding
+
+    @property
+    def base_payload(self) -> object:
+        """Payload of :attr:`base_encoding` (unwraps fixed-point)."""
+        if isinstance(self._encoding, _ScaledEncoding):
+            return self.payload[2]
+        return self.payload
+
+    def decode_range(self, lo: int, hi: int) -> np.ndarray:
+        """Materialize rows ``[lo, hi)`` only; elementwise identical to
+        ``to_column().values[lo:hi]``."""
+        return self._encoding.decode_range(
+            self.payload, self.n, self.dtype.numpy_dtype, lo, hi
+        )
 
     def zone_stats(self, block_rows: int) -> tuple | None:
         """Per-block ``(mins, maxs, null_counts)`` — the zone-map payload.
@@ -380,6 +485,11 @@ class _ScaledEncoding(Encoding):
     def decode(self, payload, n, dtype):
         _, scale, inner_payload = payload
         ints = self.inner.decode(inner_payload, n, np.dtype(np.int64))
+        return (ints / scale).astype(dtype)
+
+    def decode_range(self, payload, n, dtype, lo, hi):
+        _, scale, inner_payload = payload
+        ints = self.inner.decode_range(inner_payload, n, np.dtype(np.int64), lo, hi)
         return (ints / scale).astype(dtype)
 
 

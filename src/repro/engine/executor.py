@@ -25,7 +25,7 @@ from .plan import (
 from .profile import OperatorWork, WorkProfile
 from .result import Result
 from .table import Database
-from .operators.aggregate import execute_aggregate
+from .operators.aggregate import execute_aggregate, try_encoded_aggregate
 from .operators.distinct import execute_distinct
 from .operators.filter import execute_filter
 from .operators.join import execute_join
@@ -183,6 +183,7 @@ class Executor:
                 predicate=node.predicate,
                 skipping=self.settings.zone_map_skipping,
                 late=self.settings.late_materialization,
+                compressed=self.settings.compressed_execution,
             )
         if isinstance(node, FilterNode):
             child = self._exec(node.child, ctx)
@@ -203,6 +204,14 @@ class Executor:
                 left, right, list(node.left_on), list(node.right_on), node.how, ctx
             )
         if isinstance(node, AggregateNode):
+            if (
+                self.settings.compressed_execution
+                and isinstance(node.child, ScanNode)
+                and node.child.predicate is None
+            ):
+                frame = try_encoded_aggregate(node, self.db, ctx)
+                if frame is not None:
+                    return frame
             child = self._exec(node.child, ctx)
             ctx.begin_operator("aggregate")
             return execute_aggregate(child, list(node.group_by), dict(node.aggs), ctx)

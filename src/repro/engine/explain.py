@@ -91,6 +91,31 @@ def _late_tag(node: PlanNode) -> str:
     return ""
 
 
+def _enc_tag(node: PlanNode, db: Database) -> str:
+    """Compressed-execution annotation: how this operator will treat
+    encoded columns (a dry run of the same dispatch the executor does)."""
+    from .encoded import classify_conjuncts, prepare_aggregate
+
+    if isinstance(node, ScanNode) and node.predicate is not None:
+        encoded, decode = classify_conjuncts(node.predicate, db.table(node.table))
+        if encoded and decode:
+            return f"  [enc-eval {encoded}/{encoded + decode}]"
+        if encoded:
+            return "  [enc-eval]"
+        if decode:
+            return "  [decode]"
+        return ""
+    if (
+        isinstance(node, AggregateNode)
+        and isinstance(node.child, ScanNode)
+        and node.child.predicate is None
+    ):
+        table = db.table(node.child.table)
+        if prepare_aggregate(table, list(node.group_by), dict(node.aggs)) is not None:
+            return "  [enc-agg: run-level]"
+    return ""
+
+
 def explain(
     plan: "Q | PlanNode",
     db: Database,
@@ -111,9 +136,12 @@ def explain(
 
     lines: list[str] = []
     annotate_late = effective.late_materialization
+    annotate_enc = effective.compressed_execution
 
     def walk(current: PlanNode, depth: int) -> None:
         tag = _late_tag(current) if annotate_late else ""
+        if annotate_enc:
+            tag += _enc_tag(current, db)
         lines.append("  " * depth + "-> " + _describe(current) + tag)
         for child in current.children():
             walk(child, depth + 1)
@@ -155,5 +183,12 @@ def explain_profile(result: Result) -> str:
             f"late materialization: {totals.gather_bytes / 1e6:.2f} MB gathered "
             f"at pipeline breakers, {totals.saved_bytes / 1e6:.2f} MB of eager "
             f"intermediate rewrites avoided"
+        )
+    if totals.encoded_eval_rows or totals.runs_touched or totals.decoded_bytes:
+        lines.append(
+            f"compressed execution: {totals.encoded_eval_rows:,.0f} rows "
+            f"evaluated in the encoded domain "
+            f"({totals.runs_touched:,.0f} runs/blocks touched), "
+            f"{totals.decoded_bytes / 1e6:.2f} MB decoded"
         )
     return "\n".join(lines)

@@ -45,10 +45,30 @@ def morsel_ranges(nrows: int, morsel_rows: int) -> list[tuple[int, int]]:
             for start in range(0, nrows, morsel_rows)]
 
 
-def table_is_morselable(table: Table, columns: list[str] | None) -> bool:
-    """Compressed columns have no positional slice; such scans stay serial."""
+# Encodings with true random access: a morsel can decode (or evaluate)
+# exactly its own rows. Delta stays serial — its prefix sums make every
+# morsel pay for all rows before it.
+_SLICEABLE_ENCODINGS = frozenset({"bitpack", "for", "rle"})
+
+
+def table_is_morselable(
+    table: Table, columns: list[str] | None, allow_encoded: bool = False
+) -> bool:
+    """Whether every needed column supports positional slicing.
+
+    Plain columns always do. Compressed columns keep such scans serial
+    unless ``allow_encoded`` (compressed execution is on) and the
+    encoding has random access — then :func:`scan_morsel` decodes or
+    encoded-evaluates exactly its own row range.
+    """
     names = columns if columns is not None else table.column_names
-    return not any(isinstance(table.column(n), CompressedColumn) for n in names)
+    for n in names:
+        col = table.column(n)
+        if not isinstance(col, CompressedColumn):
+            continue
+        if not allow_encoded or col.encoding_name not in _SLICEABLE_ENCODINGS:
+            return False
+    return True
 
 
 class MorselContext:
@@ -105,6 +125,7 @@ def scan_morsel(
     predicate=None,
     skipping: bool = True,
     late: bool = False,
+    compressed: bool = False,
 ) -> Frame:
     """Materialize one morsel of a table scan (zero-copy column slices).
 
@@ -118,4 +139,7 @@ def scan_morsel(
     """
     from .operators.scan import scan_range
 
-    return scan_range(table, columns, start, stop, ctx, predicate, skipping, late=late)
+    return scan_range(
+        table, columns, start, stop, ctx, predicate, skipping,
+        late=late, compressed=compressed,
+    )

@@ -31,6 +31,7 @@ from repro.obs.trace import note
 
 from ..column import Column
 from ..compression import CompressedColumn
+from ..encoded import compile_predicate
 from ..frame import LATE_BREAK_SELECTIVITY, SELECTION_DTYPE, Frame
 from ..table import Table
 from ..zonemap import (
@@ -39,6 +40,7 @@ from ..zonemap import (
     BLOCK_TAKE,
     ZONE_MAP_BLOCK_ROWS,
     classify_blocks,
+    conjoin,
     extract_sargable,
     split_conjuncts,
 )
@@ -81,7 +83,8 @@ def _merge_runs(
 
 
 def _scan_unfiltered(
-    table: Table, names: list[str], start: int, stop: int, ctx
+    table: Table, names: list[str], start: int, stop: int, ctx,
+    compressed: bool = False,
 ) -> Frame:
     """The predicate-free scan: stream every requested column once."""
     full = start == 0 and stop == table.nrows
@@ -92,8 +95,17 @@ def _scan_unfiltered(
             fraction = (stop - start) / max(1, len(col))
             ctx.work.seq_bytes += col.nbytes * fraction
             ctx.work.ops += col.decode_ops * fraction
-            plain = col.to_column()
-            out[name] = plain if full else plain.slice(start, stop)
+            if compressed and not full:
+                # Partial ranges (morsels) decode only their own rows —
+                # without this, every morsel would re-decode the whole
+                # column and parallel scans would go quadratic.
+                values = col.decode_range(start, stop)
+                out[name] = Column(col.dtype, values, dictionary=col.dictionary)
+                ctx.work.decoded_bytes += (stop - start) * col.dtype.width
+            else:
+                plain = col.to_column()
+                out[name] = plain if full else plain.slice(start, stop)
+                ctx.work.decoded_bytes += col.plain_nbytes
         else:
             sliced = col if full else col.slice(start, stop)
             ctx.work.seq_bytes += sliced.nbytes
@@ -113,6 +125,7 @@ def scan_range(
     predicate=None,
     skipping: bool = True,
     late: bool = False,
+    compressed: bool = False,
 ) -> Frame:
     """Scan rows ``[start, stop)`` of ``table``, applying ``predicate``
     (if any) with zone-map block skipping (if enabled).
@@ -120,11 +133,14 @@ def scan_range(
     ``columns`` are the output columns; predicate-only columns are
     streamed for evaluation but dropped from the result. The serial
     executor calls this over the full table; the parallel executor calls
-    it once per morsel — both share this exact code path.
+    it once per morsel — both share this exact code path. With
+    ``compressed`` the scan compiles predicate conjuncts against encoded
+    columns (:mod:`repro.engine.encoded`) and decodes per run instead of
+    per column.
     """
     out_names = columns if columns is not None else table.column_names
     if predicate is None:
-        return _scan_unfiltered(table, out_names, start, stop, ctx)
+        return _scan_unfiltered(table, out_names, start, stop, ctx, compressed)
 
     conjuncts = split_conjuncts(predicate)
     sargable = [s for s in (extract_sargable(c) for c in conjuncts) if s is not None]
@@ -165,21 +181,29 @@ def scan_range(
         _BLOCKS_SCANNED.inc(len(codes) - n_skip_blocks)
     note(ctx, runs=len(runs))
 
+    if compressed:
+        enc_plans, residual = compile_predicate(conjuncts, table)
+        if enc_plans:
+            return _scan_range_encoded(
+                table, out_names, stream_names, runs, enc_plans, residual,
+                ctx, scan_work, range_rows, survived, skipped, late,
+            )
+
     decoded: dict[str, Column] = {}
     for name in stream_names:
         col = table.column(name)
         if isinstance(col, CompressedColumn):
-            # Whole-column encodings cannot partially decode: if any block
-            # survives we decode once, but charge streaming/decode only
-            # for the surviving fraction (a block-granular codec would
-            # touch exactly that much); fully-skipped columns are never
-            # decoded at all.
+            # Whole-column decode path: if any block survives we decode
+            # once, but charge streaming/decode only for the surviving
+            # fraction (a block-granular codec would touch exactly that
+            # much); fully-skipped columns are never decoded at all.
             range_fraction = range_rows / max(1, len(col))
             live = survived / max(1, range_rows)
             scan_work.seq_bytes += col.nbytes * range_fraction * live
             scan_work.skipped_bytes += col.nbytes * range_fraction * (1.0 - live)
             if survived:
                 scan_work.ops += col.decode_ops * range_fraction * live
+                scan_work.decoded_bytes += col.plain_nbytes
                 decoded[name] = col.to_column()
         else:
             scan_work.seq_bytes += survived * col.dtype.width
@@ -274,6 +298,178 @@ def scan_range(
     return out_frame
 
 
+def _decoded_slice(table: Table, name: str, lo: int, hi: int, scan_work) -> Column:
+    """Materialize rows ``[lo, hi)`` of one column, charging the decode
+    (bytes + ops) to the scan operator; plain columns slice zero-copy."""
+    col = table.column(name)
+    if isinstance(col, CompressedColumn):
+        scan_work.decoded_bytes += (hi - lo) * col.dtype.width
+        scan_work.ops += col.decode_ops * (hi - lo) / max(1, len(col))
+        return Column(col.dtype, col.decode_range(lo, hi), dictionary=col.dictionary)
+    return col.slice(lo, hi)
+
+
+def _scan_range_encoded(
+    table: Table,
+    out_names: list[str],
+    stream_names: list[str],
+    runs: list[tuple[int, int, int]],
+    plans: list,
+    residual: list,
+    ctx,
+    scan_work,
+    range_rows: int,
+    survived: int,
+    skipped: int,
+    late: bool = False,
+) -> Frame:
+    """Predicated scan with compiled encoded conjuncts.
+
+    EVAL runs test the packed payloads directly (no int64
+    materialization); only the output columns of surviving runs — plus
+    whatever a residual (uncompiled) conjunct reads — are ever decoded.
+    A skipped-then-filtered block therefore never decodes at all, and
+    compiled predicate-only columns never decode anywhere. With ``late``
+    the output rides a selection vector over whole-decoded base columns
+    (the late pipeline needs absolute row ids), so the decode saving is
+    confined to predicate-only columns — but the rewrite saving and the
+    deferred gather compose exactly as on plain tables.
+    """
+    residual_pred = conjoin(residual)
+    residual_names = (
+        sorted({n for c in residual for n in c.references()}) if residual else []
+    )
+
+    for name in stream_names:
+        col = table.column(name)
+        if isinstance(col, CompressedColumn):
+            range_fraction = range_rows / max(1, len(col))
+            live = survived / max(1, range_rows)
+            scan_work.seq_bytes += col.nbytes * range_fraction * live
+            scan_work.skipped_bytes += col.nbytes * range_fraction * (1.0 - live)
+        else:
+            scan_work.seq_bytes += survived * col.dtype.width
+            scan_work.skipped_bytes += skipped * col.dtype.width
+    scan_work.tuples_in += survived
+    scan_work.tuples_out += survived
+
+    begin = getattr(ctx, "begin_operator", None)
+    if begin is not None:
+        filter_work = begin("filter")
+    else:
+        filter_work = ctx.profile.new_operator("filter")
+        ctx.work = filter_work
+    note(ctx, pushdown=True, encoded=True)
+
+    if late and survived:
+        # Late materialization over encoded predicates: base columns the
+        # frame carries (outputs + residual inputs) whole-decode exactly
+        # as on the decode path, but compiled predicate-only columns are
+        # never decoded and EVAL-run masks come from the packed domain.
+        decoded: dict[str, Column] = {}
+        late_names = list(out_names) + [
+            n for n in residual_names if n not in out_names
+        ]
+        for name in late_names:
+            col = table.column(name)
+            if isinstance(col, CompressedColumn):
+                range_fraction = range_rows / max(1, len(col))
+                live = survived / max(1, range_rows)
+                scan_work.ops += col.decode_ops * range_fraction * live
+                scan_work.decoded_bytes += col.plain_nbytes
+                decoded[name] = col.to_column()
+            else:
+                decoded[name] = col
+        sel_parts: list[np.ndarray] = []
+        for kind, lo, hi in runs:
+            if kind == BLOCK_SKIP:
+                continue
+            filter_work.tuples_in += hi - lo
+            if kind == BLOCK_TAKE:
+                sel_parts.append(np.arange(lo, hi, dtype=SELECTION_DTYPE))
+                continue
+            mask = None
+            for plan in plans:
+                m = plan.mask(lo, hi, filter_work)
+                mask = m if mask is None else mask & m
+            if residual_pred is not None:
+                run_frame = Frame(
+                    {n: decoded[n].slice(lo, hi) for n in residual_names},
+                    hi - lo,
+                )
+                rmask = residual_pred.evaluate(run_frame, ctx).values
+                mask = rmask if mask is None else mask & rmask
+            filter_work.seq_bytes += hi - lo  # the mask / candidate list
+            sel_parts.append((lo + np.flatnonzero(mask)).astype(SELECTION_DTYPE))
+        if len(sel_parts) == 1:
+            sel = sel_parts[0]
+        elif sel_parts:
+            sel = np.concatenate(sel_parts)
+        else:
+            sel = np.empty(0, dtype=SELECTION_DTYPE)
+        out_frame = Frame({n: decoded[n] for n in out_names}, selection=sel)
+        if (
+            not out_frame._selection_is_contiguous()
+            and out_frame.nrows > LATE_BREAK_SELECTIVITY * max(1, survived)
+        ):
+            out_frame = out_frame.dense()
+            filter_work.tuples_out += out_frame.nrows
+            filter_work.out_bytes += out_frame.nbytes
+            note(ctx, late=True, broke=True)
+            return out_frame
+        filter_work.tuples_out += out_frame.nrows
+        filter_work.out_bytes += sel.nbytes
+        filter_work.saved_bytes += out_frame.nbytes
+        note(ctx, late=True)
+        return out_frame
+
+    pieces: list[Frame] = []
+    for kind, lo, hi in runs:
+        if kind == BLOCK_SKIP:
+            continue
+        filter_work.tuples_in += hi - lo
+        cache: dict[str, Column] = {}
+
+        def run_slice(name: str, lo=lo, hi=hi, cache=cache) -> Column:
+            if name not in cache:
+                cache[name] = _decoded_slice(table, name, lo, hi, scan_work)
+            return cache[name]
+
+        frame = None
+        if kind == BLOCK_EVAL:
+            mask = None
+            for plan in plans:
+                m = plan.mask(lo, hi, filter_work)
+                mask = m if mask is None else mask & m
+            if residual_pred is not None:
+                run_frame = Frame(
+                    {n: run_slice(n) for n in residual_names}, hi - lo
+                )
+                rmask = residual_pred.evaluate(run_frame, ctx).values
+                mask = rmask if mask is None else mask & rmask
+            filter_work.seq_bytes += hi - lo  # the mask / candidate list
+            frame = Frame({n: run_slice(n) for n in out_names}, hi - lo).filter(mask)
+        else:  # BLOCK_TAKE — the zone map proved every row survives
+            frame = Frame({n: run_slice(n) for n in out_names}, hi - lo)
+        pieces.append(frame)
+
+    if pieces:
+        n_out = sum(p.nrows for p in pieces)
+        if len(pieces) == 1:
+            out_cols = {n: pieces[0].column(n) for n in out_names}
+        else:
+            out_cols = {
+                n: Column.concat([p.column(n) for p in pieces]) for n in out_names
+            }
+    else:
+        n_out = 0
+        out_cols = {n: _empty_like(table.column(n)) for n in out_names}
+    out_frame = Frame(out_cols, n_out)
+    filter_work.tuples_out += n_out
+    filter_work.out_bytes += out_frame.nbytes
+    return out_frame
+
+
 def execute_scan(
     table: Table,
     columns: list[str] | None,
@@ -281,6 +477,7 @@ def execute_scan(
     predicate=None,
     skipping: bool = True,
     late: bool = False,
+    compressed: bool = False,
 ) -> Frame:
     """Read ``columns`` (default: all) of ``table``.
 
@@ -291,6 +488,9 @@ def execute_scan(
     zone map proves empty against the pushed-down predicate are charged
     ``skipped_bytes`` (and zone probes) instead of streaming. With
     ``late`` a predicated scan returns a selection vector over the base
-    columns instead of rewriting the survivors.
+    columns instead of rewriting the survivors. With ``compressed``
+    sargable conjuncts evaluate directly on the encoded payloads.
     """
-    return scan_range(table, columns, 0, table.nrows, ctx, predicate, skipping, late)
+    return scan_range(
+        table, columns, 0, table.nrows, ctx, predicate, skipping, late, compressed
+    )

@@ -64,17 +64,23 @@ class OptimizerSettings:
             (joins, aggregates, sorts, DISTINCT, UNION ALL, the final
             result). Orthogonal to pushdown/skipping: the ``--no-latemat``
             ablation flips only this flag.
+        compressed_execution: evaluate predicates directly on encoded
+            (bitpack/FoR/RLE) columns and aggregate over RLE runs
+            (:mod:`repro.engine.encoded`) instead of decoding first;
+            unsupported shapes fall back per operator. The
+            ``--no-compressed-exec`` ablation flips only this flag.
     """
 
     predicate_pushdown: bool = True
     zone_map_skipping: bool = True
     late_materialization: bool = True
+    compressed_execution: bool = True
 
     @classmethod
     def disabled(cls) -> "OptimizerSettings":
         """The ``--no-skipping`` ablation: no pushdown, no skipping.
-        Late materialization is left at its default — it is a separate
-        ablation axis (``without_latemat``)."""
+        Late materialization and compressed execution are left at their
+        defaults — each is a separate ablation axis."""
         return cls(predicate_pushdown=False, zone_map_skipping=False)
 
     def without_latemat(self) -> "OptimizerSettings":
@@ -82,13 +88,19 @@ class OptimizerSettings:
         filter rewrites compact column copies, as the seed engine did)."""
         return replace(self, late_materialization=False)
 
+    def without_compressed(self) -> "OptimizerSettings":
+        """These settings with compressed execution turned off (every
+        operator decodes to flat arrays first, as before)."""
+        return replace(self, compressed_execution=False)
+
     def cache_key(self) -> str:
         """Stable tag mixed into plan fingerprints so results computed
         under different optimizer settings never alias in the cache."""
         return (
             f"pd={int(self.predicate_pushdown)},"
             f"zm={int(self.zone_map_skipping)},"
-            f"lm={int(self.late_materialization)}"
+            f"lm={int(self.late_materialization)},"
+            f"ce={int(self.compressed_execution)}"
         )
 
 

@@ -46,7 +46,7 @@ from .morsel import (
     scan_morsel,
     table_is_morselable,
 )
-from .operators.aggregate import execute_aggregate
+from .operators.aggregate import execute_aggregate, try_encoded_aggregate
 from .operators.filter import execute_filter
 from .operators.project import execute_project
 from .operators.sort import execute_topk
@@ -224,6 +224,18 @@ class ParallelExecutor(Executor):
     # -- segment detection ---------------------------------------------
 
     def _exec(self, node: PlanNode, ctx: ExecContext) -> Frame:
+        if (
+            isinstance(node, AggregateNode)
+            and self.settings.compressed_execution
+            and isinstance(node.child, ScanNode)
+            and node.child.predicate is None
+        ):
+            # Run-level aggregation touches one value per RLE run; even a
+            # perfect morsel split cannot beat that, so it pre-empts
+            # segment matching.
+            frame = try_encoded_aggregate(node, self.db, ctx)
+            if frame is not None:
+                return frame
         segment = self._match_segment(node)
         if segment is not None:
             return self._exec_segment(segment, ctx)
@@ -248,7 +260,9 @@ class ParallelExecutor(Executor):
             for ref in sorted(current.predicate.references()):
                 if ref not in needed:
                     needed.append(ref)
-        if not table_is_morselable(table, needed):
+        if not table_is_morselable(
+            table, needed, allow_encoded=self.settings.compressed_execution
+        ):
             return None
         if table.nrows < max(self.min_parallel_rows, 2):
             return None
@@ -394,6 +408,7 @@ class ParallelExecutor(Executor):
                 predicate=scan.predicate,
                 skipping=self.settings.zone_map_skipping,
                 late=late,
+                compressed=self.settings.compressed_execution,
             )
             for op in segment.chain[1:]:
                 if isinstance(op, FilterNode):

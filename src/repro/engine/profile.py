@@ -42,6 +42,14 @@ class OperatorWork:
         saved_bytes: bytes a late-materialized operator did NOT rewrite
             because it passed a selection vector downstream instead of a
             compact column copy.
+        decoded_bytes: plain-domain bytes a compressed column actually
+            materialized (whole-column or per-run decode); the bandwidth
+            compressed execution exists to avoid.
+        encoded_eval_rows: rows whose predicate evaluation ran directly
+            on the encoded payload (packed dtype / dictionary mask)
+            instead of on decoded int64/float64 arrays.
+        runs_touched: encoded segments visited by encoded-domain kernels
+            (RLE runs, FoR blocks, one per bit-packed array).
     """
 
     operator: str
@@ -57,6 +65,9 @@ class OperatorWork:
     blocks_scanned: float = 0.0
     gather_bytes: float = 0.0
     saved_bytes: float = 0.0
+    decoded_bytes: float = 0.0
+    encoded_eval_rows: float = 0.0
+    runs_touched: float = 0.0
 
     def scaled(self, factor: float) -> "OperatorWork":
         return OperatorWork(
@@ -73,6 +84,9 @@ class OperatorWork:
             blocks_scanned=self.blocks_scanned * factor,
             gather_bytes=self.gather_bytes * factor,
             saved_bytes=self.saved_bytes * factor,
+            decoded_bytes=self.decoded_bytes * factor,
+            encoded_eval_rows=self.encoded_eval_rows * factor,
+            runs_touched=self.runs_touched * factor,
         )
 
     def add(self, other: "OperatorWork") -> None:
@@ -89,6 +103,9 @@ class OperatorWork:
         self.blocks_scanned += other.blocks_scanned
         self.gather_bytes += other.gather_bytes
         self.saved_bytes += other.saved_bytes
+        self.decoded_bytes += other.decoded_bytes
+        self.encoded_eval_rows += other.encoded_eval_rows
+        self.runs_touched += other.runs_touched
 
 
 @dataclass
@@ -162,6 +179,18 @@ class WorkProfile:
     @property
     def saved_bytes(self) -> float:
         return sum(op.saved_bytes for op in self.operators)
+
+    @property
+    def decoded_bytes(self) -> float:
+        return sum(op.decoded_bytes for op in self.operators)
+
+    @property
+    def encoded_eval_rows(self) -> float:
+        return sum(op.encoded_eval_rows for op in self.operators)
+
+    @property
+    def runs_touched(self) -> float:
+        return sum(op.runs_touched for op in self.operators)
 
     @property
     def result_bytes(self) -> float:

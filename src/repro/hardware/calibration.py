@@ -51,6 +51,20 @@ class CalibrationConstants:
         gather_line_bytes: bytes fetched per random access when a late
             selection vector is materialized at a pipeline breaker — one
             cache line of gathered payload per deferred-row touch.
+        encoded_eval_op_fraction: proxy ops per row evaluated directly on
+            an encoded payload. A packed-domain comparison is one narrow
+            SIMD-friendly compare with no decode, versus the full
+            ``cycles_per_op`` a decoded-domain op costs — a small
+            fraction of one counted op.
+        run_eval_ops: proxy ops per encoded segment (RLE run, FoR block,
+            bit-packed array) an encoded kernel visits: range clipping,
+            constant translation, and per-segment dispatch.
+        decoded_byte_fraction: memory-term weight per plain-domain byte a
+            compressed column materialized while decoding. Decoded
+            buffers are written and immediately re-read while still
+            cache-warm, so they cost less than a cold ``seq_bytes``
+            stream — but not nothing, which is the bandwidth saving
+            compressed execution exists to expose.
     """
 
     cycles_per_op: float = 22.1
@@ -66,6 +80,9 @@ class CalibrationConstants:
     mem_serial_fraction: float = 0.0666
     zone_probe_ops: float = 4.0
     gather_line_bytes: float = 64.0
+    encoded_eval_op_fraction: float = 0.25
+    run_eval_ops: float = 6.0
+    decoded_byte_fraction: float = 0.3
 
     def replaced(self, **kwargs) -> "CalibrationConstants":
         return replace(self, **kwargs)

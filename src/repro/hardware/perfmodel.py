@@ -191,7 +191,15 @@ class PerformanceModel:
         # Zone-map probes are the compute price of data skipping: bytes a
         # scan proved skippable (op.skipped_bytes) never enter the memory
         # term, but each block consulted costs a few proxy ops here.
-        compute = (op.ops + op.zone_probes * c.zone_probe_ops) * c.cycles_per_op / rate
+        # Encoded-domain evaluation trades decode bandwidth for narrow
+        # compares: rows touched in the packed domain cost a fraction of
+        # a counted op, plus a per-segment (run/block) dispatch charge.
+        compute = (
+            op.ops
+            + op.zone_probes * c.zone_probe_ops
+            + op.encoded_eval_rows * c.encoded_eval_op_fraction
+            + op.runs_touched * c.run_eval_ops
+        ) * c.cycles_per_op / rate
 
         # Memory bandwidth: hardware saturation curve, further limited by
         # the query's own streaming parallelism.
@@ -201,7 +209,12 @@ class PerformanceModel:
             platform.mem_bandwidth(threads),
             platform.mem_bw_1core_gbs * 1e9 * mem_speedup,
         )
-        seq = (op.seq_bytes + op.out_bytes) * c.bytes_factor / bandwidth
+        # Decoded buffers are produced and consumed cache-warm, so they
+        # are discounted relative to cold streamed bytes; encoded-eval
+        # paths that skip the decode simply never charge them.
+        seq = (
+            op.seq_bytes + op.out_bytes + op.decoded_bytes * c.decoded_byte_fraction
+        ) * c.bytes_factor / bandwidth
 
         resident = op.out_bytes * c.working_set_factor <= platform.total_llc_bytes
         latency = platform.dram_latency_ns * 1e-9 * c.rand_latency_factor

@@ -56,6 +56,9 @@ WORK_FIELDS = (
     "blocks_scanned",
     "gather_bytes",
     "saved_bytes",
+    "decoded_bytes",
+    "encoded_eval_rows",
+    "runs_touched",
 )
 
 

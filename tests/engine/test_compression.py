@@ -126,13 +126,37 @@ class TestEngineIntegration:
                     assert x == y
 
     def test_compressed_scan_streams_fewer_bytes_more_ops(self, dbs, tpch_params):
+        """The §III-C2 decode trade in isolation (encoded execution off):
+        compressed scans stream fewer bytes but pay decode ops."""
+        from repro.engine import DEFAULT_SETTINGS
         from repro.tpch import get_query
 
         plain_db, compressed_db = dbs
         plain = execute(plain_db, get_query(6).build(plain_db, tpch_params))
-        packed = execute(compressed_db, get_query(6).build(compressed_db, tpch_params))
+        packed = execute(
+            compressed_db, get_query(6).build(compressed_db, tpch_params),
+            settings=DEFAULT_SETTINGS.without_compressed(),
+        )
         assert packed.profile.seq_bytes < plain.profile.seq_bytes
         assert packed.profile.ops > plain.profile.ops
+
+    def test_encoded_execution_cuts_ops_and_decoded_bytes(self, dbs, tpch_params):
+        """Compressed execution keeps the byte saving and drops the
+        decode/compare ops too: sargable conjuncts evaluate on the
+        packed payloads, so predicate-only columns never decode."""
+        from repro.engine import DEFAULT_SETTINGS
+        from repro.tpch import get_query
+
+        _, compressed_db = dbs
+        plan = get_query(6).build(compressed_db, tpch_params)
+        enc = execute(compressed_db, plan)
+        dec = execute(
+            compressed_db, plan, settings=DEFAULT_SETTINGS.without_compressed()
+        )
+        assert enc.rows == dec.rows
+        assert enc.profile.encoded_eval_rows > 0
+        assert enc.profile.ops < dec.profile.ops
+        assert enc.profile.decoded_bytes < dec.profile.decoded_bytes
 
     def test_compression_helps_pi_more_than_server(self, dbs, tpch_params):
         """The paper's §III-C2 thesis: compression pays on the
