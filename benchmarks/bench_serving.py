@@ -1,0 +1,258 @@
+"""Serving benchmark: latency/throughput under rising concurrency, and
+shed-don't-collapse under deliberate overload.
+
+The wimpy-node serving story (§ concurrency axis of the roadmap): many
+clients multiplex one morsel-driven engine through the
+:class:`~repro.serve.QueryServer` front door. Two scenarios:
+
+* **Closed-loop load curve** — N client threads each issue a stream of
+  mixed analytical queries and wait for rows; QPS and p50/p95/p99
+  latency are recorded per concurrency level. The result cache is
+  disabled so every request pays real execution.
+* **Overload** — admission is capped tight, then ~2x the server's
+  capacity is offered in bursts. The server must *shed* the excess with
+  typed ``Overloaded`` errors while every admitted request returns
+  correct rows and the server stays responsive afterwards — a latency
+  plateau instead of a collapse.
+
+Emits ``benchmarks/output/BENCH_serving.json``.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+
+import pytest
+
+from repro.engine import Executor
+from repro.engine.sql import sql as parse_sql
+from repro.serve import AdmissionPolicy, Overloaded, QueryServer
+from repro.tpch import generate
+
+from conftest import write_artifact
+
+BENCH_SF = 0.02
+CONCURRENCY_LEVELS = (1, 2, 4, 8)
+REQUESTS_PER_CLIENT = 10
+OVERLOAD_WAVES = 6
+OVERLOAD_FACTOR = 2  # offered burst = factor * (running + queue capacity)
+
+# A mixed bag of cheap analytical shapes: selective scans, group-bys,
+# and a join, so concurrent requests contend for different operators.
+WORKLOAD = (
+    ("count-window",
+     "SELECT COUNT(*) AS n FROM lineitem "
+     "WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'"),
+    ("q6-revenue",
+     "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+     "WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' "
+     "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24"),
+    ("flag-groupby",
+     "SELECT l_returnflag, SUM(l_quantity) AS qty, COUNT(*) AS n "
+     "FROM lineitem GROUP BY l_returnflag"),
+    ("priority-mix",
+     "SELECT o_orderpriority, COUNT(*) AS n FROM orders "
+     "WHERE o_orderdate >= DATE '1995-01-01' "
+     "GROUP BY o_orderpriority ORDER BY o_orderpriority"),
+    ("nation-join",
+     "SELECT n_name, COUNT(*) AS suppliers FROM supplier "
+     "JOIN nation ON s_nationkey = n_nationkey "
+     "GROUP BY n_name ORDER BY suppliers DESC, n_name LIMIT 5"),
+)
+
+
+@pytest.fixture(scope="module")
+def bench_db():
+    return generate(BENCH_SF, seed=42)
+
+
+@pytest.fixture(scope="module")
+def expected_rows(bench_db):
+    """Serial ground truth for every workload query (order-insensitive)."""
+    serial = Executor(bench_db)
+    return {
+        label: sorted(serial.execute(parse_sql(bench_db, text)).rows)
+        for label, text in WORKLOAD
+    }
+
+
+def _rows_match(expected_sorted, rows) -> bool:
+    """Order-insensitive row equality, floats within the 1e-9-relative
+    noise parallel partial-sum reordering introduces."""
+    rows = sorted(rows)
+    if len(rows) != len(expected_sorted):
+        return False
+    for expected, actual in zip(expected_sorted, rows):
+        if len(expected) != len(actual):
+            return False
+        for a, b in zip(expected, actual):
+            if isinstance(a, float) and isinstance(b, float):
+                if not math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-6):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    idx = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[idx]
+
+
+def _run_level(server, concurrency: int, expected_rows) -> dict:
+    latencies = []
+    lat_lock = threading.Lock()
+    errors = []
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(worker: int):
+        barrier.wait()
+        for i in range(REQUESTS_PER_CLIENT):
+            label, text = WORKLOAD[(worker + i) % len(WORKLOAD)]
+            start = time.perf_counter()
+            try:
+                result = server.query(text, label=label)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append((label, exc))
+                return
+            elapsed = time.perf_counter() - start
+            if not _rows_match(expected_rows[label], result.rows):
+                errors.append((label, "row mismatch"))
+                return
+            with lat_lock:
+                latencies.append(elapsed)
+
+    threads = [threading.Thread(target=client, args=(w,)) for w in range(concurrency)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+
+    assert not errors, f"serving errors at concurrency {concurrency}: {errors[:3]}"
+    total = concurrency * REQUESTS_PER_CLIENT
+    assert len(latencies) == total
+    latencies.sort()
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "wall_seconds": wall,
+        "qps": total / max(wall, 1e-9),
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p95_ms": _percentile(latencies, 0.95) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def test_serving_load_curve_and_overload(
+    benchmark, bench_db, expected_rows, output_dir, request
+):
+    workers = int(request.config.getoption("--workers"))
+
+    # -- load curve: generous admission, no cache, rising concurrency --
+    levels = []
+    with QueryServer(
+        bench_db,
+        workers=workers,
+        cache_size=0,
+        admission=AdmissionPolicy(
+            max_concurrent=workers,
+            queue_capacity=max(CONCURRENCY_LEVELS) * REQUESTS_PER_CLIENT,
+            max_queue_delay_s=1e9,
+        ),
+    ) as server:
+        for concurrency in CONCURRENCY_LEVELS:
+            levels.append(_run_level(server, concurrency, expected_rows))
+
+    # -- overload: tight admission, ~2x capacity offered in bursts -----
+    overload_policy = AdmissionPolicy(
+        max_concurrent=max(1, workers // 2) or 1,
+        queue_capacity=2,
+        max_queue_delay_s=1e9,
+    )
+    capacity = overload_policy.max_concurrent + overload_policy.queue_capacity
+    burst = OVERLOAD_FACTOR * capacity
+    offered = admitted = shed = completed = 0
+    with QueryServer(
+        bench_db, workers=workers, cache_size=0, admission=overload_policy
+    ) as server:
+        for wave in range(OVERLOAD_WAVES):
+            tickets = []
+            for i in range(burst):
+                label, text = WORKLOAD[(wave + i) % len(WORKLOAD)]
+                offered += 1
+                try:
+                    tickets.append((label, server.submit(text, label=label)))
+                    admitted += 1
+                except Overloaded:
+                    shed += 1
+            for label, ticket in tickets:
+                result = ticket.result(timeout=120)
+                assert _rows_match(expected_rows[label], result.rows), (
+                    f"overload corrupted {label}"
+                )
+                completed += 1
+        # Still responsive after sustained overload.
+        post = server.query(WORKLOAD[0][1], label="post-overload")
+        assert _rows_match(expected_rows[WORKLOAD[0][0]], post.rows)
+        final_stats = server.stats()
+
+    assert shed > 0, "overload scenario never shed — burst did not exceed capacity"
+    assert admitted + shed == offered
+    assert completed == admitted, "an admitted request failed under overload"
+    assert final_stats["breaker"] == "closed"
+
+    benchmark.pedantic(
+        lambda: Executor(bench_db).execute(
+            parse_sql(bench_db, WORKLOAD[0][1])
+        ),
+        rounds=1, iterations=1,
+    )
+
+    report = {
+        "sf": BENCH_SF,
+        "workers": workers,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "workload": [label for label, _ in WORKLOAD],
+        "levels": levels,
+        "overload": {
+            "max_concurrent": overload_policy.max_concurrent,
+            "queue_capacity": overload_policy.queue_capacity,
+            "burst": burst,
+            "waves": OVERLOAD_WAVES,
+            "offered": offered,
+            "admitted": admitted,
+            "shed": shed,
+            "completed": completed,
+        },
+    }
+    (output_dir / "BENCH_serving.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    lines = [f"query serving @ SF {BENCH_SF:g}, {workers} engine workers"]
+    for lv in levels:
+        lines.append(
+            f"  c={lv['concurrency']:<3} {lv['qps']:7.1f} qps   "
+            f"p50 {lv['p50_ms']:7.2f} ms   p95 {lv['p95_ms']:7.2f} ms   "
+            f"p99 {lv['p99_ms']:7.2f} ms"
+        )
+    lines.append(
+        f"  overload: {offered} offered -> {admitted} admitted "
+        f"({completed} correct), {shed} shed typed "
+        f"(capacity {capacity}, burst {burst} x {OVERLOAD_WAVES} waves)"
+    )
+    text = "\n".join(lines)
+    write_artifact(output_dir, "serving", text)
+    print("\n" + text)

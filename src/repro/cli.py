@@ -14,6 +14,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.engine.cancel import DeadlineExceeded
+
 from repro.core import EXPERIMENT_IDS, ExperimentStudy, StudyConfig, save_json
 from repro.core.extensions import compression_study, nam_study, proportionality_study
 from repro.mlbench import ml_study
@@ -61,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the per-operator work profile")
     query.add_argument("--workers", type=int, default=None,
                        help="morsel-parallel worker threads (default: serial)")
+    query.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="abort with a typed deadline error if the query "
+                            "runs longer than this")
     query.add_argument("--no-skipping", action="store_true",
                        help="ablation: disable predicate pushdown and "
                             "zone-map data skipping")
@@ -122,6 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--explain", action="store_true", help="print the plan")
     sql_cmd.add_argument("--workers", type=int, default=None,
                          help="morsel-parallel worker threads (default: serial)")
+    sql_cmd.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="abort with a typed deadline error if the query "
+                              "runs longer than this")
     sql_cmd.add_argument("--no-skipping", action="store_true",
                          help="ablation: disable predicate pushdown and "
                               "zone-map data skipping")
@@ -249,17 +257,21 @@ def _write_trace(tracer, path, fmt: str, meta: dict | None = None) -> None:
 
 
 def _execute_maybe_parallel(
-    db, plan, workers: int | None, settings=None, tracer=None, label=None
+    db, plan, workers: int | None, settings=None, tracer=None, label=None,
+    timeout: float | None = None,
 ):
     """Run a plan serially, or morsel-parallel when --workers is given."""
-    from repro.engine import ParallelExecutor, execute
+    from repro.engine import CancelToken, ParallelExecutor, execute
 
+    cancel = CancelToken.from_timeout(timeout) if timeout is not None else None
     if workers is None:
-        return execute(db, plan, settings=settings, tracer=tracer, label=label)
+        return execute(
+            db, plan, settings=settings, tracer=tracer, label=label, cancel=cancel
+        )
     with ParallelExecutor(
         db, workers=workers, settings=settings, tracer=tracer
     ) as executor:
-        return executor.execute(plan, label=label)
+        return executor.execute(plan, label=label, cancel=cancel)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -295,10 +307,15 @@ def main(argv: list[str] | None = None) -> int:
             print(explain(plan, db, settings=settings))
             print()
         tracer = _make_tracer(args.trace)
-        result = _execute_maybe_parallel(
-            db, plan, args.workers, settings,
-            tracer=tracer, label=f"Q{args.number}",
-        )
+        try:
+            result = _execute_maybe_parallel(
+                db, plan, args.workers, settings,
+                tracer=tracer, label=f"Q{args.number}",
+                timeout=args.timeout,
+            )
+        except DeadlineExceeded as err:
+            print(f"deadline exceeded: {err}", file=sys.stderr)
+            return 3
         print(f"Q{args.number}: {len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)
@@ -422,9 +439,14 @@ def main(argv: list[str] | None = None) -> int:
             print(explain(plan, db, settings=settings))
             print()
         tracer = _make_tracer(args.trace)
-        result = _execute_maybe_parallel(
-            db, plan, args.workers, settings, tracer=tracer, label="sql"
-        )
+        try:
+            result = _execute_maybe_parallel(
+                db, plan, args.workers, settings, tracer=tracer, label="sql",
+                timeout=args.timeout,
+            )
+        except DeadlineExceeded as err:
+            print(f"deadline exceeded: {err}", file=sys.stderr)
+            return 3
         print(f"{len(result)} rows; columns {result.column_names}")
         for row in result.rows[: args.limit]:
             print("  ", row)

@@ -10,6 +10,7 @@ that :mod:`repro.hardware` converts into per-platform runtimes.
 """
 
 from .cache import ResultCache
+from .cancel import CancelToken, DeadlineExceeded, QueryCancelled, QueryInterrupted
 from .column import Column
 from .compression import CompressedColumn, compress_column, compress_table, compression_ratio
 from .executor import ExecContext, Executor, execute
@@ -27,6 +28,7 @@ from .table import Database, Schema, Table
 from .types import BOOL, DATE, FLOAT64, INT64, STRING, DataType, date_to_days, days_to_date
 
 __all__ = [
+    "CancelToken", "DeadlineExceeded", "QueryCancelled", "QueryInterrupted",
     "Column", "Database", "DataType", "ExecContext", "Executor", "Expr",
     "Frame", "OperatorWork", "ParallelExecutor", "Q", "Result", "ResultCache",
     "Schema", "Table", "WorkProfile",

@@ -16,7 +16,14 @@ from typing import Callable
 
 from repro.obs.metrics import HitMissStats
 
+from .cancel import QueryInterrupted
+
 __all__ = ["ResultCache"]
+
+# How often a blocked waiter wakes to check its own cancel token while
+# the owner is still computing. Only paid when an identical plan is
+# in flight *and* the waiter carries a token.
+_WAITER_POLL_S = 0.02
 
 
 class _Entry:
@@ -33,7 +40,21 @@ class ResultCache:
 
     ``get_or_run(key, run)`` returns ``(value, was_cached)``; ``run`` is
     invoked at most once per live key across all threads (single-flight).
-    Failed executions are evicted so a later call can retry.
+
+    Failure semantics (the serving layer's correctness contract):
+
+    * A failed or cancelled execution never *retains* a cache entry —
+      the key is removed before the waiters wake, so the next request
+      for the same plan recomputes from scratch.
+    * Waiters piggybacked on an owner that failed with a real error see
+      that error (the plan is equally broken for them).
+    * Waiters piggybacked on an owner that was merely *interrupted*
+      (:class:`~repro.engine.cancel.QueryInterrupted`: client cancel or
+      deadline) do NOT inherit the owner's interruption — it was
+      personal to the owner's request. They loop and re-contend; one of
+      them becomes the new owner and recomputes.
+    * A waiter with its own ``cancel`` token checks it while blocked, so
+      a waiter's deadline fires even mid-wait on someone else's run.
     """
 
     def __init__(self, capacity: int = 64):
@@ -62,36 +83,51 @@ class ResultCache:
                 "misses": self._stats.misses,
             }
 
-    def get_or_run(self, key: str, run: Callable[[], object]) -> tuple[object, bool]:
-        with self._lock:
-            entry = self._entries.get(key)
-            owner = entry is None
+    def get_or_run(
+        self, key: str, run: Callable[[], object], cancel=None
+    ) -> tuple[object, bool]:
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                owner = entry is None
+                if owner:
+                    entry = _Entry()
+                    self._entries[key] = entry
+                    self._stats.miss()
+                    self._evict_locked()
+                else:
+                    self._entries.move_to_end(key)
+                    self._stats.hit()
+
             if owner:
-                entry = _Entry()
-                self._entries[key] = entry
-                self._stats.miss()
-                self._evict_locked()
-            else:
-                self._entries.move_to_end(key)
-                self._stats.hit()
-
-        if owner:
-            try:
-                entry.value = run()
-            except BaseException as exc:
-                entry.error = exc
-                with self._lock:
-                    if self._entries.get(key) is entry:
-                        del self._entries[key]
+                try:
+                    entry.value = run()
+                except BaseException as exc:
+                    # Evict *before* waking waiters: by the time any
+                    # waiter observes the error, a fresh attempt already
+                    # sees an empty slot and recomputes.
+                    entry.error = exc
+                    with self._lock:
+                        if self._entries.get(key) is entry:
+                            del self._entries[key]
+                    entry.event.set()
+                    raise
                 entry.event.set()
-                raise
-            entry.event.set()
-            return entry.value, False
+                return entry.value, False
 
-        entry.event.wait()
-        if entry.error is not None:
-            raise entry.error
-        return entry.value, True
+            if cancel is None:
+                entry.event.wait()
+            else:
+                while not entry.event.wait(_WAITER_POLL_S):
+                    cancel.check()
+            error = entry.error
+            if error is None:
+                return entry.value, True
+            if isinstance(error, QueryInterrupted):
+                # The owner's cancellation/deadline is not ours; the
+                # entry is already evicted, so re-contend for the slot.
+                continue
+            raise error
 
     def _evict_locked(self) -> None:
         while len(self._entries) > self.capacity:

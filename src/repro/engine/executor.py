@@ -48,9 +48,11 @@ class ExecContext:
         executor: "Executor",
         tracer=None,
         parent_span=None,
+        cancel=None,
     ):
         self.db = db
         self._executor = executor
+        self.cancel = cancel
         self.profile = WorkProfile()
         self.work: OperatorWork | None = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -122,17 +124,22 @@ class Executor:
         optimize: bool = True,
         label: str | None = None,
         parent_span=None,
+        cancel=None,
     ) -> Result:
         """Run a plan and return its :class:`Result` (rows + profile).
 
         With a tracer attached, the execution contributes one "query"
         root span (or a child of ``parent_span`` — the cluster drivers
         nest per-node executions under their shard spans), labeled
-        ``label`` when given.
+        ``label`` when given. ``cancel`` is an optional
+        :class:`~repro.engine.cancel.CancelToken` checked at every
+        operator dispatch.
         """
         node = plan.node if isinstance(plan, Q) else plan
         if node is None:
             raise ValueError("cannot execute an empty plan")
+        if cancel is not None:
+            cancel.check()
         if optimize:
             node = optimize_plan(node, self.db, self.settings)
 
@@ -141,7 +148,7 @@ class Executor:
         if tracer.enabled:
             qspan = tracer.start("query", label or "query", parent=parent_span)
             pspan = tracer.start("pipeline", "main", parent=qspan)
-        ctx = ExecContext(self.db, self, tracer=tracer, parent_span=pspan)
+        ctx = ExecContext(self.db, self, tracer=tracer, parent_span=pspan, cancel=cancel)
         start = time.perf_counter()
         try:
             frame = self._exec(node, ctx)
@@ -173,6 +180,8 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _exec(self, node: PlanNode, ctx: ExecContext) -> Frame:
+        if ctx.cancel is not None:
+            ctx.cancel.check()
         if isinstance(node, ScanNode):
             ctx.begin_operator("scan")
             cols = list(node.columns) if node.columns is not None else None
@@ -250,8 +259,9 @@ def execute(
     settings: OptimizerSettings | None = None,
     tracer=None,
     label: str | None = None,
+    cancel=None,
 ) -> Result:
     """Convenience wrapper: ``Executor(db).execute(plan)``."""
     return Executor(db, settings, tracer=tracer).execute(
-        plan, optimize=optimize, label=label
+        plan, optimize=optimize, label=label, cancel=cancel
     )

@@ -83,6 +83,10 @@ class MorselContext:
     def __init__(self, db: Database, parent, tracer=None, span=None):
         self.db = db
         self._parent = parent
+        # Morsels inherit the query's cancel token: the scan re-checks
+        # it so a cancellation that lands between scheduling and
+        # execution still stops the morsel before it streams any bytes.
+        self.cancel = getattr(parent, "cancel", None)
         self.profile = WorkProfile()
         self.work = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -139,6 +143,9 @@ def scan_morsel(
     """
     from .operators.scan import scan_range
 
+    cancel = getattr(ctx, "cancel", None)
+    if cancel is not None:
+        cancel.check()
     return scan_range(
         table, columns, start, stop, ctx, predicate, skipping,
         late=late, compressed=compressed,

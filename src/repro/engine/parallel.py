@@ -159,10 +159,13 @@ class ParallelExecutor(Executor):
         optimize: bool = True,
         label: str | None = None,
         parent_span=None,
+        cancel=None,
     ) -> Result:
         node = plan.node if isinstance(plan, Q) else plan
         if node is None:
             raise ValueError("cannot execute an empty plan")
+        if cancel is not None:
+            cancel.check()
         if optimize:
             node = optimize_plan(node, self.db, self.settings)
 
@@ -175,12 +178,12 @@ class ParallelExecutor(Executor):
         start = time.perf_counter()
         try:
             if self.cache is None:
-                frame, profile = self._run(node, qspan)
+                frame, profile = self._run(node, qspan, cancel)
                 was_cached = False
             else:
                 key = plan_fingerprint(node, self.settings)
                 (frame, profile), was_cached = self.cache.get_or_run(
-                    key, lambda: self._run(node, qspan)
+                    key, lambda: self._run(node, qspan, cancel), cancel=cancel
                 )
         except BaseException:
             if qspan is not None:
@@ -203,14 +206,14 @@ class ParallelExecutor(Executor):
             cached=was_cached,
         )
 
-    def _run(self, node: PlanNode, qspan=None) -> tuple[Frame, "object"]:
+    def _run(self, node: PlanNode, qspan=None, cancel=None) -> tuple[Frame, "object"]:
         tracer = self.tracer
         pspan = (
             tracer.start("pipeline", "main", parent=qspan)
             if qspan is not None
             else None
         )
-        ctx = ExecContext(self.db, self, tracer=tracer, parent_span=pspan)
+        ctx = ExecContext(self.db, self, tracer=tracer, parent_span=pspan, cancel=cancel)
         frame = self._exec(node, ctx)
         if frame.is_late:
             frame = frame.dense(
@@ -390,7 +393,14 @@ class ParallelExecutor(Executor):
             )
             seg_span.annotate(morsels=len(ranges), workers=self.workers)
 
+        cancel = ctx.cancel
+
         def run_morsel(bounds: tuple[int, int]) -> tuple[Frame, "object"]:
+            # Morsel boundaries are the parallel engine's preemption
+            # points: a cancelled query never starts another morsel, so
+            # its worker slots free within one in-flight morsel's work.
+            if cancel is not None:
+                cancel.check()
             if tracing:
                 mspan = tracer.start(
                     "morsel", f"{scan.table}[{bounds[0]}:{bounds[1]})",

@@ -1,0 +1,35 @@
+"""Concurrent query serving: admission control, deadlines, shedding.
+
+The "millions of users" axis of the roadmap: many simultaneous requests
+multiplexed over one morsel-driven engine, robust by construction —
+admitted queries return correct rows, overload sheds with typed errors,
+deadlines and cancels free workers at morsel boundaries, and nothing
+any client sends can crash the server.
+
+Public surface::
+
+    from repro.serve import QueryServer, AdmissionPolicy, Overloaded
+
+    with QueryServer(db, workers=4) as server:
+        rows = server.query("SELECT COUNT(*) AS n FROM lineitem").rows
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .errors import CircuitOpen, Overloaded, QueryFailed, ServeError, ServerClosed
+from .policy import CircuitBreaker, RetryPolicy, TransientServeError
+from .server import QueryServer, Ticket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Overloaded",
+    "QueryFailed",
+    "QueryServer",
+    "RetryPolicy",
+    "ServeError",
+    "ServerClosed",
+    "Ticket",
+    "TransientServeError",
+]

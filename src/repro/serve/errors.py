@@ -1,0 +1,66 @@
+"""The serving layer's typed error contract.
+
+A client of :class:`~repro.serve.server.QueryServer` sees exactly four
+failure shapes, all catchable as library exceptions, none of them a
+crash:
+
+* :class:`~repro.engine.sql.SqlError` — the request text was malformed
+  or unsupported SQL (the front-end's never-crash contract).
+* :class:`Overloaded` — the server declined to even queue the request
+  (bounded queue full, projected queue delay past the bound, circuit
+  open, or server shutting down). Retriable by the client after
+  backoff; the server did no work.
+* :class:`~repro.engine.cancel.QueryInterrupted` — the request was
+  admitted but stopped early: :class:`~repro.engine.cancel.QueryCancelled`
+  (client cancel) or :class:`~repro.engine.cancel.DeadlineExceeded`
+  (per-request timeout).
+* :class:`QueryFailed` — execution raised something unexpected. The
+  server wraps it (preserving the original as ``__cause__``), sheds the
+  request, and keeps serving; the failure never poisons the result
+  cache or another request.
+
+``Overloaded`` subclasses are deliberately cheap to construct — load
+shedding happens on the submit path under the admission lock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitOpen", "Overloaded", "QueryFailed", "ServeError", "ServerClosed"]
+
+
+class ServeError(RuntimeError):
+    """Base for every error the serving layer itself manufactures."""
+
+
+class Overloaded(ServeError):
+    """The request was shed without execution; retry later.
+
+    Attributes:
+        reason: machine-readable shed cause
+            (``"queue-full"`` | ``"queue-delay"`` | ``"circuit-open"``
+            | ``"closed"``).
+    """
+
+    def __init__(self, message: str, reason: str = "queue-full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class CircuitOpen(Overloaded):
+    """The circuit breaker tripped on repeated executor failures; the
+    server fails fast until the cooldown elapses."""
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="circuit-open")
+
+
+class ServerClosed(Overloaded):
+    """The server is draining or closed; no new work is accepted."""
+
+    def __init__(self, message: str = "server is closed"):
+        super().__init__(message, reason="closed")
+
+
+class QueryFailed(ServeError):
+    """An admitted query's execution raised unexpectedly. The original
+    exception rides along as ``__cause__``."""

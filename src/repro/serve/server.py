@@ -1,0 +1,401 @@
+"""The query server: a robust front door over the parallel engine.
+
+:class:`QueryServer` multiplexes many concurrent requests — SQL text or
+built plans, each with a priority and an optional deadline — over one
+shared :class:`~repro.engine.parallel.ParallelExecutor` (one morsel
+pool, one single-flight result cache). Robustness is structural, not
+aspirational:
+
+* **Never crash.** Whatever a request contains, the caller sees rows or
+  one of the typed errors in :mod:`repro.serve.errors` /
+  :class:`~repro.engine.sql.SqlError` /
+  :class:`~repro.engine.cancel.QueryInterrupted`. Worker threads cannot
+  die: every outcome path is caught and resolved onto the ticket.
+* **Never block unboundedly.** Admission control sheds before queues
+  grow past what the latency bound can drain
+  (:mod:`repro.serve.admission`).
+* **Never waste a worker on a dead request.** Deadlines and client
+  cancels flip a :class:`~repro.engine.cancel.CancelToken` checked at
+  morsel boundaries, so an abandoned query frees its engine workers
+  within one in-flight morsel and its server slot immediately after.
+* **Never serve a wrong answer.** Results come from the same executor
+  the differential walls pin; cancelled or failed executions are
+  evicted from the single-flight cache before any waiter can observe
+  them, so a retry always recomputes.
+
+Transient executor failures retry with capped backoff; repeated
+unexpected failures trip a circuit breaker that sheds fast instead of
+queueing doomed work (:mod:`repro.serve.policy`). Every request gets a
+``request`` trace span (child ``query`` span from the executor) and the
+process-wide metrics registry counts admitted / shed / cancelled /
+deadline-missed / completed / failed outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+
+from repro.engine import ParallelExecutor
+from repro.engine.cancel import (
+    CancelToken,
+    DeadlineExceeded,
+    QueryCancelled,
+    QueryInterrupted,
+)
+from repro.engine.plan import PlanNode, Q
+from repro.engine.sql import SqlError, sql as parse_sql
+from repro.obs.metrics import metrics
+from repro.obs.trace import NULL_TRACER
+
+from .admission import AdmissionController, AdmissionPolicy
+from .errors import QueryFailed, ServerClosed
+from .policy import CircuitBreaker, RetryPolicy, TransientServeError
+
+__all__ = ["QueryServer", "Ticket"]
+
+
+class Ticket:
+    """Client-side handle for one submitted request.
+
+    ``result()`` blocks until the request resolves and either returns
+    the engine :class:`~repro.engine.result.Result` or raises the typed
+    error the request ended with. ``cancel()`` flips the request's
+    cancel token — effective whether the request is still queued or
+    already mid-execution.
+    """
+
+    __slots__ = (
+        "request_id", "priority", "label",
+        "_event", "_result", "_error", "_token", "outcome",
+    )
+
+    def __init__(self, request_id: int, priority: int, label: str, token: CancelToken):
+        self.request_id = request_id
+        self.priority = priority
+        self.label = label
+        self.outcome: str | None = None  # "ok"|"sql-error"|"cancelled"|"timeout"|"failed"|"closed"
+        self._event = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+        self._token = token
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        self._token.cancel(reason)
+
+    def result(self, timeout: float | None = None):
+        """Block for the outcome; raise the request's typed error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not resolved within {timeout}s "
+                "(still queued or executing; use cancel() to abandon it)"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def error(self) -> BaseException | None:
+        """The resolved error, if any (non-blocking peek)."""
+        return self._error if self._event.is_set() else None
+
+    # Resolution (server-side) -----------------------------------------
+
+    def _resolve(self, outcome: str, result=None, error=None) -> None:
+        if self._event.is_set():  # first resolution wins
+            return
+        self.outcome = outcome
+        self._result = result
+        self._error = error
+        self._event.set()
+
+
+class _Request:
+    """Internal carrier: what the dispatch queue holds."""
+
+    __slots__ = ("seq", "priority", "payload", "ticket", "token", "span", "enqueued_at")
+
+    def __init__(self, seq, priority, payload, ticket, token, span, enqueued_at):
+        self.seq = seq
+        self.priority = priority
+        self.payload = payload  # str (SQL) | PlanNode | Q
+        self.ticket = ticket
+        self.token = token
+        self.span = span
+        self.enqueued_at = enqueued_at
+
+
+# Queue items sort by (-priority, seq): higher priority first, FIFO
+# within a priority. Shutdown sentinels carry +inf priority rank so
+# close() drains admitted work before workers exit.
+
+
+class QueryServer:
+    """Concurrent query serving over one shared parallel executor.
+
+    Args:
+        db: the database catalog to serve.
+        workers: engine morsel-pool threads (default: host cores).
+        settings: optimizer settings for every request.
+        admission: admission policy; unset limits derive from
+            ``workers`` (see :class:`~repro.serve.admission.AdmissionPolicy`).
+        retry: backoff policy for :class:`TransientServeError`.
+        breaker: circuit breaker over unexpected failures; ``None``
+            disables breaking (the default breaker trips after 5
+            consecutive failures).
+        cache_size: single-flight result-cache capacity (0 disables).
+        morsel_rows: engine morsel size (tests shrink it to force many
+            morsel boundaries).
+        tracer: optional tracer; each request contributes one
+            ``request`` root span.
+    """
+
+    def __init__(
+        self,
+        db,
+        workers: int | None = None,
+        settings=None,
+        admission: AdmissionPolicy | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        cache_size: int = 64,
+        morsel_rows: int | None = None,
+        tracer=None,
+    ):
+        self.db = db
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        exec_kwargs = {}
+        if morsel_rows is not None:
+            exec_kwargs["morsel_rows"] = morsel_rows
+        self.executor = ParallelExecutor(
+            db, workers=workers, settings=settings, cache_size=cache_size,
+            tracer=self.tracer, **exec_kwargs,
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        policy = (admission or AdmissionPolicy()).resolve(self.executor.workers)
+        self.admission = AdmissionController(policy, breaker=self.breaker)
+
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._seq = itertools.count()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._completed = metrics.counter("serve.completed")
+        self._failed = metrics.counter("serve.failed")
+        self._cancelled = metrics.counter("serve.cancelled")
+        self._deadline_missed = metrics.counter("serve.deadline_missed")
+        self._sql_errors = metrics.counter("serve.sql_errors")
+        self._retries = metrics.counter("serve.retries")
+        self._service_hist = metrics.histogram("serve.service_s")
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-{i}", daemon=True
+            )
+            for i in range(policy.max_concurrent)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- public API -----------------------------------------------------
+
+    def submit(
+        self,
+        request: "str | PlanNode | Q",
+        priority: int = 0,
+        timeout_s: float | None = None,
+        label: str | None = None,
+    ) -> Ticket:
+        """Admit one request or raise a typed shed error immediately.
+
+        Returns a :class:`Ticket`; never blocks on execution. Raises
+        :class:`~repro.serve.errors.Overloaded` (or its
+        ``CircuitOpen`` / ``ServerClosed`` refinements) when shedding.
+        """
+        if self._closed:
+            raise ServerClosed()
+        self.admission.admit()
+        # Past this point the request owns an admission slot; every
+        # path below must end in a worker-side finish/release.
+        seq = next(self._seq)
+        name = label or f"req-{seq}"
+        token = CancelToken.from_timeout(timeout_s)
+        ticket = Ticket(seq, priority, name, token)
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start("request", name)
+            span.annotate(priority=priority, request_id=seq)
+            if timeout_s is not None:
+                span.annotate(timeout_s=timeout_s)
+        req = _Request(seq, priority, request, ticket, token, span, time.monotonic())
+        self._queue.put((-priority, seq, req))
+        return ticket
+
+    def query(
+        self,
+        request: "str | PlanNode | Q",
+        priority: int = 0,
+        timeout_s: float | None = None,
+        label: str | None = None,
+    ):
+        """Blocking convenience: submit and wait for rows or the error."""
+        return self.submit(
+            request, priority=priority, timeout_s=timeout_s, label=label
+        ).result()
+
+    def stats(self) -> dict:
+        """Deterministic server-state snapshot (admission + breaker)."""
+        snap = self.admission.snapshot()
+        snap["breaker"] = self.breaker.state
+        snap["closed"] = self._closed
+        return dict(sorted(snap.items()))
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work and shut down (idempotent).
+
+        ``drain=True`` serves already-admitted requests first;
+        ``drain=False`` cancels them (their tickets resolve with
+        :class:`~repro.engine.cancel.QueryCancelled`).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            # Flip every queued request's token; workers resolve them
+            # as cancelled without executing.
+            with self._queue.mutex:
+                queued = [item[2] for item in self._queue.queue]
+            for req in queued:
+                if req is not None:
+                    req.token.cancel("server shutdown")
+        for _ in self._threads:
+            self._queue.put((float("inf"), next(self._seq), None))
+        for thread in self._threads:
+            thread.join()
+        # A submit that raced the close can strand a request behind the
+        # sentinels; resolve it as closed rather than leaving a waiter.
+        while True:
+            try:
+                _, _, req = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if req is not None:
+                req.ticket._resolve("closed", error=ServerClosed())
+                self.admission.release_unstarted()
+        self.executor.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            _, _, req = self._queue.get()
+            if req is None:
+                return
+            try:
+                self._serve(req)
+            except BaseException as exc:  # pragma: no cover - last resort
+                # The serving paths below resolve every anticipated
+                # outcome; this guard keeps an unanticipated one from
+                # killing the worker thread.
+                req.ticket._resolve("failed", error=QueryFailed(repr(exc)))
+                self.admission.finish(-1.0)
+
+    def _serve(self, req: _Request) -> None:
+        queued_s = time.monotonic() - req.enqueued_at
+        self.admission.start(queued_s)
+        if req.span is not None:
+            req.span.annotate(queued_s=queued_s)
+        started = time.monotonic()
+        try:
+            result = self._run_with_retries(req)
+        except SqlError as exc:
+            self._sql_errors.inc()
+            self._finish(req, started, "sql-error", error=exc)
+        except DeadlineExceeded as exc:
+            self._deadline_missed.inc()
+            self._finish(req, started, "timeout", error=exc)
+        except QueryInterrupted as exc:
+            self._cancelled.inc()
+            self._finish(req, started, "cancelled", error=exc)
+        except Exception as exc:
+            self.breaker.record_failure()
+            self._failed.inc()
+            failure = QueryFailed(
+                f"query execution failed: {type(exc).__name__}: {exc}"
+            )
+            failure.__cause__ = exc
+            self._finish(req, started, "failed", error=failure)
+        else:
+            self.breaker.record_success()
+            self._completed.inc()
+            self._finish(req, started, "ok", result=result)
+
+    def _finish(self, req: _Request, started: float, outcome: str,
+                result=None, error=None) -> None:
+        service_s = time.monotonic() - started
+        # Shed/cancelled requests must not drag the EWMA toward zero —
+        # only real service times feed the delay projection.
+        self.admission.finish(service_s if outcome == "ok" else -1.0)
+        if outcome == "ok":
+            self._service_hist.observe(service_s)
+        if req.span is not None:
+            req.span.annotate(outcome=outcome, service_s=service_s)
+            if error is not None:
+                req.span.annotate(error=type(error).__name__)
+            self.tracer.finish(req.span)
+            self.tracer.finalize(req.span)
+        req.ticket._resolve(outcome, result=result, error=error)
+
+    # -- execution ------------------------------------------------------
+
+    def _run_with_retries(self, req: _Request):
+        attempt = 0
+        while True:
+            req.token.check()
+            try:
+                return self._execute(req)
+            except TransientServeError:
+                if attempt >= self.retry.max_retries:
+                    raise
+                self._retries.inc()
+                wait = self.retry.backoff_s(attempt)
+                if req.span is not None:
+                    req.span.event("retry", attempt=attempt, backoff_s=wait)
+                remaining = req.token.remaining_s()
+                if remaining is not None and remaining <= wait:
+                    raise DeadlineExceeded(
+                        "deadline would expire during retry backoff"
+                    )
+                time.sleep(wait)
+                attempt += 1
+
+    def _plan(self, req: _Request):
+        payload = req.payload
+        if isinstance(payload, str):
+            return parse_sql(self.db, payload)
+        if isinstance(payload, (PlanNode, Q)):
+            return payload
+        raise SqlError(
+            f"unsupported request payload type {type(payload).__name__}; "
+            "expected SQL text or a plan"
+        )
+
+    def _execute(self, req: _Request):
+        """One execution attempt. Split out so tests can inject
+        transient faults by overriding/patching this method."""
+        plan = self._plan(req)
+        return self.executor.execute(
+            plan, label=req.ticket.label, parent_span=req.span, cancel=req.token
+        )

@@ -193,3 +193,72 @@ class TestAdversarialInputs:
 
     def test_tokenizer_never_stalls_on_comment_at_eof(self):
         assert tokenize("SELECT 1 --")[-1].kind == "EOF"
+
+
+# -- the same contract through the serving front door -------------------
+#
+# The server multiplexes untrusted request payloads over shared worker
+# threads; its never-crash surface is wider than the parser's — the
+# allowed outcomes are rows or one of the typed serve/engine errors,
+# and a hostile request must never kill a worker or wedge the server.
+
+from repro.engine.cancel import QueryInterrupted  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AdmissionPolicy,
+    CircuitBreaker,
+    Overloaded,
+    QueryFailed,
+    QueryServer,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def fuzz_server():
+    server = QueryServer(
+        DB,
+        workers=2,
+        # The fuzz stream legitimately contains failing inputs; the
+        # breaker must not trip mid-run and taint later examples.
+        breaker=CircuitBreaker(failure_threshold=10**9),
+        retry=RetryPolicy(max_retries=0),
+        admission=AdmissionPolicy(
+            max_concurrent=2, queue_capacity=64, max_queue_delay_s=1e9
+        ),
+    )
+    yield server
+    server.close()
+
+
+class TestServerNeverCrashes:
+    SMOKE = "SELECT COUNT(*) AS n FROM t"
+
+    @given(_mutated_query())
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_mutated_queries_through_server(self, fuzz_server, text):
+        try:
+            fuzz_server.query(text, timeout_s=10.0)
+        except SqlError as err:
+            assert not err.internal, (
+                f"internal-error guard fired through the server for "
+                f"{text!r}: {err}"
+            )
+        except (Overloaded, QueryFailed, QueryInterrupted):
+            pass  # typed serving outcomes: allowed, never a crash
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_arbitrary_unicode_through_server(self, fuzz_server, text):
+        try:
+            fuzz_server.query(text, timeout_s=10.0)
+        except SqlError as err:
+            assert not err.internal
+        except (Overloaded, QueryFailed, QueryInterrupted):
+            pass
+
+    def test_server_still_healthy_after_fuzzing(self, fuzz_server):
+        # Ordering note: runs after the properties in file order, and is
+        # also independently meaningful on its own.
+        result = fuzz_server.query(self.SMOKE)
+        assert result.rows == [(3,)]
+        assert fuzz_server.stats()["breaker"] == "closed"
