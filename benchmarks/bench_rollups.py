@@ -1,0 +1,294 @@
+"""Rollup benchmark: workload-adaptive cubes on the repeated-dashboard mix.
+
+The wimpy-node bet behind rollups: a Pi-class node cannot brute-force
+scan 100 GB per dashboard refresh, but the dashboards people actually
+refresh are *repeated shapes with shifting literals* — and those can be
+answered from small materialized cubes mined out of the workload. Three
+claims are gated here, all against one catalog built by
+:func:`repro.rollup.enable_rollups` from the stock query templates:
+
+* **Routed mix** — a repeated-dashboard mix (literal-varied Q1-style
+  pricing summaries and daily-revenue windows, all provably routed:
+  every plan must carry an ``[rollup: ...]`` explain tag) must be at
+  least **10x cheaper** under the paper's Pi performance model at SF 1
+  than base-table execution, with identical rows. Both profiles are
+  scaled linearly from the bench scale — conservative in the cubes'
+  favor-less direction, since cube cells saturate at the cross product
+  of their dimension domains while base tables keep growing.
+* **Non-routable guard** — queries the router must decline (join-heavy
+  Q3, guard-rejected Q6) may pay at most **5%** wall-clock for the
+  routing attempt, and their modeled cost must be unchanged.
+* **Memory tax** — the cube catalog's resident bytes must be charged in
+  the cluster capacity model: ``pressure_ratio`` with rollups attached
+  exceeds the uncharged footprint by exactly the catalog's
+  scale-extrapolated bytes.
+
+Emits ``benchmarks/output/BENCH_rollups.json``.
+
+Run::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rollups.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.cluster.node import MemoryModel
+from repro.engine import Executor
+from repro.engine.explain import explain
+from repro.engine.optimizer import DEFAULT_SETTINGS
+from repro.engine.sql import sql as parse_sql
+from repro.hardware import PI_KEY, PerformanceModel, get_platform
+from repro.rollup import enable_rollups
+from repro.tpch import generate, get_query
+
+from conftest import write_artifact
+
+BENCH_SF = 0.05
+TARGET_SF = 1.0
+REPEATS = 7
+REQUIRED_MIX_SPEEDUP = 10.0
+MAX_GUARD_SLOWDOWN = 1.05
+# Guard queries finish in single-digit milliseconds at the bench scale,
+# where scheduler jitter alone exceeds 5%; the absolute slack covers
+# timer noise without hiding a real per-query routing cost (measured at
+# ~0.05 ms per declined plan, and independent of data size).
+GUARD_SLACK_S = 0.5e-3
+
+ROLLUPS_OFF = DEFAULT_SETTINGS.without_rollups()
+
+
+def _pricing_dashboard(cutoff: str) -> str:
+    """The archetypal repeated dashboard: Q1's pricing summary re-run
+    with a shifting date cutoff."""
+    return (
+        "SELECT l_returnflag, l_linestatus, "
+        "SUM(l_quantity) AS sum_qty, SUM(l_extendedprice) AS sum_base, "
+        "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc, "
+        "SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, "
+        "AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, "
+        "AVG(l_discount) AS avg_disc, COUNT(*) AS n "
+        f"FROM lineitem WHERE l_shipdate <= DATE '{cutoff}' "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    )
+
+
+def _daily_revenue(since: str) -> str:
+    """Daily revenue over a trailing window — re-sliced per refresh."""
+    return (
+        "SELECT l_shipdate, SUM(l_extendedprice) AS revenue, COUNT(*) AS n "
+        f"FROM lineitem WHERE l_shipdate >= DATE '{since}' "
+        "GROUP BY l_shipdate ORDER BY l_shipdate"
+    )
+
+
+def _flag_rollup(cutoff: str) -> str:
+    """Coarser re-aggregation of the same cube: one group key dropped."""
+    return (
+        "SELECT l_returnflag, SUM(l_quantity) AS qty, COUNT(*) AS n "
+        f"FROM lineitem WHERE l_shipdate <= DATE '{cutoff}' "
+        "GROUP BY l_returnflag ORDER BY l_returnflag"
+    )
+
+
+DASHBOARD_MIX = tuple(
+    (f"{family}-{literal}", builder(literal))
+    for family, builder, literals in (
+        ("pricing", _pricing_dashboard, ("1998-09-02", "1998-08-01", "1998-06-15")),
+        ("daily-rev", _daily_revenue, ("1998-01-01", "1997-06-01", "1996-01-01")),
+        ("flag", _flag_rollup, ("1998-09-02", "1998-03-01", "1997-09-01")),
+    )
+    for literal in literals
+)
+
+# Queries the router must leave alone: Q3 aggregates over a join spine
+# no mined cube subsumes; Q6's would-be cube fails the cardinality
+# guard (its filter columns are near-unique per row).
+GUARD_QUERIES = (3, 6)
+
+
+@pytest.fixture(scope="module")
+def rollup_db():
+    db = generate(BENCH_SF, seed=42)
+    enable_rollups(db)
+    return db
+
+
+def _rows_match(reference, candidate) -> bool:
+    if len(reference) != len(candidate):
+        return False
+    for expected, actual in zip(reference, candidate):
+        for a, b in zip(expected, actual):
+            if isinstance(a, float) and isinstance(b, float):
+                if not math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
+def _best_walls(plan, *executors):
+    """Best-of-REPEATS wall per executor, rounds interleaved so clock
+    drift and cache warmth land evenly on both sides (the guard gate
+    compares milliseconds against milliseconds)."""
+    best = [float("inf")] * len(executors)
+    results = [None] * len(executors)
+    for executor in executors:  # warm untimed: first-touch effects
+        executor.execute(plan)
+    for _ in range(REPEATS):
+        for i, executor in enumerate(executors):
+            start = time.perf_counter()
+            results[i] = executor.execute(plan)
+            best[i] = min(best[i], time.perf_counter() - start)
+    return list(zip(best, results))
+
+
+def test_rollup_routed_mix_and_guards(benchmark, rollup_db, output_dir):
+    db = rollup_db
+    catalog = db.rollups
+    model = PerformanceModel()
+    platform = get_platform(PI_KEY)
+    scale = TARGET_SF / BENCH_SF
+    on = Executor(db, DEFAULT_SETTINGS)
+    off = Executor(db, ROLLUPS_OFF)
+
+    # -- routed repeated-dashboard mix ---------------------------------
+    mix_entries = []
+    mix_off = mix_on = 0.0
+    for label, text in DASHBOARD_MIX:
+        plan = parse_sql(db, text)
+        assert "[rollup:" in explain(plan, db), (
+            f"{label} must route for the mix gate to mean anything"
+        )
+        (t_off, r_off), (t_on, r_on) = _best_walls(plan, off, on)
+        assert _rows_match(r_off.rows, r_on.rows), (
+            f"{label}: routing changed the result"
+        )
+        m_off = model.predict(r_off.profile.scaled(scale), platform)
+        m_on = model.predict(r_on.profile.scaled(scale), platform)
+        mix_off += m_off
+        mix_on += m_on
+        mix_entries.append({
+            "query": label,
+            "modeled_base_s": m_off,
+            "modeled_routed_s": m_on,
+            "modeled_speedup": m_off / max(m_on, 1e-12),
+            "wall_base_s": t_off,
+            "wall_routed_s": t_on,
+        })
+    mix_speedup = mix_off / max(mix_on, 1e-12)
+
+    # -- non-routable guards -------------------------------------------
+    guard_entries = []
+    for number in GUARD_QUERIES:
+        plan = get_query(number).build(db, {"sf": BENCH_SF})
+        assert "[rollup:" not in explain(plan, db), f"q{number} must decline"
+        (t_off, r_off), (t_on, r_on) = _best_walls(plan, off, on)
+        assert _rows_match(r_off.rows, r_on.rows)
+        m_off = model.predict(r_off.profile.scaled(scale), platform)
+        m_on = model.predict(r_on.profile.scaled(scale), platform)
+        guard_entries.append({
+            "query": f"q{number}",
+            "modeled_base_s": m_off,
+            "modeled_with_router_s": m_on,
+            "wall_base_s": t_off,
+            "wall_with_router_s": t_on,
+            "wall_slowdown": t_on / max(t_off, 1e-12),
+        })
+
+    # -- memory tax in the cluster capacity model ----------------------
+    memory = MemoryModel()
+    probe = parse_sql(db, DASHBOARD_MIX[0][1])
+    probe_result = off.execute(probe)
+    footprint = memory.rollup_footprint(db, scale)
+    pressure = memory.pressure_ratio(db, probe.node, probe_result.profile, scale)
+    uncharged = (
+        memory.base_column_footprint(db, probe.node, scale)
+        + memory.peak_intermediate_bytes(probe_result.profile)
+    ) / memory.spec.available_bytes
+    assert footprint > 0.0
+    assert pressure == pytest.approx(
+        uncharged + footprint / memory.spec.available_bytes
+    ), "rollup bytes must be charged in the capacity model"
+
+    # -- build-cost amortization (modeled on the Pi) -------------------
+    build_cost_s = model.predict(catalog.build_profile, platform)
+    per_refresh_saving = (mix_off - mix_on) / len(DASHBOARD_MIX)
+    breakeven = build_cost_s / max(per_refresh_saving, 1e-12)
+
+    benchmark.pedantic(
+        lambda: on.execute(parse_sql(db, DASHBOARD_MIX[0][1])),
+        rounds=1, iterations=1,
+    )
+
+    report = {
+        "bench_sf": BENCH_SF,
+        "target_sf": TARGET_SF,
+        "platform": platform.key,
+        "catalog": catalog.stats(),
+        "build_wall_s": catalog.build_wall_seconds,
+        "build_modeled_s": build_cost_s,
+        "mix": mix_entries,
+        "mix_modeled_speedup": mix_speedup,
+        "guards": guard_entries,
+        "rollup_footprint_bytes_at_target": footprint,
+        "pressure_ratio_with_rollups": pressure,
+        "breakeven_refreshes": breakeven,
+    }
+    (output_dir / "BENCH_rollups.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    lines = [
+        f"rollups @ SF {BENCH_SF:g}, modeled on {platform.key} at SF {TARGET_SF:g}",
+        f"  catalog: {catalog.stats()['cubes']} cubes, "
+        f"{catalog.stats()['cells']} cells, "
+        f"{catalog.nbytes / 1e6:.2f} MB "
+        f"(built in {catalog.build_wall_seconds:.2f}s wall, "
+        f"{build_cost_s:.2f}s modeled on the Pi)",
+    ]
+    for e in mix_entries:
+        lines.append(
+            f"  {e['query']:<22} {e['modeled_base_s'] * 1e3:8.1f} ms -> "
+            f"{e['modeled_routed_s'] * 1e3:7.1f} ms modeled "
+            f"({e['modeled_speedup']:5.1f}x; wall "
+            f"{e['wall_base_s'] * 1e3:6.1f} -> {e['wall_routed_s'] * 1e3:5.1f} ms)"
+        )
+    lines.append(f"  routed mix: {mix_speedup:.1f}x modeled at SF {TARGET_SF:g}")
+    for e in guard_entries:
+        lines.append(
+            f"  {e['query']:<22} declines; wall x{e['wall_slowdown']:.3f}  [guard]"
+        )
+    lines.append(
+        f"  memory tax: {footprint / 1e6:.2f} MB charged at SF {TARGET_SF:g} "
+        f"(pressure {pressure:.3f}); build amortizes in "
+        f"{breakeven:.1f} dashboard refreshes"
+    )
+    text = "\n".join(lines)
+    write_artifact(output_dir, "rollups", text)
+    print("\n" + text)
+
+    # -- gates ----------------------------------------------------------
+    assert mix_speedup >= REQUIRED_MIX_SPEEDUP, (
+        f"routed dashboard mix reached only {mix_speedup:.1f}x modeled "
+        f"(floor {REQUIRED_MIX_SPEEDUP}x)"
+    )
+    for e in guard_entries:
+        assert e["modeled_with_router_s"] == pytest.approx(e["modeled_base_s"]), (
+            f"{e['query']}: declining the route must not change modeled cost"
+        )
+        assert (
+            e["wall_with_router_s"]
+            <= e["wall_base_s"] * MAX_GUARD_SLOWDOWN + GUARD_SLACK_S
+        ), (
+            f"{e['query']} pays more than "
+            f"{(MAX_GUARD_SLOWDOWN - 1):.0%} for the routing attempt: "
+            f"{e['wall_base_s'] * 1e3:.2f} ms -> "
+            f"{e['wall_with_router_s'] * 1e3:.2f} ms"
+        )

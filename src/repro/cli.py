@@ -78,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--compress", action="store_true",
                        help="compress the generated tables so compressed "
                             "execution has encoded columns to work on")
+    query.add_argument("--no-rollups", action="store_true",
+                       help="ablation: skip rollup-cube materialization and "
+                            "semantic routing (aggregate over base tables)")
     _add_trace_args(query)
 
     validate = sub.add_parser(
@@ -142,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--compress", action="store_true",
                          help="compress the generated tables so compressed "
                               "execution has encoded columns to work on")
+    sql_cmd.add_argument("--no-rollups", action="store_true",
+                         help="ablation: skip rollup-cube materialization and "
+                              "semantic routing (aggregate over base tables)")
     _add_trace_args(sql_cmd)
 
     trace_cmd = sub.add_parser(
@@ -173,6 +179,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--compress", action="store_true",
                            help="compress the generated tables so compressed "
                                 "execution has encoded columns to work on")
+    trace_cmd.add_argument("--no-rollups", action="store_true",
+                           help="ablation: skip rollup-cube materialization "
+                                "and semantic routing")
     trace_cmd.add_argument("--metrics", action="store_true",
                            help="print the process-wide metrics registry "
                                 "(cache and encoded-dispatch hit/miss "
@@ -202,7 +211,8 @@ def _render(value, indent: int = 0) -> str:
 
 
 def _optimizer_settings(
-    no_skipping: bool, no_latemat: bool = False, no_compressed: bool = False
+    no_skipping: bool, no_latemat: bool = False, no_compressed: bool = False,
+    no_rollups: bool = False,
 ):
     from repro.engine import DEFAULT_SETTINGS, OptimizerSettings
 
@@ -211,7 +221,20 @@ def _optimizer_settings(
         settings = settings.without_latemat()
     if no_compressed:
         settings = settings.without_compressed()
+    if no_rollups:
+        settings = settings.without_rollups()
     return settings
+
+
+def _maybe_enable_rollups(db, disabled: bool):
+    """Mine the template workload and materialize rollup cubes unless
+    the --no-rollups ablation asked for base-table execution."""
+    if disabled:
+        return db
+    from repro.rollup import enable_rollups
+
+    enable_rollups(db)
+    return db
 
 
 def _maybe_compress_db(db, enabled: bool):
@@ -299,9 +322,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.tpch import generate, get_query
 
         db = _maybe_compress_db(generate(args.sf), args.compress)
+        _maybe_enable_rollups(db, args.no_rollups)
         plan = get_query(args.number).build(db, {"sf": args.sf})
         settings = _optimizer_settings(
-            args.no_skipping, args.no_latemat, args.no_compressed_exec
+            args.no_skipping, args.no_latemat, args.no_compressed_exec,
+            args.no_rollups,
         )
         if args.explain:
             print(explain(plan, db, settings=settings))
@@ -427,13 +452,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.tpch import generate
 
         db = _maybe_compress_db(generate(args.sf), args.compress)
+        _maybe_enable_rollups(db, args.no_rollups)
         try:
             plan = parse_sql(db, args.statement)
         except SqlError as err:
             print(f"SQL error: {err}", file=sys.stderr)
             return 2
         settings = _optimizer_settings(
-            args.no_skipping, args.no_latemat, args.no_compressed_exec
+            args.no_skipping, args.no_latemat, args.no_compressed_exec,
+            args.no_rollups,
         )
         if args.explain:
             print(explain(plan, db, settings=settings))
@@ -463,9 +490,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.tpch import generate, get_query
 
         db = _maybe_compress_db(generate(args.sf), args.compress)
+        _maybe_enable_rollups(db, args.no_rollups)
         plan = get_query(args.number).build(db, {"sf": args.sf})
         settings = _optimizer_settings(
-            args.no_skipping, args.no_latemat, args.no_compressed_exec
+            args.no_skipping, args.no_latemat, args.no_compressed_exec,
+            args.no_rollups,
         )
         tracer = Tracer()
         result = _execute_maybe_parallel(

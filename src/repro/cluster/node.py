@@ -124,10 +124,27 @@ class MemoryModel:
         """
         return sum(op.out_bytes + op.saved_bytes for op in profile.operators)
 
+    def rollup_footprint(self, db: Database, scale: float) -> float:
+        """Resident bytes of the node's materialized rollup catalog,
+        extrapolated to the target scale. Cube cardinality is bounded by
+        the cross product of its (scale-invariant) dimension domains, so
+        cube growth saturates well below linear; the square-root law is
+        a deliberately conservative stand-in for that saturation."""
+        catalog = getattr(db, "rollups", None)
+        if catalog is None:
+            return 0.0
+        return float(catalog.nbytes) * max(1.0, scale) ** 0.5
+
     def pressure_ratio(
         self, db: Database, plan: PlanNode, profile: WorkProfile, scale: float
     ) -> float:
-        """Working set / available memory; > 1 means the node pages."""
+        """Working set / available memory; > 1 means the node pages.
+
+        Rollup cubes are charged unconditionally: they stay resident to
+        serve routed queries whether or not *this* plan touches them —
+        that is the memory tax the routing speedups are paid for with.
+        """
         footprint = self.base_column_footprint(db, plan, scale)
         footprint += self.peak_intermediate_bytes(profile)
+        footprint += self.rollup_footprint(db, scale)
         return footprint / self.spec.available_bytes

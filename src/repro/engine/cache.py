@@ -57,13 +57,13 @@ class ResultCache:
       a waiter's deadline fires even mid-wait on someone else's run.
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64, stats_name: str = "engine.result_cache"):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
-        self._stats = HitMissStats("engine.result_cache")
+        self._stats = HitMissStats(stats_name)
 
     @property
     def hits(self) -> int:

@@ -38,6 +38,18 @@ from .operators.unionall import execute_union_all
 __all__ = ["ExecContext", "Executor", "execute"]
 
 
+def _annotate_rollups(qspan, node: PlanNode, settings: OptimizerSettings) -> None:
+    """Tag a query span with the rollup tables its (optimized) plan
+    scans, so routing decisions are visible in traces."""
+    if not settings.rollups:
+        return
+    from repro.rollup.router import routed_tables
+
+    routed = routed_tables(node)
+    if routed:
+        qspan.annotate(rollup=",".join(routed))
+
+
 class ExecContext:
     """Per-query execution state: the accumulating profile, the operator
     currently charging work, and the scalar-subquery cache."""
@@ -147,6 +159,7 @@ class Executor:
         qspan = pspan = None
         if tracer.enabled:
             qspan = tracer.start("query", label or "query", parent=parent_span)
+            _annotate_rollups(qspan, node, self.settings)
             pspan = tracer.start("pipeline", "main", parent=qspan)
         ctx = ExecContext(self.db, self, tracer=tracer, parent_span=pspan, cancel=cancel)
         start = time.perf_counter()

@@ -91,6 +91,15 @@ def _late_tag(node: PlanNode) -> str:
     return ""
 
 
+def _rollup_tag(node: PlanNode) -> str:
+    """Routing annotation: scans of materialized rollup cubes."""
+    from repro.rollup.shapes import ROLLUP_PREFIX
+
+    if isinstance(node, ScanNode) and node.table.startswith(ROLLUP_PREFIX):
+        return f"  [rollup: {node.table}]"
+    return ""
+
+
 def _enc_tag(node: PlanNode, db: Database) -> str:
     """Compressed-execution annotation: how this operator will treat
     encoded columns (a dry run of the same dispatch the executor does)."""
@@ -142,6 +151,8 @@ def explain(
         tag = _late_tag(current) if annotate_late else ""
         if annotate_enc:
             tag += _enc_tag(current, db)
+        if effective.rollups:
+            tag += _rollup_tag(current)
         lines.append("  " * depth + "-> " + _describe(current) + tag)
         for child in current.children():
             walk(child, depth + 1)

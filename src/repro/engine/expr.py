@@ -224,7 +224,14 @@ class Arith(Expr):
         lcol = self.left.evaluate(frame, ctx)
         rcol = self.right.evaluate(frame, ctx)
         lval, rval = _numeric(lcol), _numeric(rcol)
-        result = self._OPS[self.op](lval, rval)
+        if self.op == "/":
+            # x/0 -> inf and 0/0 -> NaN, silently: AVG recomposition from
+            # rollup cells divides by a zero count for all-NULL groups,
+            # matching the aggregate kernel's errstate-guarded ratio.
+            with np.errstate(invalid="ignore", divide="ignore"):
+                result = self._OPS[self.op](lval, rval)
+        else:
+            result = self._OPS[self.op](lval, rval)
         ctx.work.ops += frame.nrows
         if self.op != "/" and lcol.dtype is INT64 and rcol.dtype is INT64:
             return Column(INT64, result.astype(np.int64))

@@ -77,7 +77,7 @@ def concat_frames(frames: list[Frame]) -> Frame:
 # COUNT(DISTINCT) is absent on purpose: its state is the distinct set
 # itself, so such plans fall back to a serial aggregate over the
 # concatenated (still parallel-scanned) input.
-_DECOMPOSABLE = {"sum", "avg", "count", "count_star", "min", "max"}
+_DECOMPOSABLE = {"sum", "avg", "count", "count_star", "min", "max", "isum"}
 
 
 def decompose_aggregates(
@@ -102,6 +102,11 @@ def decompose_aggregates(
         elif spec.func in ("count", "count_star"):
             partial[name] = spec
             final[name] = sum_(col(name))
+        elif spec.func == "isum":
+            # Exact integer sums merge by exact integer re-summation, so
+            # routed COUNT recompositions stay INT64 end to end.
+            partial[name] = spec
+            final[name] = AggSpec("isum", col(name))
         elif spec.func == "sum":
             partial[name] = spec
             final[name] = sum_(col(name))

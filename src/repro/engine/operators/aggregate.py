@@ -179,6 +179,11 @@ def _global_aggregate(frame: Frame, aggs: dict[str, AggSpec], ctx) -> Frame:
         elif spec.func == "count":
             count = frame.nrows if valid is None else int(valid.sum())
             out_columns[name] = Column(INT64, np.asarray([count], dtype=np.int64))
+        elif spec.func == "isum":
+            weights = values if valid is None else np.where(valid, values, 0.0)
+            out_columns[name] = Column(
+                INT64, np.asarray([round(_total(weights))], dtype=np.int64)
+            )
         elif spec.func in ("min", "max"):
             target = values if valid is None else values[valid]
             if len(target):
@@ -262,6 +267,13 @@ def execute_aggregate(
             else:
                 counts = np.bincount(gids, weights=valid.astype(np.float64), minlength=n_groups)
             out_columns[name] = Column(INT64, counts.astype(np.int64))
+        elif spec.func == "isum":
+            # Exact integer sum: recombines COUNT-valued partial states
+            # (rollup cells, two-phase merges). Inputs are integral and
+            # far below 2**53, so the float accumulator is exact.
+            weights = values if valid is None else np.where(valid, values, 0.0)
+            out = np.bincount(gids, weights=weights, minlength=n_groups)
+            out_columns[name] = Column(INT64, np.rint(out).astype(np.int64))
         elif spec.func in ("min", "max"):
             init = np.inf if spec.func == "min" else -np.inf
             out = np.full(n_groups, init, dtype=np.float64)

@@ -69,12 +69,19 @@ class OptimizerSettings:
             (:mod:`repro.engine.encoded`) instead of decoding first;
             unsupported shapes fall back per operator. The
             ``--no-compressed-exec`` ablation flips only this flag.
+        rollups: route aggregate plans to materialized rollup cubes when
+            the database carries a rollup catalog (``db.rollups``, built
+            by :mod:`repro.rollup`) and subsumption is proven; also
+            enables the semantic result cache in the parallel executor.
+            A no-op for databases without a catalog. The ``--no-rollups``
+            ablation flips only this flag.
     """
 
     predicate_pushdown: bool = True
     zone_map_skipping: bool = True
     late_materialization: bool = True
     compressed_execution: bool = True
+    rollups: bool = True
 
     @classmethod
     def disabled(cls) -> "OptimizerSettings":
@@ -93,6 +100,11 @@ class OptimizerSettings:
         operator decodes to flat arrays first, as before)."""
         return replace(self, compressed_execution=False)
 
+    def without_rollups(self) -> "OptimizerSettings":
+        """These settings with rollup routing and the semantic result
+        cache turned off (every aggregate runs against base tables)."""
+        return replace(self, rollups=False)
+
     def cache_key(self) -> str:
         """Stable tag mixed into plan fingerprints so results computed
         under different optimizer settings never alias in the cache."""
@@ -100,7 +112,8 @@ class OptimizerSettings:
             f"pd={int(self.predicate_pushdown)},"
             f"zm={int(self.zone_map_skipping)},"
             f"lm={int(self.late_materialization)},"
-            f"ce={int(self.compressed_execution)}"
+            f"ce={int(self.compressed_execution)},"
+            f"ru={int(self.rollups)}"
         )
 
 
@@ -112,10 +125,17 @@ def optimize_plan(
 ) -> PlanNode:
     """The full rewrite stack: predicate pushdown, then projection
     pruning (in that order — pushdown moves predicates below projects,
-    pruning then sees the final column demand at every scan)."""
+    pruning then sees the final column demand at every scan), then rollup
+    routing (the router matches the *optimized* shape, so mined templates
+    and live queries canonicalize identically)."""
     if settings.predicate_pushdown:
         node = pushdown_predicates(node, db)
-    return prune_columns(node, db, required=None)
+    node = prune_columns(node, db, required=None)
+    if settings.rollups and getattr(db, "rollups", None) is not None:
+        from repro.rollup.router import route_plan
+
+        node = route_plan(node, db, db.rollups)
+    return node
 
 
 def pushdown_predicates(node: PlanNode, db: Database) -> PlanNode:

@@ -27,7 +27,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 
 from .cache import ResultCache
-from .executor import ExecContext, Executor
+from .executor import ExecContext, Executor, _annotate_rollups
 from .expr import Expr, ScalarSubquery
 from .fingerprint import plan_fingerprint
 from .frame import Frame
@@ -51,6 +51,7 @@ from .operators.filter import execute_filter
 from .operators.project import execute_project
 from .operators.sort import execute_topk
 from .optimizer import OptimizerSettings, optimize_plan
+from .profile import WorkProfile
 from .plan import (
     AggregateNode,
     FilterNode,
@@ -119,6 +120,14 @@ class ParallelExecutor(Executor):
         self.morsel_rows = max(1, morsel_rows)
         self.min_parallel_rows = min_parallel_rows
         self.cache: ResultCache | None = ResultCache(cache_size) if cache_size else None
+        # Semantic layer: caches literal-free finer aggregates so shape
+        # re-runs with new filter literals re-slice instead of re-scan.
+        # Tied to cache_size so "caching off" disables both layers.
+        self.semantic: ResultCache | None = (
+            ResultCache(capacity=16, stats_name="rollup.semantic_cache")
+            if cache_size
+            else None
+        )
         self._pool: _ThreadPool | None = None
         self._pool_lock = threading.Lock()
 
@@ -175,6 +184,8 @@ class ParallelExecutor(Executor):
             if tracer.enabled
             else None
         )
+        if qspan is not None:
+            _annotate_rollups(qspan, node, self.settings)
         start = time.perf_counter()
         try:
             if self.cache is None:
@@ -207,6 +218,59 @@ class ParallelExecutor(Executor):
         )
 
     def _run(self, node: PlanNode, qspan=None, cancel=None) -> tuple[Frame, "object"]:
+        """Execute an optimized plan, preferring the semantic cache.
+
+        When the plan splits into a literal-free finer aggregate plus a
+        re-slice (:mod:`repro.rollup.semantic`), the finer aggregate is
+        cached once and every literal variation of the shape answers
+        from it. Anything unsplittable executes directly.
+        """
+        split = None
+        if (
+            self.semantic is not None
+            and self.settings.rollups
+            and getattr(self.db, "rollups", None) is not None
+        ):
+            from repro.rollup.semantic import semantic_plan
+
+            try:
+                split = semantic_plan(node, self.db)
+            except Exception:
+                split = None
+        if split is None:
+            return self._run_direct(node, qspan, cancel)
+
+        from repro.rollup.semantic import MAX_SEMANTIC_CELLS, run_residual
+
+        key = plan_fingerprint(split.finer, self.settings) + split.cache_suffix
+
+        def build():
+            finer = optimize_plan(split.finer, self.db, self.settings)
+            frame, profile = self._run_direct(finer, qspan, cancel)
+            if frame.nrows > MAX_SEMANTIC_CELLS:
+                # Negative-cache oversized shapes: a re-slice over this
+                # many cells would rival the base scan.
+                return None
+            return frame, profile
+
+        value, was_cached = self.semantic.get_or_run(key, build, cancel=cancel)
+        if value is None:
+            return self._run_direct(node, qspan, cancel)
+        finer_frame, build_profile = value
+        residual = run_residual(split, finer_frame, self.settings)
+        if qspan is not None:
+            qspan.annotate(semantic="hit" if was_cached else "build")
+        if was_cached:
+            # The only real work this execution did was the re-slice.
+            return residual.frame, residual.profile
+        combined = WorkProfile()
+        combined.absorb(build_profile)
+        combined.absorb(residual.profile)
+        return residual.frame, combined
+
+    def _run_direct(
+        self, node: PlanNode, qspan=None, cancel=None
+    ) -> tuple[Frame, "object"]:
         tracer = self.tracer
         pspan = (
             tracer.start("pipeline", "main", parent=qspan)

@@ -116,6 +116,11 @@ class Database:
     def __init__(self, name: str = "db"):
         self.name = name
         self._tables: dict[str, Table] = {}
+        # Materialized rollup catalog (repro.rollup.RollupCatalog), set by
+        # enable_rollups(). Rollup tables resolve through table()/"in" but
+        # stay out of table_names/nbytes: they are derived state, not part
+        # of the base catalog the partitioner/goldens iterate.
+        self.rollups = None
 
     def add(self, table: Table) -> None:
         self._tables[table.name] = table
@@ -124,10 +129,16 @@ class Database:
         try:
             return self._tables[name]
         except KeyError:
+            if self.rollups is not None:
+                rollup = self.rollups.table(name)
+                if rollup is not None:
+                    return rollup
             raise KeyError(f"database {self.name!r} has no table {name!r}") from None
 
     def __contains__(self, name: str) -> bool:
-        return name in self._tables
+        if name in self._tables:
+            return True
+        return self.rollups is not None and self.rollups.table(name) is not None
 
     @property
     def table_names(self) -> list[str]:

@@ -1,0 +1,114 @@
+"""Semantic query routing: rewriting aggregations onto materialized cubes.
+
+``route_plan`` walks an already-optimized plan top-down. Every
+:class:`AggregateNode` it meets is canonicalized
+(:func:`~repro.rollup.shapes.aggregate_shape`) and checked against the
+catalog's cubes for the same canonical source. A cube answers the query
+when it *subsumes* it:
+
+* the query's group keys are a subset of the cube's dimensions,
+* every filtered column is cube-resident (the filter re-applies to
+  cells, exactly: a cell passes iff all of its rows pass, because the
+  filter only references dimension columns), and
+* every measure is derivable from stored parts (SUM from sums, COUNT
+  from exact-integer count re-summation, AVG as merged SUM over merged
+  COUNT, MIN/MAX by re-reduction).
+
+On a match the aggregate is replaced by ``Project(Aggregate(Scan(cube,
+filter)))`` — a plain plan over an ordinary table, so zone maps,
+compression and late materialization all still apply downstream. On any
+doubt the aggregate is left untouched and the walk continues into its
+children (an outer aggregate that declines may still contain a routable
+inner one). Routing never changes results; it only changes which table
+produces them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.plan import AggregateNode, PlanNode, ProjectNode, ScanNode
+from repro.obs.metrics import HitMissStats
+
+from .shapes import ROLLUP_PREFIX, aggregate_shape, derived_rewrite
+
+__all__ = ["route_plan", "try_route_aggregate", "routed_tables", "ROUTER_STATS"]
+
+# Process-wide routing hit/miss counters, mirrored into the metrics
+# registry as rollup.router.hits / rollup.router.misses.
+ROUTER_STATS = HitMissStats("rollup.router")
+
+
+def try_route_aggregate(node: AggregateNode, db, catalog) -> PlanNode | None:
+    """Rewrite one aggregate onto the smallest subsuming cube, or return
+    ``None`` when no cube provably answers it."""
+    shape = aggregate_shape(node, db)
+    if shape is None:
+        return None
+    needed_dims = set(shape.group_by) | shape.conjunct_columns
+    measures = shape.measures()
+    for cube in catalog.cubes_for(shape.key):
+        if not needed_dims <= set(cube.dims):
+            continue
+        if any(
+            not parts <= cube.parts_for(key) for key, (_, parts) in measures.items()
+        ):
+            continue
+        predicate = None
+        for conjunct in shape.conjuncts:
+            predicate = conjunct if predicate is None else (predicate & conjunct)
+        inner_aggs, projections = derived_rewrite(
+            shape.aggs, shape.group_by, cube.colmap
+        )
+        scan_columns: list[str] = list(shape.group_by)
+        for _, spec in inner_aggs:
+            for ref in sorted(spec.expr.references()):
+                if ref not in scan_columns:
+                    scan_columns.append(ref)
+        rewritten: PlanNode = ScanNode(cube.name, tuple(scan_columns), predicate)
+        rewritten = AggregateNode(rewritten, shape.group_by, inner_aggs)
+        return ProjectNode(rewritten, projections)
+    return None
+
+
+def route_plan(node: PlanNode, db, catalog) -> PlanNode:
+    """Rewrite every provably-routable aggregate in the plan onto its
+    cube; everything else is rebuilt unchanged."""
+    if catalog is None or not len(catalog):
+        return node
+    return _route(node, db, catalog)
+
+
+def _route(node: PlanNode, db, catalog) -> PlanNode:
+    if isinstance(node, AggregateNode):
+        routed = try_route_aggregate(node, db, catalog)
+        if routed is not None:
+            ROUTER_STATS.hit()
+            return routed
+        ROUTER_STATS.miss()
+    children = node.children()
+    if not children:
+        return node
+    if hasattr(node, "child"):
+        new_child = _route(node.child, db, catalog)
+        if new_child is node.child:
+            return node
+        return dataclasses.replace(node, child=new_child)
+    new_left = _route(node.left, db, catalog)
+    new_right = _route(node.right, db, catalog)
+    if new_left is node.left and new_right is node.right:
+        return node
+    return dataclasses.replace(node, left=new_left, right=new_right)
+
+
+def routed_tables(node: PlanNode) -> list[str]:
+    """Rollup tables the plan scans, in plan order (explain/trace tag)."""
+    names: list[str] = []
+    stack = [node]
+    while stack:
+        current = stack.pop(0)
+        if isinstance(current, ScanNode) and current.table.startswith(ROLLUP_PREFIX):
+            if current.table not in names:
+                names.append(current.table)
+        stack.extend(current.children())
+    return names

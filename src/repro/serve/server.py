@@ -50,7 +50,7 @@ from repro.engine.sql import SqlError, sql as parse_sql
 from repro.obs.metrics import metrics
 from repro.obs.trace import NULL_TRACER
 
-from .admission import AdmissionController, AdmissionPolicy
+from .admission import AdmissionController, AdmissionPolicy, estimate_service_cost
 from .errors import QueryFailed, ServerClosed
 from .policy import CircuitBreaker, RetryPolicy, TransientServeError
 
@@ -131,8 +131,10 @@ class _Request:
         self.enqueued_at = enqueued_at
 
 
-# Queue items sort by (-priority, seq): higher priority first, FIFO
-# within a priority. Shutdown sentinels carry +inf priority rank so
+# Queue items sort by (-priority, cost, seq): higher priority first,
+# shortest modeled job first within a priority (see
+# :func:`~repro.serve.admission.estimate_service_cost`), and FIFO among
+# equal-cost requests. Shutdown sentinels carry +inf priority rank so
 # close() drains admitted work before workers exit.
 
 
@@ -193,6 +195,12 @@ class QueryServer:
         self._sql_errors = metrics.counter("serve.sql_errors")
         self._retries = metrics.counter("serve.retries")
         self._service_hist = metrics.histogram("serve.service_s")
+        # Live workload history: every successfully planned request feeds
+        # the miner, so build_rollups() can materialize cubes for the
+        # shapes this server actually sees (not just load-time templates).
+        from repro.rollup import WorkloadMiner
+
+        self.miner = WorkloadMiner(db)
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"serve-{i}", daemon=True
@@ -233,7 +241,10 @@ class QueryServer:
             if timeout_s is not None:
                 span.annotate(timeout_s=timeout_s)
         req = _Request(seq, priority, request, ticket, token, span, time.monotonic())
-        self._queue.put((-priority, seq, req))
+        cost = estimate_service_cost(self.db, request, self.executor.settings)
+        if span is not None:
+            span.annotate(est_cost_s=cost)
+        self._queue.put((-priority, cost, seq, req))
         return ticket
 
     def query(
@@ -270,19 +281,19 @@ class QueryServer:
             # Flip every queued request's token; workers resolve them
             # as cancelled without executing.
             with self._queue.mutex:
-                queued = [item[2] for item in self._queue.queue]
+                queued = [item[-1] for item in self._queue.queue]
             for req in queued:
                 if req is not None:
                     req.token.cancel("server shutdown")
         for _ in self._threads:
-            self._queue.put((float("inf"), next(self._seq), None))
+            self._queue.put((float("inf"), 0.0, next(self._seq), None))
         for thread in self._threads:
             thread.join()
         # A submit that raced the close can strand a request behind the
         # sentinels; resolve it as closed rather than leaving a waiter.
         while True:
             try:
-                _, _, req = self._queue.get_nowait()
+                *_, req = self._queue.get_nowait()
             except queue.Empty:
                 break
             if req is not None:
@@ -300,7 +311,7 @@ class QueryServer:
 
     def _worker_loop(self) -> None:
         while True:
-            _, _, req = self._queue.get()
+            *_, req = self._queue.get()
             if req is None:
                 return
             try:
@@ -396,6 +407,43 @@ class QueryServer:
         """One execution attempt. Split out so tests can inject
         transient faults by overriding/patching this method."""
         plan = self._plan(req)
+        self.miner.observe(plan, settings=self.executor.settings)
         return self.executor.execute(
             plan, label=req.ticket.label, parent_span=req.span, cancel=req.token
         )
+
+    def build_rollups(self, min_count: int = 2, **kwargs):
+        """Materialize cubes for the aggregate shapes observed in live
+        traffic (seen at least ``min_count`` times) and attach them to
+        the served database. New cubes extend an existing catalog (specs
+        an existing cube already subsumes are skipped); subsequent
+        requests route automatically. Returns the active catalog."""
+        from repro.rollup import build_rollups
+        from repro.rollup.builder import refresh_rollup_gauges
+
+        existing = getattr(self.db, "rollups", None)
+        specs = self.miner.mine(min_count=min_count)
+        if existing is not None:
+            specs = [
+                s
+                for s in specs
+                if not any(cube.spec.subsumes(s) for cube in existing.cubes)
+            ]
+        fresh = build_rollups(
+            self.db,
+            specs,
+            settings=self.executor.settings,
+            start_index=len(existing.cubes) if existing is not None else 0,
+            **kwargs,
+        )
+        if existing is None:
+            self.db.rollups = fresh
+            return fresh
+        for cube in fresh.cubes:
+            existing._register(cube)
+        existing.build_profile.absorb(fresh.build_profile)
+        existing.build_wall_seconds += fresh.build_wall_seconds
+        existing.candidates_considered += fresh.candidates_considered
+        existing.candidates_rejected += fresh.candidates_rejected
+        refresh_rollup_gauges(existing)
+        return existing

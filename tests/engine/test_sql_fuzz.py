@@ -25,7 +25,7 @@ from hypothesis import strategies as st
 
 from repro.adevents import ADEVENTS_QUERIES
 from repro.adevents import generate as adevents_generate
-from repro.engine import Column, Database, Table
+from repro.engine import Column, Database, Executor, Table
 from repro.engine.sql import MAX_DEPTH, SqlError, sql, tokenize
 from repro.tpch import generate as tpch_generate
 from repro.tpch.sqltext import SQL_QUERY_NUMBERS, sql_text
@@ -262,3 +262,65 @@ class TestServerNeverCrashes:
         result = fuzz_server.query(self.SMOKE)
         assert result.rows == [(3,)]
         assert fuzz_server.stats()["breaker"] == "closed"
+
+
+@pytest.fixture(scope="module")
+def rollup_fuzz_server():
+    """A server over a catalog with materialized rollups, so mutated
+    queries exercise the router, the semantic cache, and the routed
+    execution path — none of which may widen the crash surface."""
+    from repro.rollup import enable_rollups
+
+    db = _fuzz_db()
+    enable_rollups(db)
+    server = QueryServer(
+        db,
+        workers=2,
+        breaker=CircuitBreaker(failure_threshold=10**9),
+        retry=RetryPolicy(max_retries=0),
+        admission=AdmissionPolicy(
+            max_concurrent=2, queue_capacity=64, max_queue_delay_s=1e9
+        ),
+    )
+    yield server
+    server.close()
+
+
+class TestServerNeverCrashesWithRollups:
+    """The never-crash contract must survive rollup routing: every
+    mutated query either routes soundly, declines conservatively, or
+    fails with the same typed errors as the base path."""
+
+    @given(_mutated_query())
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_mutated_queries_route_or_decline(self, rollup_fuzz_server, text):
+        try:
+            rollup_fuzz_server.query(text, timeout_s=10.0)
+        except SqlError as err:
+            assert not err.internal, (
+                f"internal-error guard fired through the rollup-routed "
+                f"server for {text!r}: {err}"
+            )
+        except (Overloaded, QueryFailed, QueryInterrupted):
+            pass
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    def test_arbitrary_unicode_with_rollups(self, rollup_fuzz_server, text):
+        try:
+            rollup_fuzz_server.query(text, timeout_s=10.0)
+        except SqlError as err:
+            assert not err.internal
+        except (Overloaded, QueryFailed, QueryInterrupted):
+            pass
+
+    def test_routed_results_match_base_after_fuzzing(self, rollup_fuzz_server):
+        # A query the cubes provably subsume must still answer
+        # correctly after the fuzz barrage, and identically to the
+        # fuzz server that has no rollups at all.
+        text = ("SELECT ev_type, COUNT(*) AS n FROM events "
+                "GROUP BY ev_type ORDER BY ev_type")
+        routed = rollup_fuzz_server.query(text)
+        base = Executor(DB).execute(sql(DB, text))
+        assert sorted(routed.rows) == sorted(base.rows)
+        assert rollup_fuzz_server.stats()["breaker"] == "closed"

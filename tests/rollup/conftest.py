@@ -1,0 +1,28 @@
+"""Fixtures for the rollup suites.
+
+The databases here are generated fresh (not the shared session
+``tpch_db``) because ``enable_rollups`` attaches a catalog to the
+database object; the shared fixtures must keep serving every other
+suite without routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adevents import generate as adevents_generate
+from repro.rollup import enable_rollups
+from repro.tpch import generate as tpch_generate
+
+
+@pytest.fixture(scope="package")
+def rollup_tpch_db():
+    db = tpch_generate(0.01, seed=42)
+    enable_rollups(db)
+    return db
+
+
+@pytest.fixture(scope="package")
+def rollup_adevents_db():
+    db = adevents_generate(1.0, seed=7)
+    enable_rollups(db)
+    return db

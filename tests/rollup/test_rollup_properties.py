@@ -1,0 +1,189 @@
+"""Hypothesis soundness wall for rollup routing.
+
+For every generated (cube, query) pair the router must do one of two
+things: route the query onto the cube and produce *exactly* the rows
+base-table execution produces, or decline and leave the plan untouched.
+There is no third outcome. The generator deliberately includes the
+classic traps: NULL group keys, AVG recomposition from sum/count
+partials, and filters over columns the cube never materialized (which
+must force a decline, not a wrong answer).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Column, Database, Executor, Q, Table, agg, col
+from repro.engine.explain import explain
+from repro.engine.optimizer import DEFAULT_SETTINGS
+from repro.engine.types import FLOAT64, INT64
+from repro.rollup import enable_rollups
+
+ROLLUPS_OFF = DEFAULT_SETTINGS.without_rollups()
+
+# One row of the generated fact table: (g1, g1-is-valid, g2, v, w).
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.booleans(),
+        st.integers(0, 2),
+        st.integers(-100, 100),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, width=32),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+MEASURES = {
+    "s": lambda: agg.sum(col("v")),
+    "a": lambda: agg.avg(col("v")),
+    "n": lambda: agg.count_star(),
+    "c": lambda: agg.count(col("v")),
+    "lo": lambda: agg.min(col("v")),
+    "hi": lambda: agg.max(col("w")),
+}
+
+measure_sets = st.lists(
+    st.sampled_from(sorted(MEASURES)), min_size=1, max_size=4, unique=True
+)
+
+
+def _make_db(rows):
+    g1 = Column(
+        INT64,
+        np.array([r[0] for r in rows], dtype=np.int64),
+        valid=np.array([r[1] for r in rows]),
+    )
+    db = Database()
+    db.add(Table("facts", {
+        "g1": g1,
+        "g2": Column.from_ints([r[2] for r in rows]),
+        "v": Column.from_ints([r[3] for r in rows]),
+        "w": Column(FLOAT64, np.array([r[4] for r in rows], dtype=np.float64)),
+    }))
+    return db
+
+
+def _seed_cube(db):
+    """Mine one wide cube over (g1, g2) carrying every measure part."""
+    seed = Q(db).scan("facts").aggregate(
+        by=["g1", "g2"], **{name: make() for name, make in MEASURES.items()}
+    )
+    enable_rollups(db, plans=[seed])
+    return db
+
+
+def _query(db, group_by, measure_names, filter_value):
+    q = Q(db).scan("facts")
+    if filter_value is not None:
+        q = q.filter(col("g2") == filter_value)
+    q = q.aggregate(
+        by=list(group_by),
+        **{name: MEASURES[name]() for name in measure_names},
+    )
+    return q.sort(*group_by) if group_by else q
+
+
+def _assert_equivalent(db, plan, label):
+    off = Executor(db, ROLLUPS_OFF).execute(plan)
+    on = Executor(db, DEFAULT_SETTINGS).execute(plan)
+    assert on.column_names == off.column_names, label
+    assert len(on) == len(off), label
+    for i, (expected, actual) in enumerate(zip(off.rows, on.rows)):
+        for a, b in zip(expected, actual):
+            if isinstance(a, float) and isinstance(b, float):
+                assert (math.isnan(a) and math.isnan(b)) or math.isclose(
+                    a, b, rel_tol=1e-9, abs_tol=1e-9
+                ), (label, i, expected, actual)
+            else:
+                assert a == b, (label, i, expected, actual)
+    return off, on
+
+
+class TestSubsumptionSoundness:
+    @given(rows_strategy,
+           st.sampled_from([("g1", "g2"), ("g1",), ("g2",)]),
+           measure_sets,
+           st.one_of(st.none(), st.integers(0, 2)))
+    @settings(max_examples=40, deadline=None)
+    def test_routed_query_matches_base_execution(
+        self, rows, group_by, measure_names, filter_value
+    ):
+        """Shapes the cube provably subsumes must route AND match,
+        covering NULL group keys and AVG = sum/count recomposition."""
+        db = _seed_cube(_make_db(rows))
+        plan = _query(db, group_by, measure_names, filter_value)
+        rendered = explain(plan, db)
+        assert "[rollup:" in rendered, rendered
+        _assert_equivalent(db, plan, (group_by, measure_names, filter_value))
+
+    @given(rows_strategy, measure_sets)
+    @settings(max_examples=25, deadline=None)
+    def test_filter_on_unmaterialized_column_declines(self, rows, measure_names):
+        """A predicate over ``v`` needs per-row data the cube collapsed
+        away; the router must decline — silently routing would return
+        garbage, and the differential here would catch it."""
+        db = _seed_cube(_make_db(rows))
+        plan = (
+            Q(db).scan("facts")
+            .filter(col("v") > 0)
+            .aggregate(by=["g1"], **{n: MEASURES[n]() for n in measure_names})
+            .sort("g1")
+        )
+        assert "[rollup:" not in explain(plan, db)
+        _assert_equivalent(db, plan, ("decline-filter", measure_names))
+
+    @given(rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_grouping_by_unmaterialized_column_declines(self, rows):
+        db = _seed_cube(_make_db(rows))
+        plan = (
+            Q(db).scan("facts")
+            .aggregate(by=["v"], n=agg.count_star())
+            .sort("v")
+        )
+        assert "[rollup:" not in explain(plan, db)
+        _assert_equivalent(db, plan, "decline-group")
+
+    @given(rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_null_groups_survive_reaggregation(self, rows):
+        """NULL keys form their own group both in the cube and in any
+        coarser re-aggregation of it; counts must stay exact."""
+        db = _seed_cube(_make_db(rows))
+        plan = (
+            Q(db).scan("facts")
+            .aggregate(by=["g1"], n=agg.count_star(), s=agg.sum(col("v")))
+            .sort("g1")
+        )
+        assert "[rollup:" in explain(plan, db)
+        off, _ = _assert_equivalent(db, plan, "null-groups")
+        assert sum(off.column("n")) == len(rows)
+
+    @given(rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_avg_recomposition_is_exact_over_integers(self, rows):
+        """AVG over integers routed through sum/count parts must equal
+        the naive ratio bit-for-bit (integer sums are exact in the cube
+        thanks to the isum merge kernel)."""
+        db = _seed_cube(_make_db(rows))
+        plan = (
+            Q(db).scan("facts")
+            .aggregate(by=["g2"], a=agg.avg(col("v")), n=agg.count(col("v")))
+            .sort("g2")
+        )
+        assert "[rollup:" in explain(plan, db)
+        on = Executor(db, DEFAULT_SETTINGS).execute(plan)
+        naive_sum: dict[int, int] = {}
+        naive_cnt: dict[int, int] = {}
+        for _, _, g2, v, _ in rows:
+            naive_sum[g2] = naive_sum.get(g2, 0) + v
+            naive_cnt[g2] = naive_cnt.get(g2, 0) + 1
+        for g2, a, n in zip(on.column("g2"), on.column("a"), on.column("n")):
+            assert n == naive_cnt[g2]
+            assert a == pytest.approx(naive_sum[g2] / naive_cnt[g2], rel=1e-12)

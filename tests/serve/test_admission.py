@@ -8,14 +8,18 @@ import time
 
 import pytest
 
+from repro.engine import Column, Database, Q, Table, agg, col
+from repro.engine.optimizer import DEFAULT_SETTINGS
 from repro.serve import (
     AdmissionController,
     AdmissionPolicy,
     CircuitBreaker,
     CircuitOpen,
     Overloaded,
+    QueryServer,
     RetryPolicy,
 )
+from repro.serve.admission import estimate_service_cost
 
 
 class TestAdmissionPolicy:
@@ -227,3 +231,118 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown_s=0)
+
+
+@pytest.fixture()
+def sjf_db() -> Database:
+    """Two tables far enough apart in size that the modeled scan cost
+    unambiguously ranks queries over them."""
+    db = Database("sjf")
+    db.add(Table("big", {
+        "v": Column.from_ints(range(200_000)),
+        "g": Column.from_ints([i % 5 for i in range(200_000)]),
+    }))
+    db.add(Table("small", {"v": Column.from_ints(range(10))}))
+    return db
+
+
+class TestServiceCostEstimate:
+    def test_cost_ranks_by_scanned_bytes(self, sjf_db):
+        big = estimate_service_cost(sjf_db, "SELECT SUM(v) AS s FROM big")
+        small = estimate_service_cost(sjf_db, "SELECT SUM(v) AS s FROM small")
+        assert big > small > 0.0
+
+    def test_unplannable_payloads_cost_zero(self, sjf_db):
+        # Resolving an error ticket is the shortest job of all: garbage
+        # must sort ahead of real work, and must never raise here.
+        assert estimate_service_cost(sjf_db, "SELEC oops FROM nowhere") == 0.0
+        assert estimate_service_cost(sjf_db, object()) == 0.0
+
+    def test_routed_plan_is_cheaper_than_base(self, sjf_db):
+        from repro.rollup import enable_rollups
+
+        plan = Q(sjf_db).scan("big").aggregate(by=["g"], s=agg.sum(col("v")))
+        enable_rollups(sjf_db, plans=[plan])
+        routed = estimate_service_cost(sjf_db, plan, DEFAULT_SETTINGS)
+        base = estimate_service_cost(
+            sjf_db, plan, DEFAULT_SETTINGS.without_rollups()
+        )
+        # The estimate prices the optimized plan, so a cube-routed
+        # dashboard query is correctly predicted to be near-free and
+        # sorts ahead of the equivalent base-table scan.
+        assert routed < base
+
+
+class _GatedServer(QueryServer):
+    """Single-purpose copy of the server-test gate: executions block on
+    an event so the dispatch queue builds a deterministic backlog."""
+
+    def __init__(self, *args, **kwargs):
+        self.gate = threading.Event()
+        self.executed: list[str] = []
+        self._order_lock = threading.Lock()
+        super().__init__(*args, **kwargs)
+
+    def _execute(self, req):
+        assert self.gate.wait(timeout=30), "test gate never released"
+        with self._order_lock:
+            self.executed.append(req.ticket.label)
+        return super()._execute(req)
+
+
+class TestShortestJobFirst:
+    def test_equal_priority_backlog_runs_shortest_job_first(self, sjf_db):
+        server = _GatedServer(
+            sjf_db,
+            workers=1,
+            admission=AdmissionPolicy(
+                max_concurrent=1, queue_capacity=10, max_queue_delay_s=1e9
+            ),
+        )
+        try:
+            blocker = server.submit("SELECT SUM(v) AS s FROM small",
+                                    label="blocker")
+            deadline = time.monotonic() + 10.0
+            while server.admission.snapshot()["running"] != 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            # Submission order is expensive-first; dispatch must invert
+            # it because both carry the same priority.
+            expensive = server.submit("SELECT SUM(v) AS s FROM big",
+                                      label="expensive")
+            cheap = server.submit("SELECT SUM(v) AS s FROM small",
+                                  label="cheap")
+            server.gate.set()
+            for ticket in (blocker, expensive, cheap):
+                ticket.result(timeout=30)
+            assert server.executed == ["blocker", "cheap", "expensive"]
+        finally:
+            server.gate.set()
+            server.close()
+
+    def test_priority_still_dominates_cost(self, sjf_db):
+        server = _GatedServer(
+            sjf_db,
+            workers=1,
+            admission=AdmissionPolicy(
+                max_concurrent=1, queue_capacity=10, max_queue_delay_s=1e9
+            ),
+        )
+        try:
+            blocker = server.submit("SELECT SUM(v) AS s FROM small",
+                                    label="blocker")
+            deadline = time.monotonic() + 10.0
+            while server.admission.snapshot()["running"] != 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            cheap_low = server.submit("SELECT SUM(v) AS s FROM small",
+                                      priority=0, label="cheap-low")
+            costly_high = server.submit("SELECT SUM(v) AS s FROM big",
+                                        priority=5, label="costly-high")
+            server.gate.set()
+            for ticket in (blocker, cheap_low, costly_high):
+                ticket.result(timeout=30)
+            assert server.executed == ["blocker", "costly-high", "cheap-low"]
+        finally:
+            server.gate.set()
+            server.close()
