@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from repro.engine.cancel import DeadlineExceeded
+from repro.engine.spill import MemoryBudgetExceeded
 
 from repro.core import EXPERIMENT_IDS, ExperimentStudy, StudyConfig, save_json
 from repro.core.extensions import compression_study, nam_study, proportionality_study
@@ -81,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-rollups", action="store_true",
                        help="ablation: skip rollup-cube materialization and "
                             "semantic routing (aggregate over base tables)")
+    query.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                       help="cap operator working memory; joins and grouped "
+                            "aggregates over the cap Grace-partition to disk")
+    query.add_argument("--no-spill", action="store_true",
+                       help="ablation: fail over-budget operators with a "
+                            "typed error instead of spilling to disk")
     _add_trace_args(query)
 
     validate = sub.add_parser(
@@ -148,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
     sql_cmd.add_argument("--no-rollups", action="store_true",
                          help="ablation: skip rollup-cube materialization and "
                               "semantic routing (aggregate over base tables)")
+    sql_cmd.add_argument("--memory-budget", type=int, default=None, metavar="BYTES",
+                         help="cap operator working memory; joins and grouped "
+                              "aggregates over the cap Grace-partition to disk")
+    sql_cmd.add_argument("--no-spill", action="store_true",
+                         help="ablation: fail over-budget operators with a "
+                              "typed error instead of spilling to disk")
     _add_trace_args(sql_cmd)
 
     trace_cmd = sub.add_parser(
@@ -212,7 +225,7 @@ def _render(value, indent: int = 0) -> str:
 
 def _optimizer_settings(
     no_skipping: bool, no_latemat: bool = False, no_compressed: bool = False,
-    no_rollups: bool = False,
+    no_rollups: bool = False, no_spill: bool = False,
 ):
     from repro.engine import DEFAULT_SETTINGS, OptimizerSettings
 
@@ -223,6 +236,8 @@ def _optimizer_settings(
         settings = settings.without_compressed()
     if no_rollups:
         settings = settings.without_rollups()
+    if no_spill:
+        settings = settings.without_spilling()
     return settings
 
 
@@ -281,7 +296,7 @@ def _write_trace(tracer, path, fmt: str, meta: dict | None = None) -> None:
 
 def _execute_maybe_parallel(
     db, plan, workers: int | None, settings=None, tracer=None, label=None,
-    timeout: float | None = None,
+    timeout: float | None = None, memory_budget: int | None = None,
 ):
     """Run a plan serially, or morsel-parallel when --workers is given."""
     from repro.engine import CancelToken, ParallelExecutor, execute
@@ -289,10 +304,12 @@ def _execute_maybe_parallel(
     cancel = CancelToken.from_timeout(timeout) if timeout is not None else None
     if workers is None:
         return execute(
-            db, plan, settings=settings, tracer=tracer, label=label, cancel=cancel
+            db, plan, settings=settings, tracer=tracer, label=label, cancel=cancel,
+            memory_budget=memory_budget,
         )
     with ParallelExecutor(
-        db, workers=workers, settings=settings, tracer=tracer
+        db, workers=workers, settings=settings, tracer=tracer,
+        memory_budget=memory_budget,
     ) as executor:
         return executor.execute(plan, label=label, cancel=cancel)
 
@@ -326,18 +343,22 @@ def main(argv: list[str] | None = None) -> int:
         plan = get_query(args.number).build(db, {"sf": args.sf})
         settings = _optimizer_settings(
             args.no_skipping, args.no_latemat, args.no_compressed_exec,
-            args.no_rollups,
+            args.no_rollups, args.no_spill,
         )
         if args.explain:
-            print(explain(plan, db, settings=settings))
+            print(explain(plan, db, settings=settings,
+                          memory_budget=args.memory_budget))
             print()
         tracer = _make_tracer(args.trace)
         try:
             result = _execute_maybe_parallel(
                 db, plan, args.workers, settings,
                 tracer=tracer, label=f"Q{args.number}",
-                timeout=args.timeout,
+                timeout=args.timeout, memory_budget=args.memory_budget,
             )
+        except MemoryBudgetExceeded as err:
+            print(f"memory budget exceeded: {err}", file=sys.stderr)
+            return 4
         except DeadlineExceeded as err:
             print(f"deadline exceeded: {err}", file=sys.stderr)
             return 3
@@ -460,17 +481,21 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         settings = _optimizer_settings(
             args.no_skipping, args.no_latemat, args.no_compressed_exec,
-            args.no_rollups,
+            args.no_rollups, args.no_spill,
         )
         if args.explain:
-            print(explain(plan, db, settings=settings))
+            print(explain(plan, db, settings=settings,
+                          memory_budget=args.memory_budget))
             print()
         tracer = _make_tracer(args.trace)
         try:
             result = _execute_maybe_parallel(
                 db, plan, args.workers, settings, tracer=tracer, label="sql",
-                timeout=args.timeout,
+                timeout=args.timeout, memory_budget=args.memory_budget,
             )
+        except MemoryBudgetExceeded as err:
+            print(f"memory budget exceeded: {err}", file=sys.stderr)
+            return 4
         except DeadlineExceeded as err:
             print(f"deadline exceeded: {err}", file=sys.stderr)
             return 3

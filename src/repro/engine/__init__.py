@@ -23,6 +23,14 @@ from .zonemap import ZONE_MAP_BLOCK_ROWS, ZoneMap, build_zone_map
 from .plan import Q, agg
 from .profile import OperatorWork, WorkProfile
 from .result import Result
+from .spill import (
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    SpillCorrupt,
+    SpillDiskFull,
+    SpillError,
+    SpillFaultPlan,
+)
 from .sql import SqlSyntaxError, sql
 from .table import Database, Schema, Table
 from .types import BOOL, DATE, FLOAT64, INT64, STRING, DataType, date_to_days, days_to_date
@@ -35,6 +43,8 @@ __all__ = [
     "agg", "case", "col", "date_to_days", "days_to_date", "execute", "lit",
     "plan_fingerprint", "scalar", "BOOL", "DATE", "FLOAT64", "INT64", "STRING",
     "CompressedColumn", "compress_column", "compress_table", "compression_ratio",
+    "MemoryBudget", "MemoryBudgetExceeded", "SpillCorrupt", "SpillDiskFull",
+    "SpillError", "SpillFaultPlan",
     "SqlSyntaxError", "sql",
     "DEFAULT_SETTINGS", "OptimizerSettings", "optimize_plan",
     "ZONE_MAP_BLOCK_ROWS", "ZoneMap", "build_zone_map",

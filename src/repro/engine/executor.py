@@ -25,15 +25,15 @@ from .plan import (
 from .profile import OperatorWork, WorkProfile
 from .result import Result
 from .table import Database
-from .operators.aggregate import execute_aggregate, try_encoded_aggregate
+from .operators.aggregate import try_encoded_aggregate
 from .operators.distinct import execute_distinct
 from .operators.filter import execute_filter
-from .operators.join import execute_join
 from .operators.limit import execute_limit
 from .operators.project import execute_project
 from .operators.scan import execute_scan
 from .operators.sort import execute_sort, execute_topk
 from .operators.unionall import execute_union_all
+from .spill import MemoryBudget, maybe_spill_aggregate, maybe_spill_join
 
 __all__ = ["ExecContext", "Executor", "execute"]
 
@@ -65,6 +65,10 @@ class ExecContext:
         self.db = db
         self._executor = executor
         self.cancel = cancel
+        # Budget-aware operator dispatch (spill.py) reads these; morsel
+        # contexts inherit both so workers share one budget.
+        self.budget = getattr(executor, "memory_budget", None)
+        self.spilling = executor.settings.spilling
         self.profile = WorkProfile()
         self.work: OperatorWork | None = None
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -125,10 +129,14 @@ class Executor:
         db: Database,
         settings: OptimizerSettings | None = None,
         tracer=None,
+        memory_budget: "MemoryBudget | int | None" = None,
     ):
         self.db = db
         self.settings = settings if settings is not None else DEFAULT_SETTINGS
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if memory_budget is not None and not isinstance(memory_budget, MemoryBudget):
+            memory_budget = MemoryBudget(limit_bytes=int(memory_budget))
+        self.memory_budget = memory_budget
 
     def execute(
         self,
@@ -222,7 +230,7 @@ class Executor:
             left = self._exec(node.left, ctx)
             right = self._exec(node.right, ctx)
             ctx.begin_operator("hashjoin")
-            return execute_join(
+            return maybe_spill_join(
                 left, right, list(node.left_on), list(node.right_on), node.how, ctx
             )
         if isinstance(node, AggregateNode):
@@ -236,7 +244,9 @@ class Executor:
                     return frame
             child = self._exec(node.child, ctx)
             ctx.begin_operator("aggregate")
-            return execute_aggregate(child, list(node.group_by), dict(node.aggs), ctx)
+            return maybe_spill_aggregate(
+                child, list(node.group_by), dict(node.aggs), ctx
+            )
         if isinstance(node, SortNode):
             child = self._exec(node.child, ctx)
             ctx.begin_operator("sort")
@@ -273,8 +283,9 @@ def execute(
     tracer=None,
     label: str | None = None,
     cancel=None,
+    memory_budget: "MemoryBudget | int | None" = None,
 ) -> Result:
     """Convenience wrapper: ``Executor(db).execute(plan)``."""
-    return Executor(db, settings, tracer=tracer).execute(
+    return Executor(db, settings, tracer=tracer, memory_budget=memory_budget).execute(
         plan, optimize=optimize, label=label, cancel=cancel
     )

@@ -125,17 +125,71 @@ def _enc_tag(node: PlanNode, db: Database) -> str:
     return ""
 
 
+def _subtree_size(node: PlanNode, db: Database) -> tuple[float, float]:
+    """Static (bytes, rows) upper bound for a subtree's output: the sum
+    of its base scans' streamed column bytes (filters only shrink it;
+    joins are bounded here by their larger input — a heuristic, the same
+    one the runtime dispatch refines with real frame sizes)."""
+    if isinstance(node, ScanNode):
+        table = db.table(node.table)
+        names = list(node.columns) if node.columns is not None else list(table.column_names)
+        width = sum(table.column(n).dtype.width for n in names)
+        return float(width * table.nrows), float(table.nrows)
+    sizes = [_subtree_size(child, db) for child in node.children()]
+    if not sizes:
+        return 0.0, 0.0
+    return sum(b for b, _ in sizes), max(r for _, r in sizes)
+
+
+def _spill_tag(node: PlanNode, db: Database, budget) -> str:
+    """Out-of-core annotation: a dry run of the budget dispatch in
+    :mod:`repro.engine.spill`, using static size estimates."""
+    from .spill import HASH_ENTRY_BYTES, MAX_SPILL_DEPTH, choose_partitions
+
+    limit = getattr(budget, "limit_bytes", budget)
+    if limit is None:
+        return ""
+    if isinstance(node, JoinNode):
+        nbytes, nrows = _subtree_size(node.right, db)
+        estimate = nbytes + nrows * HASH_ENTRY_BYTES
+        kind = "join"
+    elif isinstance(node, AggregateNode) and node.group_by:
+        nbytes, nrows = _subtree_size(node.child, db)
+        estimate = nrows * (
+            8.0 * (len(node.group_by) + max(1, len(node.aggs))) + HASH_ENTRY_BYTES
+        )
+        kind = "agg"
+    else:
+        return ""
+    if estimate <= limit:
+        return ""
+    fanout = 0
+    depth = 0
+    while estimate > limit and depth < MAX_SPILL_DEPTH and nrows > 1:
+        p = choose_partitions(estimate, float(limit), int(nrows), depth)
+        if depth == 0:
+            fanout = p
+        estimate /= p
+        nrows /= p
+        depth += 1
+    return f"  [spill: {kind} p={fanout} depth={depth}]"
+
+
 def explain(
     plan: "Q | PlanNode",
     db: Database,
     optimize: bool = True,
     settings: OptimizerSettings | None = None,
+    memory_budget=None,
 ) -> str:
     """Render a plan as an indented operator tree (top operator first).
 
     With ``optimize`` the tree shown is the one the executor actually
     runs under ``settings`` — pushed-down scan predicates appear on their
-    ``Scan`` line."""
+    ``Scan`` line. With ``memory_budget`` (a byte count or a
+    :class:`~repro.engine.spill.MemoryBudget`), joins and grouped
+    aggregates whose static size estimate exceeds the budget carry a
+    ``[spill: ...]`` tag showing the predicted Grace fan-out and depth."""
     node = plan.node if isinstance(plan, Q) else plan
     if node is None:
         raise ValueError("cannot explain an empty plan")
@@ -153,6 +207,8 @@ def explain(
             tag += _enc_tag(current, db)
         if effective.rollups:
             tag += _rollup_tag(current)
+        if memory_budget is not None and effective.spilling:
+            tag += _spill_tag(current, db, memory_budget)
         lines.append("  " * depth + "-> " + _describe(current) + tag)
         for child in current.children():
             walk(child, depth + 1)
@@ -201,5 +257,11 @@ def explain_profile(result: Result) -> str:
             f"evaluated in the encoded domain "
             f"({totals.runs_touched:,.0f} runs/blocks touched), "
             f"{totals.decoded_bytes / 1e6:.2f} MB decoded"
+        )
+    if totals.spilled_bytes or totals.spill_partitions:
+        lines.append(
+            f"spilling: {totals.spilled_bytes / 1e6:.2f} MB written to "
+            f"{totals.spill_partitions:,.0f} partition files "
+            f"({totals.respill_depth:,.0f} recursive re-partitions)"
         )
     return "\n".join(lines)

@@ -32,13 +32,13 @@ from .frame import Frame
 from .operators.aggregate import (
     AggSpec,
     count,
-    execute_aggregate,
     max_,
     min_,
     sum_,
 )
 from .operators.sort import _sort_key, execute_topk
 from .profile import OperatorWork, WorkProfile
+from .spill import maybe_spill_aggregate
 from .types import FLOAT64, INT64
 
 __all__ = [
@@ -134,7 +134,10 @@ def merge_partial_aggregates(
         raise ValueError("aggregates are not decomposable for parallel merge")
     _, final = decomposed
     combined = concat_frames(frames)
-    merged = execute_aggregate(combined, list(group_by), final, ctx)
+    # The merge aggregation over stacked partials is itself budget-aware:
+    # under a tight MemoryBudget it Grace-partitions to disk rather than
+    # building one oversized hash table on the coordinating thread.
+    merged = maybe_spill_aggregate(combined, list(group_by), final, ctx)
 
     out: dict[str, Column] = {name: merged.column(name) for name in group_by}
     for name, spec in aggs.items():

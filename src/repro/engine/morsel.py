@@ -87,6 +87,11 @@ class MorselContext:
         # it so a cancellation that lands between scheduling and
         # execution still stops the morsel before it streams any bytes.
         self.cancel = getattr(parent, "cancel", None)
+        # Morsels also inherit the query's memory budget and spill
+        # policy, so every worker's partial state charges one shared
+        # budget (and spills against it when over).
+        self.budget = getattr(parent, "budget", None)
+        self.spilling = getattr(parent, "spilling", True)
         self.profile = WorkProfile()
         self.work = None
         self.tracer = tracer if tracer is not None else NULL_TRACER

@@ -75,6 +75,14 @@ class OptimizerSettings:
             enables the semantic result cache in the parallel executor.
             A no-op for databases without a catalog. The ``--no-rollups``
             ablation flips only this flag.
+        spilling: allow hash joins and grouped aggregations whose state
+            exceeds the executor's memory budget to run out-of-core via
+            Grace partitioning (:mod:`repro.engine.spill`). With spilling
+            off, an over-budget operator raises
+            :class:`~repro.engine.spill.MemoryBudgetExceeded` instead —
+            the modeled in-memory-only wimpy node. A no-op without a
+            memory budget. The ``--no-spill`` ablation flips only this
+            flag.
     """
 
     predicate_pushdown: bool = True
@@ -82,6 +90,7 @@ class OptimizerSettings:
     late_materialization: bool = True
     compressed_execution: bool = True
     rollups: bool = True
+    spilling: bool = True
 
     @classmethod
     def disabled(cls) -> "OptimizerSettings":
@@ -105,6 +114,11 @@ class OptimizerSettings:
         cache turned off (every aggregate runs against base tables)."""
         return replace(self, rollups=False)
 
+    def without_spilling(self) -> "OptimizerSettings":
+        """These settings with out-of-core execution turned off (an
+        over-budget operator raises instead of spilling)."""
+        return replace(self, spilling=False)
+
     def cache_key(self) -> str:
         """Stable tag mixed into plan fingerprints so results computed
         under different optimizer settings never alias in the cache."""
@@ -113,7 +127,8 @@ class OptimizerSettings:
             f"zm={int(self.zone_map_skipping)},"
             f"lm={int(self.late_materialization)},"
             f"ce={int(self.compressed_execution)},"
-            f"ru={int(self.rollups)}"
+            f"ru={int(self.rollups)},"
+            f"sp={int(self.spilling)}"
         )
 
 

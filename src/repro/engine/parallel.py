@@ -46,7 +46,7 @@ from .morsel import (
     scan_morsel,
     table_is_morselable,
 )
-from .operators.aggregate import execute_aggregate, try_encoded_aggregate
+from .operators.aggregate import try_encoded_aggregate
 from .operators.filter import execute_filter
 from .operators.project import execute_project
 from .operators.sort import execute_topk
@@ -63,6 +63,7 @@ from .plan import (
     SortNode,
 )
 from .result import Result
+from .spill import maybe_spill_aggregate
 from .zonemap import BLOCK_SKIP, classify_blocks, extract_sargable, split_conjuncts
 
 __all__ = ["ParallelExecutor"]
@@ -114,8 +115,9 @@ class ParallelExecutor(Executor):
         min_parallel_rows: int = MIN_PARALLEL_ROWS,
         settings: OptimizerSettings | None = None,
         tracer=None,
+        memory_budget=None,
     ):
-        super().__init__(db, settings, tracer=tracer)
+        super().__init__(db, settings, tracer=tracer, memory_budget=memory_budget)
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.morsel_rows = max(1, morsel_rows)
         self.min_parallel_rows = min_parallel_rows
@@ -493,7 +495,9 @@ class ParallelExecutor(Executor):
                     frame = execute_project(frame, dict(op.exprs), mctx)
             if segment.kind == "aggregate":
                 mctx.begin_operator("aggregate")
-                frame = execute_aggregate(
+                # Budget-aware: each worker's partial state charges the
+                # query's shared MemoryBudget and spills when over.
+                frame = maybe_spill_aggregate(
                     frame, list(segment.node.group_by), partial_aggs, mctx
                 )
             elif segment.kind == "topk":

@@ -50,6 +50,13 @@ class OperatorWork:
             instead of on decoded int64/float64 arrays.
         runs_touched: encoded segments visited by encoded-domain kernels
             (RLE runs, FoR blocks, one per bit-packed array).
+        spilled_bytes: bytes written to spill partition files by an
+            out-of-core (Grace) join or aggregation; the performance
+            model prices each spilled byte as one storage write plus one
+            storage read (every partition written is read back once).
+        spill_partitions: spill partition files written.
+        respill_depth: recursive re-partition events (a partition that
+            still exceeded the budget and was split again).
     """
 
     operator: str
@@ -68,6 +75,9 @@ class OperatorWork:
     decoded_bytes: float = 0.0
     encoded_eval_rows: float = 0.0
     runs_touched: float = 0.0
+    spilled_bytes: float = 0.0
+    spill_partitions: float = 0.0
+    respill_depth: float = 0.0
 
     def scaled(self, factor: float) -> "OperatorWork":
         return OperatorWork(
@@ -87,6 +97,9 @@ class OperatorWork:
             decoded_bytes=self.decoded_bytes * factor,
             encoded_eval_rows=self.encoded_eval_rows * factor,
             runs_touched=self.runs_touched * factor,
+            spilled_bytes=self.spilled_bytes * factor,
+            spill_partitions=self.spill_partitions * factor,
+            respill_depth=self.respill_depth * factor,
         )
 
     def add(self, other: "OperatorWork") -> None:
@@ -106,6 +119,9 @@ class OperatorWork:
         self.decoded_bytes += other.decoded_bytes
         self.encoded_eval_rows += other.encoded_eval_rows
         self.runs_touched += other.runs_touched
+        self.spilled_bytes += other.spilled_bytes
+        self.spill_partitions += other.spill_partitions
+        self.respill_depth += other.respill_depth
 
 
 @dataclass
@@ -191,6 +207,18 @@ class WorkProfile:
     @property
     def runs_touched(self) -> float:
         return sum(op.runs_touched for op in self.operators)
+
+    @property
+    def spilled_bytes(self) -> float:
+        return sum(op.spilled_bytes for op in self.operators)
+
+    @property
+    def spill_partitions(self) -> float:
+        return sum(op.spill_partitions for op in self.operators)
+
+    @property
+    def respill_depth(self) -> float:
+        return sum(op.respill_depth for op in self.operators)
 
     @property
     def result_bytes(self) -> float:

@@ -65,6 +65,14 @@ class CalibrationConstants:
             cache-warm, so they cost less than a cold ``seq_bytes``
             stream — but not nothing, which is the bandwidth saving
             compressed execution exists to expose.
+        spill_write_gbs: sustained sequential write bandwidth (GB/s) of
+            the wimpy node's storage — SD-card class by default, the
+            paper's Pi 3B+ baseline. Each spilled byte is written once.
+        spill_read_gbs: sustained sequential read bandwidth (GB/s) of
+            the same storage; every spilled partition is read back
+            exactly once by the Grace build/probe pass.
+        spill_partition_ops: proxy ops per spill partition file — open,
+            header framing, encode/decode dispatch, close.
     """
 
     cycles_per_op: float = 22.1
@@ -83,6 +91,9 @@ class CalibrationConstants:
     encoded_eval_op_fraction: float = 0.25
     run_eval_ops: float = 6.0
     decoded_byte_fraction: float = 0.3
+    spill_write_gbs: float = 0.025
+    spill_read_gbs: float = 0.040
+    spill_partition_ops: float = 5.0e4
 
     def replaced(self, **kwargs) -> "CalibrationConstants":
         return replace(self, **kwargs)

@@ -64,6 +64,11 @@ class RuntimeBreakdown:
     memory: float
     random: float
     dispatch: float
+    # Storage I/O of out-of-core (Grace) operators: spilled bytes priced
+    # at the platform-independent wimpy-storage bandwidths (one write +
+    # one read-back per byte) plus per-partition-file overhead. Disk does
+    # not overlap the roofline max — an SD card is nobody's fast path.
+    spill: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -236,13 +241,23 @@ class PerformanceModel:
         c = self.constants
         if threads is None:
             threads = platform.total_cores * platform.smt
-        total = compute_sum = seq_sum = rand_sum = 0.0
+        total = compute_sum = seq_sum = rand_sum = spill_sum = 0.0
         for op in profile.operators:
             compute, seq, random = self.operator_time(op, platform, threads)
-            total += max(compute, seq, random)
+            # Spill I/O is additive, not part of the roofline max: the
+            # storage device is orders slower than DRAM, so writes and
+            # read-backs serialize behind the in-memory work.
+            spill = (
+                op.spilled_bytes / (c.spill_write_gbs * 1e9)
+                + op.spilled_bytes / (c.spill_read_gbs * 1e9)
+                + op.spill_partitions * c.spill_partition_ops
+                / platform.core_rate("int")
+            )
+            total += max(compute, seq, random) + spill
             compute_sum += compute
             seq_sum += seq
             rand_sum += random
+            spill_sum += spill
         dispatch = len(profile.operators) * c.dispatch_ops / platform.core_rate("int")
         factor = self.platform_factors.get(platform.key, 1.0)
         return RuntimeBreakdown(
@@ -251,6 +266,7 @@ class PerformanceModel:
             memory=seq_sum * factor,
             random=rand_sum * factor,
             dispatch=dispatch * factor,
+            spill=spill_sum * factor,
         )
 
     def predict(

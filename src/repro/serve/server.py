@@ -156,6 +156,11 @@ class QueryServer:
             morsel boundaries).
         tracer: optional tracer; each request contributes one
             ``request`` root span.
+        memory_budget: byte cap on operator working memory (a
+            :class:`~repro.engine.spill.MemoryBudget` or an int). With a
+            budget, a query whose hash state exceeds RAM is *admitted*
+            and completes out-of-core (Grace spill) instead of being
+            shed or OOMing the node.
     """
 
     def __init__(
@@ -169,16 +174,20 @@ class QueryServer:
         cache_size: int = 64,
         morsel_rows: int | None = None,
         tracer=None,
+        memory_budget=None,
     ):
         self.db = db
         self.tracer = tracer if tracer is not None else NULL_TRACER
         exec_kwargs = {}
         if morsel_rows is not None:
             exec_kwargs["morsel_rows"] = morsel_rows
+        if memory_budget is not None:
+            exec_kwargs["memory_budget"] = memory_budget
         self.executor = ParallelExecutor(
             db, workers=workers, settings=settings, cache_size=cache_size,
             tracer=self.tracer, **exec_kwargs,
         )
+        self.memory_budget = self.executor.memory_budget
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         policy = (admission or AdmissionPolicy()).resolve(self.executor.workers)

@@ -1,0 +1,581 @@
+"""Differential + property wall for out-of-core (spill) execution.
+
+Two layers of defense for the "never change an answer" guarantee:
+
+* **Differential suite.** Every TPC-H query (SF 0.01) and every
+  ad-events query (x1.0) runs under three memory budgets — unlimited,
+  tight (256 KB), and pathological (1 byte, which forces Grace
+  partitioning and recursive re-partitioning at every depth) — serially
+  and 4-worker morsel-parallel. Each budgeted run must be *bit-identical*
+  to the same execution mode without a budget (same values, dtypes,
+  validity masks — not approximately equal), and must still reproduce
+  the committed goldens. Unlimited budgets must spill zero bytes; the
+  pathological budget must spill on every plan that contains a join or a
+  grouped aggregate.
+
+* **Property wall.** Hypothesis drives the spill primitives directly:
+  hash partitioning is an exact order-preserving permutation of its
+  input for every key dtype (including NaN and signed-zero floats);
+  spill-file write→read round-trips are bit-identical for every dtype
+  including NULL masks, NaN payloads, dictionary identity, and empty
+  frames; and recursive re-partitioning terminates on adversarial
+  single-key skew (no progress → execute in memory, never loop).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adevents import QUERY_NAMES as ADEVENTS_NAMES
+from repro.adevents import build as adevents_build
+from repro.adevents import generate as adevents_generate
+from repro.engine import (
+    DEFAULT_SETTINGS,
+    Column,
+    Executor,
+    Frame,
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    ParallelExecutor,
+    col,
+    optimize_plan,
+)
+from repro.engine.explain import explain, explain_profile
+from repro.engine.operators.aggregate import count_star, execute_aggregate, sum_
+from repro.engine.operators.join import execute_join
+from repro.engine.plan import AggregateNode, JoinNode, LimitNode, SortNode
+from repro.engine.profile import WorkProfile
+from repro.engine.spill import (
+    MAX_SPILL_DEPTH,
+    SpillSet,
+    _partition_frame,
+    _partition_ids,
+    _to_uint64,
+    choose_partitions,
+    maybe_spill_aggregate,
+    maybe_spill_join,
+)
+from repro.engine.types import BOOL, DATE, FLOAT64, INT64, STRING
+from repro.tpch import ALL_QUERY_NUMBERS, get_query
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "tpch" / "data" / "golden_sf001_seed42.json").read_text()
+)
+ADEVENTS_GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "adevents" / "data" / "golden_x1_seed7.json").read_text()
+)
+
+WORKERS = 4
+TPCH_MORSEL_ROWS = 2048
+ADEVENTS_MORSEL_ROWS = 4096
+
+BUDGETS = {
+    "unlimited": None,
+    "tight": 256 * 1024,
+    "pathological": 1,
+}
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+class _SpillCtx:
+    """Minimal execution context for driving spill dispatch directly."""
+
+    def __init__(self, budget=None, spilling=True, cancel=None):
+        self.budget = budget
+        self.spilling = spilling
+        self.cancel = cancel
+        self.profile = WorkProfile()
+        self.work = self.profile.new_operator("test")
+
+
+def _is_ordered(plan) -> bool:
+    node = plan.node
+    while isinstance(node, LimitNode):
+        node = node.child
+    return isinstance(node, SortNode)
+
+
+def _numeric_sum(rows) -> float:
+    total = 0.0
+    for row in rows:
+        for value in row:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if isinstance(value, float) and math.isnan(value):
+                    continue
+                total += float(value)
+    return total
+
+
+def _assert_golden(plan, result, expected):
+    assert len(result) == expected["rows"]
+    assert list(result.column_names) == expected["columns"]
+    assert _numeric_sum(result.rows) == pytest.approx(
+        expected["numeric_sum"], rel=1e-6, abs=0.02
+    )
+    if expected["first_row"] and _is_ordered(plan):
+        for actual, pinned in zip(result.rows[0], expected["first_row"]):
+            try:
+                pinned_value = float(pinned)
+            except ValueError:
+                assert str(actual) == pinned
+            else:
+                assert float(actual) == pytest.approx(pinned_value, rel=1e-9, abs=1e-9)
+
+
+def _assert_frames_bitwise(want: Frame, got: Frame, label: str):
+    """Bit-identical frame equality: same column names, dtypes, raw
+    values (NaN == NaN, last ulp included), and validity masks."""
+    assert list(got.columns) == list(want.columns), label
+    assert got.nrows == want.nrows, label
+    for name in want.columns:
+        a, b = want.column(name), got.column(name)
+        assert b.dtype is a.dtype, f"{label}: {name} dtype"
+        if a.dtype is STRING:
+            assert b.to_list() == a.to_list(), f"{label}: {name}"
+        else:
+            av, bv = np.asarray(a.values), np.asarray(b.values)
+            equal_nan = av.dtype.kind == "f"
+            assert np.array_equal(av, bv, equal_nan=equal_nan), f"{label}: {name}"
+        a_valid = a.valid if a.valid is not None else np.ones(len(a), dtype=bool)
+        b_valid = b.valid if b.valid is not None else np.ones(len(b), dtype=bool)
+        assert np.array_equal(a_valid, b_valid), f"{label}: {name} valid"
+
+
+def _has_spillable_operator(node) -> bool:
+    if isinstance(node, JoinNode):
+        return True
+    if isinstance(node, AggregateNode) and node.group_by:
+        return True
+    return any(_has_spillable_operator(child) for child in node.children())
+
+
+# ----------------------------------------------------------------------
+# Differential: all 22 TPC-H queries under every budget, serial + parallel
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpch_baselines(tpch_db, tpch_params):
+    """Unbudgeted reference results, computed once per (query, mode)."""
+    cache: dict[tuple[int, str], object] = {}
+    parallel = ParallelExecutor(
+        tpch_db, workers=WORKERS, morsel_rows=TPCH_MORSEL_ROWS, cache_size=0
+    )
+
+    def get(number: int, mode: str):
+        key = (number, mode)
+        if key not in cache:
+            plan = get_query(number).build(tpch_db, tpch_params)
+            if mode == "serial":
+                cache[key] = Executor(tpch_db).execute(plan)
+            else:
+                cache[key] = parallel.execute(plan)
+        return cache[key]
+
+    yield get
+    parallel.close()
+
+
+class TestTpchSpillDifferential:
+    @pytest.mark.parametrize("budget_name", list(BUDGETS))
+    @pytest.mark.parametrize("number", ALL_QUERY_NUMBERS)
+    def test_budgeted_matches_unbudgeted(
+        self, tpch_db, tpch_params, tpch_baselines, number, budget_name
+    ):
+        limit = BUDGETS[budget_name]
+        plan = get_query(number).build(tpch_db, tpch_params)
+        spillable = _has_spillable_operator(
+            optimize_plan(plan.node, tpch_db, DEFAULT_SETTINGS)
+        )
+
+        serial = Executor(tpch_db, memory_budget=limit).execute(plan)
+        _assert_frames_bitwise(
+            tpch_baselines(number, "serial").frame, serial.frame,
+            f"Q{number} serial {budget_name}",
+        )
+        with ParallelExecutor(
+            tpch_db, workers=WORKERS, morsel_rows=TPCH_MORSEL_ROWS,
+            cache_size=0, memory_budget=limit,
+        ) as executor:
+            parallel = executor.execute(plan)
+        _assert_frames_bitwise(
+            tpch_baselines(number, "parallel").frame, parallel.frame,
+            f"Q{number} parallel {budget_name}",
+        )
+
+        for result in (serial, parallel):
+            _assert_golden(plan, result, GOLDEN[str(number)])
+        if limit is None:
+            assert serial.profile.spilled_bytes == 0
+            assert parallel.profile.spilled_bytes == 0
+        elif budget_name == "pathological" and spillable:
+            # One byte of budget: every join and grouped aggregate in the
+            # plan must have gone out-of-core.
+            assert serial.profile.spilled_bytes > 0, f"Q{number}"
+            assert serial.profile.spill_partitions > 0, f"Q{number}"
+            assert parallel.profile.spilled_bytes > 0, f"Q{number}"
+
+
+def test_pathological_budget_reaches_recursive_repartition(tpch_db, tpch_params):
+    """The headline wall requires at least one recursive re-partition:
+    Q9 (the deepest join tree at this scale) must re-split partitions
+    that still exceed a 1-byte budget — and stay bit-identical."""
+    plan = get_query(9).build(tpch_db, tpch_params)
+    budgeted = Executor(tpch_db, memory_budget=1).execute(plan)
+    baseline = Executor(tpch_db).execute(plan)
+    _assert_frames_bitwise(baseline.frame, budgeted.frame, "Q9 recursive")
+    assert budgeted.profile.respill_depth >= 1
+    assert budgeted.profile.spilled_bytes > 0
+
+
+# ----------------------------------------------------------------------
+# Differential: all 11 ad-events queries under every budget
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def adevents_db():
+    return adevents_generate(1.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def adevents_baselines(adevents_db):
+    cache: dict[tuple[str, str], object] = {}
+    parallel = ParallelExecutor(
+        adevents_db, workers=WORKERS, morsel_rows=ADEVENTS_MORSEL_ROWS, cache_size=0
+    )
+
+    def get(name: str, mode: str):
+        key = (name, mode)
+        if key not in cache:
+            plan = adevents_build(adevents_db, name)
+            if mode == "serial":
+                cache[key] = Executor(adevents_db).execute(plan)
+            else:
+                cache[key] = parallel.execute(plan)
+        return cache[key]
+
+    yield get
+    parallel.close()
+
+
+class TestAdEventsSpillDifferential:
+    @pytest.mark.parametrize("budget_name", list(BUDGETS))
+    @pytest.mark.parametrize("name", ADEVENTS_NAMES)
+    def test_budgeted_matches_unbudgeted(
+        self, adevents_db, adevents_baselines, name, budget_name
+    ):
+        limit = BUDGETS[budget_name]
+        plan = adevents_build(adevents_db, name)
+        spillable = _has_spillable_operator(
+            optimize_plan(plan.node, adevents_db, DEFAULT_SETTINGS)
+        )
+
+        serial = Executor(adevents_db, memory_budget=limit).execute(plan)
+        _assert_frames_bitwise(
+            adevents_baselines(name, "serial").frame, serial.frame,
+            f"{name} serial {budget_name}",
+        )
+        with ParallelExecutor(
+            adevents_db, workers=WORKERS, morsel_rows=ADEVENTS_MORSEL_ROWS,
+            cache_size=0, memory_budget=limit,
+        ) as executor:
+            parallel = executor.execute(plan)
+        _assert_frames_bitwise(
+            adevents_baselines(name, "parallel").frame, parallel.frame,
+            f"{name} parallel {budget_name}",
+        )
+
+        for result in (serial, parallel):
+            _assert_golden(plan, result, ADEVENTS_GOLDEN[name])
+        if limit is None:
+            assert serial.profile.spilled_bytes == 0
+            assert parallel.profile.spilled_bytes == 0
+        elif budget_name == "pathological" and spillable:
+            assert serial.profile.spilled_bytes > 0, name
+            assert parallel.profile.spilled_bytes > 0, name
+
+
+# ----------------------------------------------------------------------
+# Dispatch semantics
+# ----------------------------------------------------------------------
+
+
+class TestBudgetDispatch:
+    def test_no_spill_raises_typed_error(self, tpch_db, tpch_params):
+        plan = get_query(3).build(tpch_db, tpch_params)
+        executor = Executor(
+            tpch_db, DEFAULT_SETTINGS.without_spilling(), memory_budget=1
+        )
+        with pytest.raises(MemoryBudgetExceeded):
+            executor.execute(plan)
+
+    def test_global_aggregates_never_spill(self, tpch_db, tpch_params):
+        # Q6 is scan + filter + global aggregate: O(1) state, no spilling
+        # even under a 1-byte budget.
+        plan = get_query(6).build(tpch_db, tpch_params)
+        result = Executor(tpch_db, memory_budget=1).execute(plan)
+        assert result.profile.spilled_bytes == 0
+
+    def test_explain_tags_over_budget_operators(self, tpch_db, tpch_params):
+        plan = get_query(3).build(tpch_db, tpch_params)
+        text = explain(plan, tpch_db, memory_budget=256 * 1024)
+        assert "[spill: join" in text
+        assert "[spill: agg" in text
+        # Without a budget (or with spilling disabled) no tags appear.
+        assert "[spill" not in explain(plan, tpch_db)
+        assert "[spill" not in explain(
+            plan, tpch_db,
+            settings=DEFAULT_SETTINGS.without_spilling(),
+            memory_budget=256 * 1024,
+        )
+
+    def test_explain_profile_reports_spilling(self, tpch_db, tpch_params):
+        plan = get_query(3).build(tpch_db, tpch_params)
+        result = Executor(tpch_db, memory_budget=1).execute(plan)
+        assert "spilling:" in explain_profile(result)
+        clean = Executor(tpch_db).execute(plan)
+        assert "spilling:" not in explain_profile(clean)
+
+    def test_budget_tracks_peak_and_spilled(self, tpch_db, tpch_params):
+        budget = MemoryBudget(limit_bytes=256 * 1024)
+        plan = get_query(3).build(tpch_db, tpch_params)
+        Executor(tpch_db, memory_budget=budget).execute(plan)
+        assert budget.spilled_bytes > 0
+        assert budget.peak_bytes > 0
+        assert budget.used_bytes == 0  # all charges released
+
+
+# ----------------------------------------------------------------------
+# Property wall: partitioning is an order-preserving permutation
+# ----------------------------------------------------------------------
+
+
+_EXTREME_INTS = [
+    0, 1, -1, 2**62, -(2**62),
+    int(np.iinfo(np.int64).max), int(np.iinfo(np.int64).min),
+]
+
+
+class TestPartitioningProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(-(2**63), 2**63 - 1) | st.sampled_from(_EXTREME_INTS),
+            max_size=200,
+        ),
+        n_partitions=st.sampled_from([2, 4, 8, 16]),
+        depth=st.integers(0, MAX_SPILL_DEPTH - 1),
+    )
+    def test_int_partitioning_is_a_stable_permutation(
+        self, values, n_partitions, depth
+    ):
+        n = len(values)
+        frame = Frame(
+            {
+                "k": Column(INT64, np.asarray(values, dtype=np.int64)),
+                "rowid": Column(INT64, np.arange(n, dtype=np.int64)),
+            },
+            n,
+        )
+        pids = _partition_ids(
+            _to_uint64(frame.column("k").values), n_partitions, depth
+        )
+        parts = _partition_frame(frame, pids, n_partitions)
+        assert len(parts) == n_partitions
+        assert sum(p.nrows for p in parts) == n
+        seen = []
+        for index, part in enumerate(parts):
+            rowids = np.asarray(part.column("rowid").values)
+            # Original relative order is preserved inside each partition
+            # (this is what makes float re-accumulation bit-identical).
+            assert np.all(np.diff(rowids) > 0) or len(rowids) <= 1
+            assert np.all(pids[rowids] == index)
+            seen.append(rowids)
+        # The union of partitions is exactly the input — a permutation.
+        assert np.array_equal(np.sort(np.concatenate(seen) if seen else []),
+                              np.arange(n))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(allow_nan=True, allow_infinity=True, width=64)
+            | st.sampled_from([0.0, -0.0, math.nan, math.inf, -math.inf]),
+            max_size=100,
+        ),
+        n_partitions=st.sampled_from([2, 4, 8]),
+        depth=st.integers(0, MAX_SPILL_DEPTH - 1),
+    )
+    def test_float_equal_keys_land_together(self, values, n_partitions, depth):
+        """The join treats NaN == NaN and -0.0 == +0.0; partitioning must
+        agree or equal keys would straddle partitions and lose matches."""
+        arr = np.asarray(values, dtype=np.float64)
+        pids = _partition_ids(_to_uint64(arr), n_partitions, depth)
+        nan_pids = pids[np.isnan(arr)]
+        assert len(set(nan_pids.tolist())) <= 1
+        zero_pids = pids[arr == 0.0]
+        assert len(set(zero_pids.tolist())) <= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        estimate=st.floats(min_value=1.0, max_value=1e15),
+        available=st.floats(min_value=1.0, max_value=1e12),
+        nrows=st.integers(1, 10**8),
+        depth=st.integers(0, MAX_SPILL_DEPTH - 1),
+    )
+    def test_choose_partitions_is_bounded(self, estimate, available, nrows, depth):
+        p = choose_partitions(estimate, available, nrows, depth)
+        assert 2 <= p <= 64
+        assert p & (p - 1) == 0  # power of two
+        if depth > 0:
+            assert p <= 4
+
+
+# ----------------------------------------------------------------------
+# Property wall: spill files round-trip bit-identically
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def _spill_frame(draw) -> Frame:
+    n = draw(st.integers(0, 60))
+    columns: dict[str, Column] = {}
+
+    ints = draw(st.lists(
+        st.integers(-(2**63), 2**63 - 1) | st.sampled_from(_EXTREME_INTS),
+        min_size=n, max_size=n,
+    ))
+    if draw(st.booleans()):
+        valid = np.asarray(
+            draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        )
+        columns["i"] = Column(INT64, np.asarray(ints, dtype=np.int64), valid=valid)
+    else:
+        columns["i"] = Column(INT64, np.asarray(ints, dtype=np.int64))
+
+    floats = draw(st.lists(
+        st.floats(allow_nan=True, allow_infinity=True, width=64)
+        | st.sampled_from([0.0, -0.0, math.nan]),
+        min_size=n, max_size=n,
+    ))
+    fvalid = None
+    if draw(st.booleans()):
+        fvalid = np.asarray(
+            draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        )
+    columns["f"] = Column(
+        FLOAT64, np.asarray(floats, dtype=np.float64), valid=fvalid
+    )
+
+    days = draw(st.lists(st.integers(-(2**31), 2**31 - 1), min_size=n, max_size=n))
+    columns["d"] = Column(DATE, np.asarray(days, dtype=np.int32))
+
+    words = draw(st.lists(
+        st.sampled_from(["alpha", "beta", "gamma", ""]), min_size=n, max_size=n
+    ))
+    scol = Column.from_strings(words)
+    if draw(st.booleans()):
+        svalid = np.asarray(
+            draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        )
+        scol = Column(STRING, scol.values, dictionary=scol.dictionary, valid=svalid)
+    columns["s"] = scol
+
+    bools = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    columns["b"] = Column(BOOL, np.asarray(bools, dtype=bool))
+
+    return Frame(columns, n)
+
+
+class TestSpillRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(frame=_spill_frame())
+    def test_write_read_is_bit_identical(self, frame):
+        spills = SpillSet()
+        try:
+            ref = spills.write_frame(frame)
+            back = spills.read_frame(ref)
+        finally:
+            spills.cleanup()
+        _assert_frames_bitwise(frame, back, "round-trip")
+        # Dictionary *identity*, not just equality: Column.concat's
+        # shared-dictionary fast path (and therefore post-spill string
+        # collation) depends on the object being the same.
+        assert back.column("s").dictionary is frame.column("s").dictionary
+
+    def test_cleanup_removes_directory_and_is_idempotent(self):
+        spills = SpillSet()
+        frame = Frame({"x": Column.from_ints([1, 2, 3])}, 3)
+        ref = spills.write_frame(frame)
+        assert Path(ref.path).exists()
+        spills.cleanup()
+        assert not Path(spills.directory).exists()
+        spills.cleanup()  # second call is a no-op
+
+
+# ----------------------------------------------------------------------
+# Property wall: adversarial skew terminates
+# ----------------------------------------------------------------------
+
+
+class TestSkewTermination:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 3000),
+        key=st.sampled_from([0, 7, -1, 2**40]),
+    )
+    def test_single_key_aggregate_skew_terminates(self, n, key, tmp_path_factory):
+        """Every row shares one group key: no partition pass can make
+        progress, so the Grace path must fall through to the in-memory
+        kernel (over budget but correct) instead of recursing forever."""
+        base = str(tmp_path_factory.mktemp("skew"))
+        frame = Frame(
+            {
+                "k": Column(INT64, np.full(n, key, dtype=np.int64)),
+                "v": Column(FLOAT64, np.arange(n, dtype=np.float64)),
+            },
+            n,
+        )
+        aggs = {"total": sum_(col("v")), "cnt": count_star()}
+        ctx = _SpillCtx(budget=MemoryBudget(limit_bytes=1, spill_dir=base))
+        got = maybe_spill_aggregate(frame, ["k"], aggs, ctx)
+        want = execute_aggregate(frame, ["k"], dict(aggs), _SpillCtx())
+        _assert_frames_bitwise(want, got, "skew aggregate")
+        # Bounded recursion: strictly fewer re-partitions than the hard
+        # depth cap times the fan-out could ever produce.
+        assert ctx.work.respill_depth <= MAX_SPILL_DEPTH * 64
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 120))
+    def test_single_key_join_skew_terminates(self, n, tmp_path_factory):
+        base = str(tmp_path_factory.mktemp("skewj"))
+        left = Frame(
+            {
+                "k": Column(INT64, np.zeros(n, dtype=np.int64)),
+                "a": Column(INT64, np.arange(n, dtype=np.int64)),
+            },
+            n,
+        )
+        right = Frame(
+            {
+                "k": Column(INT64, np.zeros(n, dtype=np.int64)),
+                "b": Column(INT64, np.arange(n, dtype=np.int64)),
+            },
+            n,
+        )
+        ctx = _SpillCtx(budget=MemoryBudget(limit_bytes=1, spill_dir=base))
+        got = maybe_spill_join(left, right, ["k"], ["k"], "inner", ctx)
+        want = execute_join(left, right, ["k"], ["k"], "inner", _SpillCtx())
+        _assert_frames_bitwise(want, got, "skew join")
+        assert got.nrows == n * n

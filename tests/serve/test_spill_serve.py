@@ -1,0 +1,122 @@
+"""Serving layer × out-of-core execution.
+
+The wimpy-node serving story the paper implies: a node with little RAM
+should *admit* a query whose hash state exceeds memory and complete it
+out-of-core, not shed it or OOM. Pinned here:
+
+* an over-budget query is admitted, spills, and returns exactly the
+  rows an unbudgeted serial execution returns;
+* with spilling disabled the same query fails *typed*
+  (:class:`QueryFailed` wrapping :class:`MemoryBudgetExceeded`) and the
+  server keeps serving;
+* cancelling a request mid-spill leaves no orphaned spill directories.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    CancelToken,
+    DEFAULT_SETTINGS,
+    Executor,
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+)
+from repro.serve import QueryFailed, QueryServer
+from repro.tpch import generate as tpch_generate, get_query
+
+COUNT_SQL = "SELECT COUNT(*) AS n FROM region"
+MORSEL_ROWS = 2048
+
+
+@pytest.fixture(scope="module")
+def db():
+    return tpch_generate(0.01, seed=42)
+
+
+def _spill_dirs(base: Path) -> list[Path]:
+    return sorted(base.glob("repro-spill-*"))
+
+
+def _rows_equal(expected, actual) -> None:
+    assert len(actual) == len(expected)
+    for want, got in zip(expected, actual):
+        for a, b in zip(want, got):
+            if isinstance(a, float) and isinstance(b, float):
+                if math.isnan(a) and math.isnan(b):
+                    continue
+                assert b == pytest.approx(a, rel=1e-9, abs=1e-9)
+            else:
+                assert a == b
+
+
+class TestOverBudgetAdmission:
+    def test_over_budget_query_is_admitted_and_completes(self, db, tmp_path):
+        plan = get_query(3).build(db, {"sf": 0.01})
+        expected = Executor(db).execute(plan).rows
+        budget = MemoryBudget(limit_bytes=64 * 1024, spill_dir=str(tmp_path))
+        with QueryServer(
+            db, workers=2, morsel_rows=MORSEL_ROWS, cache_size=0,
+            memory_budget=budget,
+        ) as server:
+            result = server.query(plan)
+        _rows_equal(expected, result.rows)
+        # It really went out-of-core — and cleaned up after itself.
+        assert budget.spilled_bytes > 0
+        assert _spill_dirs(tmp_path) == []
+
+    def test_no_spill_budget_fails_typed_and_server_survives(self, db):
+        plan = get_query(3).build(db, {"sf": 0.01})
+        with QueryServer(
+            db, workers=2, morsel_rows=MORSEL_ROWS, cache_size=0,
+            settings=DEFAULT_SETTINGS.without_spilling(), memory_budget=64 * 1024,
+        ) as server:
+            with pytest.raises(QueryFailed) as exc_info:
+                server.query(plan)
+            assert isinstance(exc_info.value.__cause__, MemoryBudgetExceeded)
+            # The failure is the query's, not the server's.
+            assert server.query(COUNT_SQL).rows == [(5,)]
+
+
+class _TrippingToken(CancelToken):
+    """Cancels itself at the first check *after* bytes have hit the
+    spill device — deterministically mid-spill."""
+
+    def __init__(self, budget: MemoryBudget):
+        super().__init__()
+        self._budget = budget
+
+    def check(self) -> None:
+        if self._budget.spilled_bytes > 0:
+            self.cancel("injected mid-spill cancellation")
+        super().check()
+
+
+class _CancelMidSpillServer(QueryServer):
+    def _execute(self, req):
+        if req.ticket.label == "doomed":
+            req.token = _TrippingToken(self.memory_budget)
+        return super()._execute(req)
+
+
+class TestCancelMidSpill:
+    def test_cancel_mid_spill_leaves_no_orphans(self, db, tmp_path):
+        budget = MemoryBudget(limit_bytes=1, spill_dir=str(tmp_path))
+        plan = get_query(9).build(db, {"sf": 0.01})
+        with _CancelMidSpillServer(
+            db, workers=2, morsel_rows=MORSEL_ROWS, cache_size=0,
+            memory_budget=budget,
+        ) as server:
+            ticket = server.submit(plan, label="doomed")
+            with pytest.raises(QueryCancelled):
+                ticket.result(timeout=120)
+            assert budget.spilled_bytes > 0  # it died *during* spilling
+            assert _spill_dirs(tmp_path) == []
+            # The node shrugs it off and keeps serving.
+            assert server.query(COUNT_SQL).rows == [(5,)]
+        assert _spill_dirs(tmp_path) == []
